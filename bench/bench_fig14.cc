@@ -1,0 +1,103 @@
+// Figure 14 reproduction: integer vs floating-point biases — runtime and
+// memory of Bingo under DeepWalk with mixed updates.
+//
+// Per the paper, the floating-point bias of an edge is its integer bias
+// plus a uniform random fraction in [0, 1); the decimal parts land in the
+// per-vertex decimal group (§4.3).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/bingo_store.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
+
+namespace bingo::bench {
+namespace {
+
+struct Fig14Cell {
+  double seconds = 0;
+  double memory_mib = 0;
+};
+
+Fig14Cell RunOne(const Dataset& dataset, bool floating_point,
+                 core::DecimalGroup::Policy policy, util::ThreadPool& pool) {
+  graph::BiasParams bias_params;
+  bias_params.floating_point = floating_point;
+  const auto workload = PrepareWorkload(dataset, graph::UpdateKind::kMixed,
+                                        bias_params, 5, BenchBatch(),
+                                        BenchRounds());
+  core::BingoConfig config;
+  config.decimal_policy = policy;
+  // Best of two repetitions with a fresh store each: single measurements
+  // on this host occasionally absorb multi-hundred-ms scheduler stalls.
+  Fig14Cell cell;
+  cell.seconds = 1e100;
+  for (int rep = 0; rep < 2; ++rep) {
+    core::BingoStore store(graph::DynamicGraph::FromEdges(
+                               workload.num_vertices, workload.initial_edges),
+                           config, &pool);
+    cell.seconds = std::min(cell.seconds, TimeSec([&] {
+                              for (const auto& b : workload.batches) {
+                                store.ApplyBatch(b, &pool);
+                                walk::WalkConfig cfg;
+                                cfg.walk_length = 80;
+                                cfg.num_walkers = std::max<uint64_t>(
+                                    1, workload.num_vertices / WalkerDiv());
+                                walk::RunDeepWalk(store, cfg, &pool);
+                              }
+                            }));
+    cell.memory_mib = ToMiB(store.MemoryBytes());
+  }
+  return cell;
+}
+
+}  // namespace
+}  // namespace bingo::bench
+
+int main() {
+  using namespace bingo;
+  using namespace bingo::bench;
+
+  TuneAllocator();
+
+  util::ThreadPool pool;
+  std::printf(
+      "Figure 14: integer vs floating-point bias (DeepWalk, mixed updates)\n"
+      "float bias = integer bias + U(0,1); decimal policy default = "
+      "rejection\n\n");
+  std::printf("%-5s %12s %12s %9s | %12s %12s %9s\n", "data", "int (s)",
+              "float (s)", "slowdown", "int MiB", "float MiB", "overhead");
+  PrintRule(84);
+
+  double time_ratio_sum = 0;
+  double mem_ratio_sum = 0;
+  const auto datasets = StandardDatasets();
+  for (const auto& dataset : datasets) {
+    const Fig14Cell integer =
+        RunOne(dataset, false, core::DecimalGroup::Policy::kRejection, pool);
+    const Fig14Cell floating =
+        RunOne(dataset, true, core::DecimalGroup::Policy::kRejection, pool);
+    time_ratio_sum += floating.seconds / integer.seconds;
+    mem_ratio_sum += floating.memory_mib / integer.memory_mib;
+    std::printf("%-5s %12.2f %12.2f %8.2fx | %12.1f %12.1f %8.2fx\n",
+                dataset.abbr, integer.seconds, floating.seconds,
+                floating.seconds / integer.seconds, integer.memory_mib,
+                floating.memory_mib, floating.memory_mib / integer.memory_mib);
+  }
+  std::printf("\naverage: %.2fx time, %.2fx memory (paper: 1.02x / 1.08x)\n",
+              time_ratio_sum / datasets.size(), mem_ratio_sum / datasets.size());
+
+  // Decimal-policy ablation (ITS vs rejection inside the decimal group).
+  std::printf("\ndecimal policy ablation on GO stand-in (float biases):\n");
+  for (const auto policy : {core::DecimalGroup::Policy::kRejection,
+                            core::DecimalGroup::Policy::kIts}) {
+    const Fig14Cell cell = RunOne(datasets[1], true, policy, pool);
+    std::printf("  %-10s %8.2fs %10.1f MiB\n",
+                policy == core::DecimalGroup::Policy::kIts ? "ITS" : "rejection",
+                cell.seconds, cell.memory_mib);
+  }
+  return 0;
+}

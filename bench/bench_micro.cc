@@ -1,0 +1,167 @@
+// Table 1 empirical validation (google-benchmark): per-operation cost of
+// Bingo vs the three classical samplers as vertex degree grows.
+//
+//   Sampling:  Bingo O(1), alias O(1), ITS O(log d), rejection O(d·max/sum)
+//   Update:    Bingo O(K), alias O(d) rebuild, ITS O(1) append / O(d)
+//              delete, rejection O(1)
+//
+// Expected: *_Sample stay flat for Bingo/alias and grow for ITS (log) and
+// skewed rejection; *_InsertDelete grows linearly for alias/ITS and stays
+// flat for Bingo.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/sampling/alias_table.h"
+#include "src/sampling/its.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/reservoir.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace bingo;
+
+std::vector<double> DegreeBiases(int d, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> biases(d);
+  for (auto& b : biases) {
+    b = 1 + rng.NextBounded(255);
+  }
+  return biases;
+}
+
+graph::DynamicGraph StarGraph(const std::vector<double>& biases) {
+  graph::DynamicGraph g(static_cast<graph::VertexId>(biases.size() + 2));
+  for (std::size_t i = 0; i < biases.size(); ++i) {
+    g.Insert(0, static_cast<graph::VertexId>(i + 1), biases[i]);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------- sampling --
+
+void BM_BingoSample(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  core::BingoStore store(StarGraph(biases));
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.SampleNeighbor(0, rng));
+  }
+}
+BENCHMARK(BM_BingoSample)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  sampling::AliasTable table;
+  table.Build(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_ItsSample(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  sampling::ItsSampler its;
+  its.Build(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(its.Sample(rng));
+  }
+}
+BENCHMARK(BM_ItsSample)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_RejectionSample(benchmark::State& state) {
+  // Skewed biases: rejection's weak spot (max >> mean).
+  auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  biases[0] = 100000.0;
+  sampling::RejectionSampler sampler;
+  sampler.Build(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_RejectionSample)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ReservoirSample(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  graph::DynamicGraph g = StarGraph(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const auto adj = g.Neighbors(0);
+    benchmark::DoNotOptimize(sampling::WeightedReservoirPickFn(
+        static_cast<uint32_t>(adj.size()),
+        [&adj](uint32_t i) { return adj[i].bias; }, rng));
+  }
+}
+BENCHMARK(BM_ReservoirSample)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ----------------------------------------------------------------- updates --
+
+// Paired insert+delete per iteration keeps the degree steady, so the cost
+// being measured is one streaming insertion plus one streaming deletion at
+// degree d.
+void BM_BingoInsertDelete(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  core::BingoStore store(StarGraph(biases));
+  util::Rng rng(7);
+  const auto n = static_cast<graph::VertexId>(biases.size() + 1);
+  for (auto _ : state) {
+    store.StreamingInsert(0, n, 1 + rng.NextBounded(255));
+    store.StreamingDelete(0, n);
+  }
+}
+BENCHMARK(BM_BingoInsertDelete)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_AliasInsertDelete(benchmark::State& state) {
+  // KnightKing-style: any update rebuilds the vertex's alias table, O(d).
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  graph::DynamicGraph g = StarGraph(biases);
+  sampling::AliasTable table;
+  std::vector<double> scratch = biases;
+  util::Rng rng(7);
+  const auto n = static_cast<graph::VertexId>(biases.size() + 1);
+  for (auto _ : state) {
+    g.Insert(0, n, 1 + rng.NextBounded(255));
+    scratch.push_back(1.0);
+    table.Build(scratch);
+    g.SwapRemove(0, g.Degree(0) - 1);
+    scratch.pop_back();
+    table.Build(scratch);
+  }
+}
+BENCHMARK(BM_AliasInsertDelete)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_ItsInsertDelete(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  sampling::ItsSampler its;
+  its.Build(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    its.Append(1 + rng.NextBounded(255));  // O(1)
+    its.RemoveAt(static_cast<uint32_t>(rng.NextBounded(its.Size())));  // O(d)
+  }
+}
+BENCHMARK(BM_ItsInsertDelete)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_RejectionInsertDelete(benchmark::State& state) {
+  const auto biases = DegreeBiases(static_cast<int>(state.range(0)), 1);
+  sampling::RejectionSampler sampler;
+  sampler.Build(biases);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    sampler.Append(1 + rng.NextBounded(200));
+    sampler.RemoveAt(static_cast<uint32_t>(rng.NextBounded(sampler.Size())));
+  }
+}
+BENCHMARK(BM_RejectionInsertDelete)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

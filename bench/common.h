@@ -1,0 +1,131 @@
+// Shared benchmark infrastructure: dataset stand-ins (substitution S2),
+// workload preparation (§6.1 protocol), environment knobs, and table
+// printing helpers.
+//
+// Environment knobs (all optional):
+//   BINGO_BENCH_SCALE   scales edge counts and the R-MAT vertex scale
+//                       (1 = default laptop-sized stand-ins; 2 doubles
+//                       edges and adds one vertex-scale step)
+//   BINGO_BENCH_ROUNDS  update/walk rounds per cell (paper: 10; default 3)
+//   BINGO_BENCH_BATCH   updates per round (paper: 100000; default 10000)
+//   BINGO_BENCH_WDIV    walkers = vertices / WDIV (paper: 1; default 10)
+
+#ifndef BINGO_BENCH_COMMON_H_
+#define BINGO_BENCH_COMMON_H_
+
+#include <malloc.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/update_stream.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace bingo::bench {
+
+struct Dataset {
+  const char* abbr;   // the paper's dataset this stands in for
+  int rmat_scale;     // vertices = 2^rmat_scale
+  uint64_t num_edges; // directed edges before canonicalization
+};
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoll(value);
+}
+
+// glibc's per-thread malloc arenas interact badly with this benchmark
+// pattern (structures built on one thread, mutated from pool workers): every
+// cross-thread realloc faults fresh arena pages. A single arena measured
+// uniformly faster here at 2 cores; call this first in every bench main.
+inline void TuneAllocator() {
+#ifdef M_ARENA_MAX
+  mallopt(M_ARENA_MAX, 1);
+#endif
+}
+
+inline int BenchRounds() { return static_cast<int>(EnvInt("BINGO_BENCH_ROUNDS", 3)); }
+inline uint64_t BenchBatch() { return EnvInt("BINGO_BENCH_BATCH", 10000); }
+inline uint64_t WalkerDiv() { return EnvInt("BINGO_BENCH_WDIV", 10); }
+
+// The five paper graphs, scaled to this machine; see DESIGN.md §3. Relative
+// ordering (vertex count, average degree) follows the paper's Table 2.
+inline std::vector<Dataset> StandardDatasets() {
+  const double scale = EnvDouble("BINGO_BENCH_SCALE", 1.0);
+  const int extra = scale >= 2.0 ? 1 : 0;
+  const auto e = [scale](uint64_t base) {
+    return static_cast<uint64_t>(base * scale);
+  };
+  return {
+      {"AM", 15 + extra, e(260'000)},    // Amazon: 403K vertices, avg 8.4
+      {"GO", 16 + extra, e(380'000)},    // Google: 876K vertices, avg 5.8
+      {"CT", 17 + extra, e(580'000)},    // Citation: 3.8M vertices, avg 4.4
+      {"LJ", 17 + extra, e(1'870'000)},  // LiveJournal: 4.8M, avg 14.3
+      {"TW", 18 + extra, e(4'200'000)},  // Twitter: 41.7M, avg 35.2
+  };
+}
+
+struct PreparedWorkload {
+  graph::VertexId num_vertices = 0;
+  graph::WeightedEdgeList initial_edges;
+  std::vector<graph::UpdateList> batches;  // one per round
+};
+
+// Generates the dataset stand-in and the §6.1 update stream for it.
+inline PreparedWorkload PrepareWorkload(const Dataset& dataset,
+                                        graph::UpdateKind kind,
+                                        const graph::BiasParams& bias_params,
+                                        uint64_t seed, uint64_t batch_size,
+                                        int rounds) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(dataset.rmat_scale, dataset.num_edges, rng);
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = graph::VertexId{1} << dataset.rmat_scale;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  const auto biases = graph::GenerateBiases(csr, bias_params, rng);
+  const auto edges = graph::ToWeightedEdges(csr, biases);
+
+  graph::UpdateWorkloadParams params;
+  params.kind = kind;
+  params.batch_size = batch_size;
+  params.num_batches = rounds;
+  auto workload = graph::BuildUpdateWorkload(edges, params, rng);
+
+  PreparedWorkload prepared;
+  prepared.num_vertices = n;
+  prepared.initial_edges = std::move(workload.initial_edges);
+  prepared.batches = graph::SplitIntoBatches(workload.updates, batch_size);
+  return prepared;
+}
+
+template <typename Fn>
+double TimeSec(Fn&& fn) {
+  util::Timer timer;
+  fn();
+  return timer.Seconds();
+}
+
+inline double ToMiB(std::size_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+inline void PrintRule(int width = 110) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bingo::bench
+
+#endif  // BINGO_BENCH_COMMON_H_

@@ -1,0 +1,39 @@
+// Umbrella header for the Bingo library.
+//
+// Bingo is a random walk engine for dynamically changing graphs built
+// around radix-based bias factorization (EuroSys'25). Quick tour:
+//
+//   graph::DynamicGraph   — pooled dynamic adjacency storage
+//   core::BingoStore      — the Bingo sampling structure over a graph
+//                           (streaming + batched updates, O(1) sampling)
+//   walk::RunDeepWalk / RunNode2vec / RunPpr / RunSimpleSampling
+//                         — walk applications over any sampler store
+//   walk::AliasStore / ItsStore / ReservoirStore
+//                         — baseline engines for comparison
+//
+// See examples/quickstart.cpp for a minimal end-to-end program.
+
+#ifndef BINGO_SRC_BINGO_H_
+#define BINGO_SRC_BINGO_H_
+
+#include "src/core/bingo_store.h"
+#include "src/core/lambda.h"
+#include "src/core/radix_base.h"
+#include "src/core/snapshot.h"
+#include "src/core/vertex_sampler.h"
+#include "src/graph/bias.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/graph/update_stream.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/analytics.h"
+#include "src/walk/apps.h"
+#include "src/walk/baseline_stores.h"
+#include "src/walk/engine.h"
+#include "src/walk/incremental.h"
+#include "src/walk/partitioned.h"
+
+#endif  // BINGO_SRC_BINGO_H_

@@ -1,0 +1,29 @@
+#include "src/core/batch.h"
+
+#include <algorithm>
+
+namespace bingo::core {
+
+GroupedUpdates GroupUpdatesByVertex(const graph::UpdateList& updates) {
+  GroupedUpdates grouped;
+  grouped.order.resize(updates.size());
+  for (uint32_t i = 0; i < updates.size(); ++i) {
+    grouped.order[i] = i;
+  }
+  std::stable_sort(grouped.order.begin(), grouped.order.end(),
+                   [&updates](uint32_t a, uint32_t b) {
+                     return updates[a].src < updates[b].src;
+                   });
+  for (uint32_t i = 0; i < grouped.order.size();) {
+    const graph::VertexId src = updates[grouped.order[i]].src;
+    uint32_t end = i + 1;
+    while (end < grouped.order.size() && updates[grouped.order[end]].src == src) {
+      ++end;
+    }
+    grouped.ranges.push_back(GroupedUpdates::Range{src, i, end});
+    i = end;
+  }
+  return grouped;
+}
+
+}  // namespace bingo::core

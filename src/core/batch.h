@@ -1,0 +1,42 @@
+// Batched-update planning (§5.2, Fig 10a).
+//
+// The paper's workflow first reorders the raw update stream so all requests
+// of one vertex are contiguous ("Reordering requests" on the host), then
+// processes vertices in parallel, each running insert -> delete -> rebuild.
+// This module implements the reordering step; BingoStore::ApplyBatch runs
+// the per-vertex pipeline on the thread pool.
+//
+// The reorder is allocation-light: one index array stably sorted by source
+// vertex plus [begin, end) ranges into it, so a 100K-update batch costs two
+// array allocations rather than per-vertex containers.
+
+#ifndef BINGO_SRC_CORE_BATCH_H_
+#define BINGO_SRC_CORE_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace bingo::core {
+
+struct GroupedUpdates {
+  // Update indices grouped by source vertex; within a group the original
+  // stream order is preserved (it defines duplicate-edge timestamps).
+  std::vector<uint32_t> order;
+  // One [begin, end) slice of `order` per touched vertex.
+  struct Range {
+    graph::VertexId vertex;
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Range> ranges;
+};
+
+// Stable-groups `updates` by source vertex. O(n log n).
+GroupedUpdates GroupUpdatesByVertex(const graph::UpdateList& updates);
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_BATCH_H_

@@ -1,0 +1,263 @@
+#include "src/core/bingo_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "src/core/batch.h"
+
+namespace bingo::core {
+
+BingoStore::BingoStore(graph::DynamicGraph graph, BingoConfig config,
+                       util::ThreadPool* pool)
+    : config_(config), graph_(std::move(graph)) {
+  config_.conversion_stats = &conversion_stats_;
+  samplers_.resize(graph_.NumVertices());
+  const auto build_range = [this](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      samplers_[v].SetConfig(&config_);
+      samplers_[v].Build(graph_.Neighbors(static_cast<graph::VertexId>(v)));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, samplers_.size(), build_range, 1024);
+  } else {
+    build_range(0, samplers_.size());
+  }
+}
+
+void BingoStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
+                                 double bias) {
+  const uint32_t idx = graph_.Insert(src, dst, bias);
+  VertexSampler& sampler = samplers_[src];
+  sampler.InsertEdge(graph_.Neighbors(src), idx);
+  sampler.FinishUpdate(graph_.Neighbors(src));
+}
+
+bool BingoStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  VertexSampler& sampler = samplers_[src];
+  sampler.RemoveEdge(graph_.Neighbors(src), *idx);
+  const auto result = graph_.SwapRemove(src, *idx);
+  if (result.moved) {
+    sampler.RenameIndex(result.moved_edge.bias, result.moved_from,
+                        result.moved_to);
+  }
+  sampler.FinishUpdate(graph_.Neighbors(src));
+  return true;
+}
+
+bool BingoStore::UpdateBias(graph::VertexId src, graph::VertexId dst,
+                            double bias) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  VertexSampler& sampler = samplers_[src];
+  // Withdraw the old sub-biases, rewrite the stored bias in place (the
+  // neighbor index is unchanged, so no swap or rename is needed), then
+  // re-split under the new value.
+  sampler.RemoveEdge(graph_.Neighbors(src), *idx);
+  graph_.SetBias(src, *idx, bias);
+  sampler.InsertEdge(graph_.Neighbors(src), *idx);
+  sampler.FinishUpdate(graph_.Neighbors(src));
+  return true;
+}
+
+uint32_t BingoStore::DeleteVertexOutEdges(graph::VertexId v) {
+  const uint32_t degree = graph_.Degree(v);
+  if (degree == 0) {
+    return 0;
+  }
+  std::vector<uint32_t> all(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    all[i] = i;
+  }
+  VertexSampler& sampler = samplers_[v];
+  sampler.RemoveEdgesBatch(graph_.Neighbors(v), all);
+  graph_.BatchSwapRemove(v, all);  // removes everything: no moves result
+  sampler.FinishUpdate(graph_.Neighbors(v));
+  return degree;
+}
+
+void BingoStore::AddVertices(graph::VertexId count) {
+  graph_.AddVertices(count);
+  samplers_.resize(graph_.NumVertices());
+  for (std::size_t v = samplers_.size() - count; v < samplers_.size(); ++v) {
+    samplers_[v].SetConfig(&config_);
+    samplers_[v].Build(graph_.Neighbors(static_cast<graph::VertexId>(v)));
+  }
+}
+
+BatchResult BingoStore::ApplyUpdatesStreaming(const graph::UpdateList& updates) {
+  BatchResult result;
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kInsert) {
+      StreamingInsert(u.src, u.dst, u.bias);
+      ++result.inserted;
+    } else if (StreamingDelete(u.src, u.dst)) {
+      ++result.deleted;
+    } else {
+      ++result.skipped_deletes;
+    }
+  }
+  return result;
+}
+
+void BingoStore::ApplyVertexBatch(graph::VertexId v,
+                                  const graph::UpdateList& updates,
+                                  std::span<const uint32_t> update_indices,
+                                  BatchResult& result) {
+  VertexSampler& sampler = samplers_[v];
+
+  // Fast path: a vertex with a single request degenerates to the streaming
+  // op (one mutation + one rebuild), with none of the batch bookkeeping.
+  if (update_indices.size() == 1) {
+    const graph::Update& u = updates[update_indices[0]];
+    if (u.kind == graph::Update::Kind::kInsert) {
+      const uint32_t idx = graph_.Insert(v, u.dst, u.bias);
+      sampler.InsertEdge(graph_.Neighbors(v), idx);
+      ++result.inserted;
+    } else {
+      const auto idx = graph_.FindEarliest(v, u.dst);
+      if (!idx.has_value()) {
+        ++result.skipped_deletes;
+        sampler.FinishUpdate(graph_.Neighbors(v));
+        return;
+      }
+      sampler.RemoveEdge(graph_.Neighbors(v), *idx);
+      const auto removed = graph_.SwapRemove(v, *idx);
+      if (removed.moved) {
+        sampler.RenameIndex(removed.moved_edge.bias, removed.moved_from,
+                            removed.moved_to);
+      }
+      ++result.deleted;
+    }
+    sampler.FinishUpdate(graph_.Neighbors(v));
+    return;
+  }
+
+  // Step (i): insertions, appended in stream order (timestamps preserve the
+  // duplicate-edge deletion rule).
+  std::size_t num_deletes = 0;
+  for (const uint32_t i : update_indices) {
+    const graph::Update& u = updates[i];
+    if (u.kind == graph::Update::Kind::kInsert) {
+      const uint32_t idx = graph_.Insert(v, u.dst, u.bias);
+      sampler.InsertEdge(graph_.Neighbors(v), idx);
+      ++result.inserted;
+    } else {
+      ++num_deletes;
+    }
+  }
+
+  // Step (ii): deletions. Resolve each requested dst to the earliest
+  // surviving unmarked copy, then remove all victims with the two-phase
+  // delete-and-swap.
+  if (num_deletes > 0) {
+    // Per-distinct-dst candidate cursors (earliest-first order).
+    std::vector<std::pair<graph::VertexId, std::pair<std::vector<uint32_t>, std::size_t>>>
+        candidates;
+    std::vector<uint32_t> marked;
+    marked.reserve(num_deletes);
+    for (const uint32_t i : update_indices) {
+      const graph::Update& u = updates[i];
+      if (u.kind != graph::Update::Kind::kDelete) {
+        continue;
+      }
+      const graph::VertexId dst = u.dst;
+      auto it = std::find_if(candidates.begin(), candidates.end(),
+                             [dst](const auto& c) { return c.first == dst; });
+      if (it == candidates.end()) {
+        candidates.emplace_back(dst,
+                                std::make_pair(graph_.CollectMatches(v, dst), 0u));
+        it = candidates.end() - 1;
+      }
+      auto& [list, cursor] = it->second;
+      if (cursor < list.size()) {
+        marked.push_back(list[cursor++]);
+        ++result.deleted;
+      } else {
+        ++result.skipped_deletes;
+      }
+    }
+    if (!marked.empty()) {
+      std::sort(marked.begin(), marked.end());
+      sampler.RemoveEdgesBatch(graph_.Neighbors(v), marked);
+      const auto moves = graph_.BatchSwapRemove(v, marked);
+      for (const auto& move : moves) {
+        sampler.RenameIndex(move.edge.bias, move.from, move.to);
+      }
+    }
+  }
+
+  // Step (iii): one rebuild — group reclassification plus a single
+  // inter-group alias reconstruction.
+  sampler.FinishUpdate(graph_.Neighbors(v));
+}
+
+BatchResult BingoStore::ApplyBatch(const graph::UpdateList& updates,
+                                   util::ThreadPool* pool) {
+  const GroupedUpdates grouped = GroupUpdatesByVertex(updates);
+
+  std::atomic<uint64_t> inserted{0};
+  std::atomic<uint64_t> deleted{0};
+  std::atomic<uint64_t> skipped{0};
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    BatchResult local;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const GroupedUpdates::Range& r = grouped.ranges[i];
+      ApplyVertexBatch(r.vertex, updates,
+                       std::span<const uint32_t>(grouped.order)
+                           .subspan(r.begin, r.end - r.begin),
+                       local);
+    }
+    inserted.fetch_add(local.inserted, std::memory_order_relaxed);
+    deleted.fetch_add(local.deleted, std::memory_order_relaxed);
+    skipped.fetch_add(local.skipped_deletes, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, grouped.ranges.size(), run_range, 64);
+  } else {
+    run_range(0, grouped.ranges.size());
+  }
+  return BatchResult{inserted.load(), deleted.load(), skipped.load()};
+}
+
+StoreMemoryStats BingoStore::MemoryStats() const {
+  StoreMemoryStats stats;
+  stats.graph_bytes = graph_.MemoryBytes();
+  stats.sampler_fixed_bytes = samplers_.capacity() * sizeof(VertexSampler);
+  for (const VertexSampler& sampler : samplers_) {
+    stats.samplers += sampler.MemoryBreakdown();
+  }
+  return stats;
+}
+
+std::array<uint64_t, 5> BingoStore::CountGroupKinds() const {
+  std::array<uint64_t, 5> counts{};
+  for (const VertexSampler& sampler : samplers_) {
+    sampler.CountGroupKinds(counts);
+  }
+  return counts;
+}
+
+std::string BingoStore::CheckInvariants() const {
+  uint64_t total_edges = 0;
+  for (graph::VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    total_edges += graph_.Degree(v);
+    const std::string err = samplers_[v].CheckInvariants(graph_.Neighbors(v));
+    if (!err.empty()) {
+      return "vertex " + std::to_string(v) + ": " + err;
+    }
+  }
+  if (total_edges != graph_.NumEdges()) {
+    return "graph edge count out of sync";
+  }
+  return {};
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,122 @@
+// BingoStore: the whole-graph Bingo engine (§3 workflow).
+//
+// Owns the dynamic graph and one VertexSampler per vertex, and exposes the
+// two functionalities of Fig 3: sampling (inter-group -> intra-group) and
+// graph updates (streaming, one edge at a time, or batched with a single
+// rebuild per touched vertex, §5.2).
+
+#ifndef BINGO_SRC_CORE_BINGO_STORE_H_
+#define BINGO_SRC_CORE_BINGO_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/vertex_sampler.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/graph/types.h"
+#include "src/util/thread_pool.h"
+
+namespace bingo::core {
+
+struct BatchResult {
+  uint64_t inserted = 0;
+  uint64_t deleted = 0;
+  uint64_t skipped_deletes = 0;  // delete requests with no surviving match
+};
+
+struct StoreMemoryStats {
+  std::size_t graph_bytes = 0;
+  std::size_t sampler_fixed_bytes = 0;  // per-vertex sampler objects
+  VertexMemoryBreakdown samplers;
+
+  std::size_t SamplerBytes() const { return sampler_fixed_bytes + samplers.Total(); }
+  std::size_t TotalBytes() const { return graph_bytes + SamplerBytes(); }
+};
+
+class BingoStore {
+ public:
+  // Takes ownership of the graph and builds every vertex's sampling space.
+  // `pool` parallelizes the build (nullptr = sequential).
+  explicit BingoStore(graph::DynamicGraph graph, BingoConfig config = {},
+                      util::ThreadPool* pool = nullptr);
+
+  BingoStore(const BingoStore&) = delete;
+  BingoStore& operator=(const BingoStore&) = delete;
+
+  const graph::DynamicGraph& Graph() const { return graph_; }
+  const BingoConfig& Config() const { return config_; }
+
+  // --- sampling -----------------------------------------------------------
+
+  // One O(1) biased neighbor draw; kInvalidVertex if v has no out-weight.
+  graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+    const uint32_t idx = samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
+    return idx == VertexSampler::kNoNeighbor ? graph::kInvalidVertex
+                                             : graph_.NeighborAt(v, idx).dst;
+  }
+
+  uint32_t SampleNeighborIndex(graph::VertexId v, util::Rng& rng) const {
+    return samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
+  }
+
+  // --- streaming updates (§4.2) -------------------------------------------
+
+  void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias);
+
+  // Deletes the earliest surviving copy of (src -> dst); false if absent.
+  bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
+
+  // Overwrites the bias of the earliest surviving copy of (src -> dst).
+  // O(K): the edge keeps its neighbor index; only its group memberships
+  // change (§4.2 "updating the edge bias ... supported straightforwardly").
+  bool UpdateBias(graph::VertexId src, graph::VertexId dst, double bias);
+
+  // Removes every out-edge of `v` in one batched operation (the out-half
+  // of the paper's vertex-deletion event; in-edges are per-source events).
+  // Returns the number of removed edges.
+  uint32_t DeleteVertexOutEdges(graph::VertexId v);
+
+  // Grows the vertex set; new vertices start isolated.
+  void AddVertices(graph::VertexId count);
+
+  // Applies a mixed stream one update at a time (the Fig 12 baseline).
+  BatchResult ApplyUpdatesStreaming(const graph::UpdateList& updates);
+
+  // --- batched updates (§5.2) ---------------------------------------------
+
+  // Reorders by vertex, then runs insert -> delete -> rebuild per vertex in
+  // parallel; the inter-group space of each touched vertex is rebuilt once.
+  BatchResult ApplyBatch(const graph::UpdateList& updates,
+                         util::ThreadPool* pool = nullptr);
+
+  // --- introspection --------------------------------------------------------
+
+  const VertexSampler& SamplerAt(graph::VertexId v) const { return samplers_[v]; }
+
+  StoreMemoryStats MemoryStats() const;
+  std::size_t MemoryBytes() const { return MemoryStats().TotalBytes(); }
+
+  // Aggregated group-kind population (Fig 11e).
+  std::array<uint64_t, 5> CountGroupKinds() const;
+
+  ConversionStats& Conversions() { return conversion_stats_; }
+
+  // Audits every vertex; returns the first inconsistency or empty.
+  std::string CheckInvariants() const;
+
+ private:
+  void ApplyVertexBatch(graph::VertexId v, const graph::UpdateList& updates,
+                        std::span<const uint32_t> update_indices,
+                        BatchResult& result);
+
+  BingoConfig config_;  // owned copy; conversion_stats points into this object
+  ConversionStats conversion_stats_;
+  graph::DynamicGraph graph_;
+  std::vector<VertexSampler> samplers_;
+};
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_BINGO_STORE_H_

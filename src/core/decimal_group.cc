@@ -1,0 +1,146 @@
+#include "src/core/decimal_group.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bingo::core {
+
+void DecimalGroup::SetPolicy(Policy policy) {
+  if (policy == policy_) {
+    return;
+  }
+  policy_ = policy;
+  if (policy_ == Policy::kIts) {
+    cdf_.resize(dec_.size());
+    RebuildCdfFrom(0);
+  } else {
+    cdf_.clear();
+    cdf_.shrink_to_fit();
+  }
+}
+
+void DecimalGroup::EnsureInvSize(uint32_t min_size) {
+  if (inv_.size() < min_size) {
+    inv_.resize(std::max<std::size_t>(min_size, inv_.size() * 2), kNoPosition);
+  }
+}
+
+void DecimalGroup::Insert(uint32_t idx, uint32_t dec) {
+  assert(dec > 0);
+  EnsureInvSize(idx + 1);
+  assert(inv_[idx] == kNoPosition);
+  inv_[idx] = static_cast<uint32_t>(idx_.size());
+  idx_.push_back(idx);
+  dec_.push_back(dec);
+  total_fixed_ += dec;
+  if (policy_ == Policy::kIts) {
+    cdf_.push_back(total_fixed_);
+  }
+}
+
+void DecimalGroup::Remove(uint32_t idx) {
+  assert(Contains(idx));
+  const uint32_t pos = inv_[idx];
+  const uint32_t last = static_cast<uint32_t>(idx_.size()) - 1;
+  total_fixed_ -= dec_[pos];
+  if (pos != last) {
+    idx_[pos] = idx_[last];
+    dec_[pos] = dec_[last];
+    inv_[idx_[pos]] = pos;
+  }
+  idx_.pop_back();
+  dec_.pop_back();
+  inv_[idx] = kNoPosition;
+  if (policy_ == Policy::kIts) {
+    cdf_.pop_back();
+    RebuildCdfFrom(pos);
+  }
+}
+
+void DecimalGroup::Rename(uint32_t from, uint32_t to) {
+  assert(Contains(from));
+  const uint32_t pos = inv_[from];
+  inv_[from] = kNoPosition;
+  EnsureInvSize(to + 1);
+  inv_[to] = pos;
+  idx_[pos] = to;
+}
+
+void DecimalGroup::RebuildCdfFrom(std::size_t pos) {
+  uint64_t running = pos == 0 ? 0 : cdf_[pos - 1];
+  for (std::size_t i = pos; i < dec_.size(); ++i) {
+    running += dec_[i];
+    cdf_[i] = running;
+  }
+}
+
+uint32_t DecimalGroup::Sample(util::Rng& rng) const {
+  assert(total_fixed_ > 0);
+  if (policy_ == Policy::kIts) {
+    const uint64_t x = rng.NextBounded(total_fixed_);
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+    return idx_[static_cast<std::size_t>(it - cdf_.begin())];
+  }
+  // Rejection with the trivial bound 1.0 (all fractions are < 2^32): accept
+  // member m with probability dec_m / 2^32.
+  for (;;) {
+    const uint32_t pos = static_cast<uint32_t>(rng.NextBounded(idx_.size()));
+    if (rng.NextU32() < dec_[pos]) {
+      return idx_[pos];
+    }
+  }
+}
+
+void DecimalGroup::CollectMembers(
+    std::vector<std::pair<uint32_t, uint32_t>>& out) const {
+  for (std::size_t i = 0; i < idx_.size(); ++i) {
+    out.emplace_back(idx_[i], dec_[i]);
+  }
+}
+
+void DecimalGroup::Clear() {
+  idx_.clear();
+  dec_.clear();
+  inv_.clear();
+  cdf_.clear();
+  idx_.shrink_to_fit();
+  dec_.shrink_to_fit();
+  inv_.shrink_to_fit();
+  cdf_.shrink_to_fit();
+  total_fixed_ = 0;
+}
+
+std::string DecimalGroup::CheckInvariants() const {
+  if (idx_.size() != dec_.size()) {
+    return "decimal group parallel arrays diverged";
+  }
+  uint64_t sum = 0;
+  for (std::size_t pos = 0; pos < idx_.size(); ++pos) {
+    if (dec_[pos] == 0) {
+      return "decimal group member with zero weight";
+    }
+    sum += dec_[pos];
+    const uint32_t idx = idx_[pos];
+    if (idx >= inv_.size() || inv_[idx] != pos) {
+      return "decimal group inverted index mismatch";
+    }
+    if (policy_ == Policy::kIts && cdf_[pos] != sum) {
+      return "decimal group CDF out of sync";
+    }
+  }
+  if (sum != total_fixed_) {
+    return "decimal group total mismatch";
+  }
+  uint32_t live = 0;
+  for (uint32_t v : inv_) {
+    if (v != kNoPosition) {
+      ++live;
+    }
+  }
+  if (live != idx_.size()) {
+    return "decimal group inverted index live-count mismatch";
+  }
+  return {};
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,88 @@
+// The decimal group of §4.3: after lambda-scaling, the fractional remainder
+// of every neighbor's bias is collected into one extra group. Inter-group
+// sampling weighs this group by W_D = sum of all fractional parts; when it
+// is selected, intra-group sampling uses ITS or rejection (the two options
+// named by the paper).
+//
+// Fractions are stored as 32-bit fixed point (units of 2^-32), so W_D and
+// the ITS prefix sums are exact integers; see DESIGN.md §4.4.
+
+#ifndef BINGO_SRC_CORE_DECIMAL_GROUP_H_
+#define BINGO_SRC_CORE_DECIMAL_GROUP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bingo::core {
+
+class DecimalGroup {
+ public:
+  enum class Policy : uint8_t { kRejection, kIts };
+
+  static constexpr uint32_t kNoPosition = 0xFFFFFFFFu;
+
+  explicit DecimalGroup(Policy policy = Policy::kRejection) : policy_(policy) {}
+
+  Policy GetPolicy() const { return policy_; }
+
+  // Switches the intra-group sampling policy, rebuilding the prefix-sum
+  // array when moving to ITS.
+  void SetPolicy(Policy policy);
+
+  // Adds neighbor `idx` with fractional weight `dec` (0 < dec < 2^32).
+  // O(1) for both policies (ITS appends to the prefix-sum array).
+  void Insert(uint32_t idx, uint32_t dec);
+
+  // Removes neighbor `idx` (must be present). O(1) for rejection;
+  // O(|G| - pos) for ITS (suffix rewrite, matching the paper's Table 1).
+  void Remove(uint32_t idx);
+
+  // Re-points member `from` to neighbor index `to` (weights unchanged).
+  void Rename(uint32_t from, uint32_t to);
+
+  bool Contains(uint32_t idx) const {
+    return idx < inv_.size() && inv_[idx] != kNoPosition;
+  }
+
+  uint32_t DecOf(uint32_t idx) const { return dec_[inv_[idx]]; }
+
+  uint32_t Count() const { return static_cast<uint32_t>(idx_.size()); }
+  bool Empty() const { return idx_.empty(); }
+
+  // W_D in units of 2^-32.
+  uint64_t TotalFixed() const { return total_fixed_; }
+
+  // Draws a member with probability dec_i / W_D. Requires TotalFixed() > 0.
+  uint32_t Sample(util::Rng& rng) const;
+
+  // (idx, dec) pairs, for audits and implied-distribution reconstruction.
+  void CollectMembers(std::vector<std::pair<uint32_t, uint32_t>>& out) const;
+
+  void Clear();
+
+  std::size_t MemoryBytes() const {
+    return idx_.capacity() * sizeof(uint32_t) + dec_.capacity() * sizeof(uint32_t) +
+           inv_.capacity() * sizeof(uint32_t) + cdf_.capacity() * sizeof(uint64_t);
+  }
+
+  std::string CheckInvariants() const;
+
+ private:
+  void EnsureInvSize(uint32_t min_size);
+  void RebuildCdfFrom(std::size_t pos);
+
+  Policy policy_;
+  std::vector<uint32_t> idx_;  // member neighbor indices
+  std::vector<uint32_t> dec_;  // fractional weights, parallel to idx_
+  std::vector<uint32_t> inv_;  // neighbor index -> member position
+  std::vector<uint64_t> cdf_;  // ITS policy only: exact prefix sums
+  uint64_t total_fixed_ = 0;
+};
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_DECIMAL_GROUP_H_

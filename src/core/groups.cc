@@ -1,0 +1,488 @@
+#include "src/core/groups.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/bitops.h"
+
+namespace bingo::core {
+
+const char* ToString(GroupKind kind) {
+  switch (kind) {
+    case GroupKind::kEmpty:
+      return "empty";
+    case GroupKind::kDense:
+      return "dense";
+    case GroupKind::kOneElement:
+      return "one-element";
+    case GroupKind::kSparse:
+      return "sparse";
+    case GroupKind::kRegular:
+      return "regular";
+  }
+  return "?";
+}
+
+GroupKind ClassifyGroup(uint64_t count, uint64_t degree, const AdaptiveConfig& cfg) {
+  if (count == 0) {
+    return GroupKind::kEmpty;
+  }
+  if (!cfg.adaptive) {
+    return GroupKind::kRegular;
+  }
+  const double ratio = 100.0 * static_cast<double>(count) / static_cast<double>(degree);
+  if (ratio > cfg.alpha_percent) {
+    return GroupKind::kDense;
+  }
+  if (count == 1) {
+    return GroupKind::kOneElement;
+  }
+  if (ratio < cfg.beta_percent) {
+    return GroupKind::kSparse;
+  }
+  return GroupKind::kRegular;
+}
+
+// ---------------------------------------------------------------- IndexMap --
+
+void IndexMap::Grow(std::size_t min_live) {
+  std::size_t cap = 8;
+  while (cap < min_live * 2) {
+    cap <<= 1;
+  }
+  std::vector<uint64_t> old = std::move(slots_);
+  slots_.assign(cap, kEmptySlot);
+  used_ = 0;
+  live_ = 0;
+  for (uint64_t slot : old) {
+    if (slot != kEmptySlot && slot != kTombstoneSlot) {
+      Insert(static_cast<uint32_t>(slot >> 32), static_cast<uint32_t>(slot));
+    }
+  }
+}
+
+void IndexMap::Insert(uint32_t key, uint32_t value) {
+  if (slots_.empty() || (used_ + 1) * 4 >= slots_.size() * 3) {
+    Grow(std::max<std::size_t>(live_ + 1, 4));
+  }
+  std::size_t pos = (key * 0x9e3779b9u) & Mask();
+  while (slots_[pos] != kEmptySlot && slots_[pos] != kTombstoneSlot) {
+    pos = (pos + 1) & Mask();
+  }
+  if (slots_[pos] == kEmptySlot) {
+    ++used_;
+  }
+  slots_[pos] = (static_cast<uint64_t>(key) << 32) | value;
+  ++live_;
+}
+
+std::optional<uint32_t> IndexMap::Find(uint32_t key) const {
+  if (slots_.empty()) {
+    return std::nullopt;
+  }
+  std::size_t pos = (key * 0x9e3779b9u) & Mask();
+  while (slots_[pos] != kEmptySlot) {
+    if (slots_[pos] != kTombstoneSlot &&
+        static_cast<uint32_t>(slots_[pos] >> 32) == key) {
+      return static_cast<uint32_t>(slots_[pos]);
+    }
+    pos = (pos + 1) & Mask();
+  }
+  return std::nullopt;
+}
+
+bool IndexMap::Erase(uint32_t key) {
+  if (slots_.empty()) {
+    return false;
+  }
+  std::size_t pos = (key * 0x9e3779b9u) & Mask();
+  while (slots_[pos] != kEmptySlot) {
+    if (slots_[pos] != kTombstoneSlot &&
+        static_cast<uint32_t>(slots_[pos] >> 32) == key) {
+      slots_[pos] = kTombstoneSlot;
+      --live_;
+      return true;
+    }
+    pos = (pos + 1) & Mask();
+  }
+  return false;
+}
+
+bool IndexMap::Update(uint32_t key, uint32_t value) {
+  if (slots_.empty()) {
+    return false;
+  }
+  std::size_t pos = (key * 0x9e3779b9u) & Mask();
+  while (slots_[pos] != kEmptySlot) {
+    if (slots_[pos] != kTombstoneSlot &&
+        static_cast<uint32_t>(slots_[pos] >> 32) == key) {
+      slots_[pos] = (static_cast<uint64_t>(key) << 32) | value;
+      return true;
+    }
+    pos = (pos + 1) & Mask();
+  }
+  return false;
+}
+
+void IndexMap::Clear() {
+  slots_.clear();
+  live_ = 0;
+  used_ = 0;
+}
+
+// -------------------------------------------------------------- RadixGroup --
+
+void RadixGroup::EnsureInvSize(uint32_t min_size) {
+  if (inv_.size() < min_size) {
+    inv_.resize(std::max<std::size_t>(min_size, inv_.size() * 2), kNoPosition);
+  }
+}
+
+void RadixGroup::Insert(uint32_t idx, uint32_t degree_hint) {
+  switch (kind_) {
+    case GroupKind::kEmpty:
+      kind_ = GroupKind::kOneElement;
+      single_ = idx;
+      break;
+    case GroupKind::kOneElement: {
+      // Escalate to regular; the post-op reclassification settles the kind.
+      const uint32_t existing = single_;
+      const uint32_t both[2] = {existing, idx};
+      RebuildAs(GroupKind::kRegular, both, degree_hint);
+      return;  // RebuildAs set count_ already
+    }
+    case GroupKind::kDense:
+      break;  // count only
+    case GroupKind::kSparse:
+      map_.Insert(idx, static_cast<uint32_t>(members_.size()));
+      members_.push_back(idx);
+      break;
+    case GroupKind::kRegular:
+      EnsureInvSize(idx + 1);
+      inv_[idx] = static_cast<uint32_t>(members_.size());
+      members_.push_back(idx);
+      break;
+  }
+  ++count_;
+}
+
+void RadixGroup::RemoveAtPosition(uint32_t pos) {
+  const uint32_t last = static_cast<uint32_t>(members_.size()) - 1;
+  const uint32_t removed = members_[pos];
+  if (pos != last) {
+    const uint32_t moved = members_[last];
+    members_[pos] = moved;
+    if (kind_ == GroupKind::kRegular) {
+      inv_[moved] = pos;
+    } else {
+      map_.Update(moved, pos);
+    }
+  }
+  members_.pop_back();
+  if (kind_ == GroupKind::kRegular) {
+    inv_[removed] = kNoPosition;
+  } else {
+    map_.Erase(removed);
+  }
+}
+
+void RadixGroup::Remove(uint32_t idx) {
+  assert(count_ > 0);
+  switch (kind_) {
+    case GroupKind::kEmpty:
+      assert(false && "remove from empty group");
+      return;
+    case GroupKind::kDense:
+      break;  // count only
+    case GroupKind::kOneElement:
+      assert(single_ == idx);
+      single_ = kNoPosition;
+      break;
+    case GroupKind::kSparse: {
+      const auto pos = map_.Find(idx);
+      assert(pos.has_value());
+      RemoveAtPosition(*pos);
+      break;
+    }
+    case GroupKind::kRegular: {
+      assert(idx < inv_.size() && inv_[idx] != kNoPosition);
+      RemoveAtPosition(inv_[idx]);
+      break;
+    }
+  }
+  --count_;
+  if (count_ == 0) {
+    Clear();
+  }
+}
+
+void RadixGroup::Rename(uint32_t from, uint32_t to) {
+  switch (kind_) {
+    case GroupKind::kEmpty:
+    case GroupKind::kDense:
+      return;
+    case GroupKind::kOneElement:
+      if (single_ == from) {
+        single_ = to;
+      }
+      return;
+    case GroupKind::kSparse: {
+      const auto pos = map_.Find(from);
+      assert(pos.has_value());
+      members_[*pos] = to;
+      map_.Erase(from);
+      map_.Insert(to, *pos);
+      return;
+    }
+    case GroupKind::kRegular: {
+      assert(from < inv_.size() && inv_[from] != kNoPosition);
+      const uint32_t pos = inv_[from];
+      members_[pos] = to;
+      EnsureInvSize(to + 1);
+      inv_[to] = pos;
+      inv_[from] = kNoPosition;
+      return;
+    }
+  }
+}
+
+void RadixGroup::BatchRemove(std::span<const uint32_t> idxs) {
+  if (idxs.empty()) {
+    return;
+  }
+  if (kind_ == GroupKind::kDense) {
+    assert(idxs.size() <= count_);
+    count_ -= static_cast<uint32_t>(idxs.size());
+    if (count_ == 0) {
+      Clear();
+    }
+    return;
+  }
+  if (kind_ == GroupKind::kOneElement) {
+    assert(idxs.size() == 1 && idxs[0] == single_);
+    Clear();
+    return;
+  }
+
+  // Two-phase parallel delete-and-swap (Fig 10b). Positions to delete:
+  std::vector<uint32_t> positions;
+  positions.reserve(idxs.size());
+  for (uint32_t idx : idxs) {
+    if (kind_ == GroupKind::kRegular) {
+      assert(idx < inv_.size() && inv_[idx] != kNoPosition);
+      positions.push_back(inv_[idx]);
+    } else {
+      const auto pos = map_.Find(idx);
+      assert(pos.has_value());
+      positions.push_back(*pos);
+    }
+  }
+  const uint32_t m = static_cast<uint32_t>(members_.size());
+  const uint32_t n = static_cast<uint32_t>(positions.size());
+  const uint32_t window_begin = m - n;
+  std::sort(positions.begin(), positions.end());
+
+  // Phase 1: within the tail window [m-n, m), drop the gamma entries that
+  // are themselves scheduled for deletion; the survivors are the fillers.
+  std::vector<uint32_t> fillers;  // member values, window order preserved
+  {
+    std::size_t cursor = std::lower_bound(positions.begin(), positions.end(),
+                                          window_begin) -
+                         positions.begin();
+    for (uint32_t pos = window_begin; pos < m; ++pos) {
+      if (cursor < positions.size() && positions[cursor] == pos) {
+        ++cursor;  // scheduled for deletion: skip
+      } else {
+        fillers.push_back(members_[pos]);
+      }
+    }
+  }
+
+  // Erase inverted-index entries for every deleted member before moves
+  // overwrite their slots.
+  for (uint32_t pos : positions) {
+    const uint32_t removed = members_[pos];
+    if (kind_ == GroupKind::kRegular) {
+      inv_[removed] = kNoPosition;
+    } else {
+      map_.Erase(removed);
+    }
+  }
+
+  // Phase 2: the n - gamma holes in the front are filled by the n - gamma
+  // guaranteed-surviving fillers from the tail.
+  std::size_t filler_cursor = 0;
+  for (uint32_t pos : positions) {
+    if (pos >= window_begin) {
+      break;  // positions are sorted; the rest are in the window
+    }
+    const uint32_t moved = fillers[filler_cursor++];
+    members_[pos] = moved;
+    if (kind_ == GroupKind::kRegular) {
+      inv_[moved] = pos;
+    } else {
+      map_.Update(moved, pos);
+    }
+  }
+  assert(filler_cursor == fillers.size());
+
+  members_.resize(m - n);
+  count_ -= n;
+  if (count_ == 0) {
+    Clear();
+  }
+}
+
+uint32_t RadixGroup::PickUniform(util::Rng& rng) const {
+  assert(count_ > 0);
+  if (kind_ == GroupKind::kOneElement) {
+    return single_;
+  }
+  assert(kind_ == GroupKind::kSparse || kind_ == GroupKind::kRegular);
+  return members_[rng.NextBounded(members_.size())];
+}
+
+void RadixGroup::RebuildAs(GroupKind target, std::span<const uint32_t> members,
+                           uint32_t degree_hint) {
+  Clear();
+  kind_ = target;
+  count_ = static_cast<uint32_t>(members.size());
+  switch (target) {
+    case GroupKind::kEmpty:
+      assert(members.empty());
+      kind_ = GroupKind::kEmpty;
+      count_ = 0;
+      break;
+    case GroupKind::kDense:
+      break;
+    case GroupKind::kOneElement:
+      assert(members.size() == 1);
+      single_ = members[0];
+      break;
+    case GroupKind::kSparse:
+      // Power-of-two capacity headroom (Hornet-style) so the next few
+      // appends do not reallocate.
+      members_.reserve(util::CeilPow2(members.size()));
+      members_.assign(members.begin(), members.end());
+      for (uint32_t pos = 0; pos < members_.size(); ++pos) {
+        map_.Insert(members_[pos], pos);
+      }
+      break;
+    case GroupKind::kRegular:
+      members_.reserve(util::CeilPow2(members.size()));
+      members_.assign(members.begin(), members.end());
+      inv_.reserve(util::CeilPow2(std::max<uint32_t>(degree_hint, 1) + 1));
+      inv_.assign(std::max<uint32_t>(degree_hint, 1), kNoPosition);
+      for (uint32_t pos = 0; pos < members_.size(); ++pos) {
+        EnsureInvSize(members_[pos] + 1);
+        inv_[members_[pos]] = pos;
+      }
+      break;
+  }
+}
+
+void RadixGroup::CollectMembers(std::vector<uint32_t>& out) const {
+  switch (kind_) {
+    case GroupKind::kEmpty:
+      return;
+    case GroupKind::kDense:
+      assert(false && "dense groups do not store members");
+      return;
+    case GroupKind::kOneElement:
+      out.push_back(single_);
+      return;
+    case GroupKind::kSparse:
+    case GroupKind::kRegular:
+      out.insert(out.end(), members_.begin(), members_.end());
+      return;
+  }
+}
+
+bool RadixGroup::Contains(uint32_t idx) const {
+  switch (kind_) {
+    case GroupKind::kEmpty:
+      return false;
+    case GroupKind::kDense:
+      assert(false && "dense groups cannot answer membership");
+      return false;
+    case GroupKind::kOneElement:
+      return single_ == idx;
+    case GroupKind::kSparse:
+      return map_.Find(idx).has_value();
+    case GroupKind::kRegular:
+      return idx < inv_.size() && inv_[idx] != kNoPosition;
+  }
+  return false;
+}
+
+void RadixGroup::Clear() {
+  kind_ = GroupKind::kEmpty;
+  count_ = 0;
+  single_ = kNoPosition;
+  members_.clear();
+  members_.shrink_to_fit();
+  inv_.clear();
+  inv_.shrink_to_fit();
+  map_.Clear();
+}
+
+std::size_t RadixGroup::MemoryBytes() const {
+  return members_.capacity() * sizeof(uint32_t) + inv_.capacity() * sizeof(uint32_t) +
+         map_.MemoryBytes();
+}
+
+std::string RadixGroup::CheckInvariants() const {
+  switch (kind_) {
+    case GroupKind::kEmpty:
+      if (count_ != 0 || !members_.empty()) {
+        return "empty group with residual state";
+      }
+      return {};
+    case GroupKind::kDense:
+      return {};  // count is validated by the vertex-level audit
+    case GroupKind::kOneElement:
+      if (count_ != 1 || single_ == kNoPosition) {
+        return "one-element group inconsistent";
+      }
+      return {};
+    case GroupKind::kSparse: {
+      if (count_ != members_.size() || map_.Size() != members_.size()) {
+        return "sparse group count/map size mismatch";
+      }
+      for (uint32_t pos = 0; pos < members_.size(); ++pos) {
+        const auto found = map_.Find(members_[pos]);
+        if (!found || *found != pos) {
+          return "sparse inverted index mismatch";
+        }
+      }
+      return {};
+    }
+    case GroupKind::kRegular: {
+      if (count_ != members_.size()) {
+        return "regular group count mismatch";
+      }
+      for (uint32_t pos = 0; pos < members_.size(); ++pos) {
+        const uint32_t idx = members_[pos];
+        if (idx >= inv_.size() || inv_[idx] != pos) {
+          return "regular inverted index mismatch";
+        }
+      }
+      uint32_t live = 0;
+      for (uint32_t idx = 0; idx < inv_.size(); ++idx) {
+        if (inv_[idx] != kNoPosition) {
+          ++live;
+          if (inv_[idx] >= members_.size() || members_[inv_[idx]] != idx) {
+            return "regular inverted index points to wrong member";
+          }
+        }
+      }
+      if (live != members_.size()) {
+        return "regular inverted index live-count mismatch";
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,138 @@
+// Radix-group storage: the intra-group neighbor index list, the inverted
+// index (§4.2, Fig 6), and the adaptive group representations (§5.1, Eq 9).
+//
+// A group stores *neighbor indices* (positions in the source vertex's
+// adjacency array), never neighbor IDs, so that a group member locates its
+// edge in O(1). The inverted index maps a neighbor index to its position in
+// the member list so that deletion locates the entry in O(1) and removes it
+// with swap-with-tail, keeping the member list compact for O(1) unbiased
+// sampling.
+//
+// Four representations (Eq 9, alpha = 40, beta = 10 by default):
+//   Dense       |G|/d > alpha%   -> store only the count; sample by
+//                                   rejection on the adjacency array
+//   One-element |G| == 1         -> store the single neighbor index
+//   Sparse      |G|/d < beta%    -> compact member list + O(|G|) hash
+//                                   inverted index (paper's compacted
+//                                   neighbor-list design; see DESIGN.md §4.3)
+//   Regular     otherwise        -> member list + full O(d) inverted index
+
+#ifndef BINGO_SRC_CORE_GROUPS_H_
+#define BINGO_SRC_CORE_GROUPS_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bingo::core {
+
+enum class GroupKind : uint8_t { kEmpty, kDense, kOneElement, kSparse, kRegular };
+
+const char* ToString(GroupKind kind);
+
+struct AdaptiveConfig {
+  bool adaptive = true;      // false = BS baseline: every group is regular
+  double alpha_percent = 40.0;
+  double beta_percent = 10.0;
+};
+
+// Eq 9, evaluated in the paper's order (dense wins over one-element when
+// both match).
+GroupKind ClassifyGroup(uint64_t count, uint64_t degree, const AdaptiveConfig& cfg);
+
+// Open-addressing map from neighbor index to member-list position; the
+// sparse-group inverted index. Linear probing with tombstones.
+class IndexMap {
+ public:
+  void Insert(uint32_t key, uint32_t value);
+  std::optional<uint32_t> Find(uint32_t key) const;
+  bool Erase(uint32_t key);
+  bool Update(uint32_t key, uint32_t value);
+  void Clear();
+  uint32_t Size() const { return live_; }
+  std::size_t MemoryBytes() const { return slots_.capacity() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint64_t kEmptySlot = ~uint64_t{0};
+  static constexpr uint64_t kTombstoneSlot = ~uint64_t{0} - 1;
+
+  void Grow(std::size_t min_live);
+  std::size_t Mask() const { return slots_.size() - 1; }
+
+  std::vector<uint64_t> slots_;  // key<<32 | value
+  uint32_t live_ = 0;
+  uint32_t used_ = 0;
+};
+
+// One radix group of one vertex, in whichever representation its
+// classification currently demands.
+class RadixGroup {
+ public:
+  static constexpr uint32_t kNoPosition = 0xFFFFFFFFu;
+
+  GroupKind Kind() const { return kind_; }
+  uint32_t Count() const { return count_; }
+  bool Empty() const { return count_ == 0; }
+
+  // Adds neighbor index `idx`. If the current representation cannot absorb
+  // the element (empty, or full one-element), it escalates to the smallest
+  // representation that can; a later Reclassify() pass settles the final
+  // kind. `degree_hint` sizes the regular inverted index.
+  void Insert(uint32_t idx, uint32_t degree_hint);
+
+  // Removes neighbor index `idx` (must be present; for dense groups this
+  // only decrements the count). Swap-with-tail keeps members compact.
+  void Remove(uint32_t idx);
+
+  // Re-points member `from` to index `to` after an adjacency swap-with-tail
+  // renamed the neighbor index. No-op for dense groups.
+  void Rename(uint32_t from, uint32_t to);
+
+  // Two-phase parallel delete-and-swap (Fig 10b): removes every index in
+  // `idxs` (each must be a member; dense groups only adjust the count).
+  void BatchRemove(std::span<const uint32_t> idxs);
+
+  // Uniform member pick for one-element/sparse/regular groups. Dense groups
+  // have no member list; the vertex sampler handles them by rejection on
+  // the adjacency array.
+  uint32_t PickUniform(util::Rng& rng) const;
+
+  // Rebuilds as `target` from the full member list. `degree_hint` sizes the
+  // regular inverted index.
+  void RebuildAs(GroupKind target, std::span<const uint32_t> members,
+                 uint32_t degree_hint);
+
+  // Appends all members to `out`. Not valid for dense groups (which do not
+  // store members).
+  void CollectMembers(std::vector<uint32_t>& out) const;
+
+  // Membership test (not valid for dense groups).
+  bool Contains(uint32_t idx) const;
+
+  void Clear();
+
+  std::size_t MemoryBytes() const;
+
+  // Structural audit: inverted index consistent with members, no
+  // duplicates, count matches. Returns an error description or empty.
+  std::string CheckInvariants() const;
+
+ private:
+  void EnsureInvSize(uint32_t min_size);
+  void RemoveAtPosition(uint32_t pos);
+
+  GroupKind kind_ = GroupKind::kEmpty;
+  uint32_t count_ = 0;
+  uint32_t single_ = kNoPosition;       // one-element storage
+  std::vector<uint32_t> members_;       // sparse + regular
+  std::vector<uint32_t> inv_;           // regular: neighbor index -> position
+  IndexMap map_;                        // sparse: neighbor index -> position
+};
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_GROUPS_H_

@@ -1,0 +1,47 @@
+#include "src/core/lambda.h"
+
+#include <algorithm>
+
+#include "src/core/radix.h"
+
+namespace bingo::core {
+
+double DecimalShare(std::span<const double> biases, double lambda) {
+  // Exact fixed-point accounting, mirroring what the decimal group stores.
+  unsigned __int128 integer_mass = 0;  // units of 2^-32
+  unsigned __int128 decimal_mass = 0;
+  for (double w : biases) {
+    const BiasParts parts = SplitBias(w, lambda);
+    integer_mass += static_cast<unsigned __int128>(parts.int_bits) << kDecimalBits;
+    decimal_mass += parts.dec_fixed;
+  }
+  const long double total =
+      static_cast<long double>(integer_mass) + static_cast<long double>(decimal_mass);
+  if (total <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(static_cast<long double>(decimal_mass) / total);
+}
+
+LambdaChoice SuggestLambda(std::span<const double> biases, double target_share) {
+  double max_bias = 0.0;
+  for (double w : biases) {
+    max_bias = std::max(max_bias, w);
+  }
+  LambdaChoice best;
+  best.lambda = 1.0;
+  best.decimal_share = DecimalShare(biases, 1.0);
+  double lambda = 1.0;
+  while (best.decimal_share >= target_share &&
+         max_bias * lambda * 2.0 < kMaxScaledBias) {
+    lambda *= 2.0;
+    const double share = DecimalShare(biases, lambda);
+    if (share < best.decimal_share) {
+      best.lambda = lambda;
+      best.decimal_share = share;
+    }
+  }
+  return best;
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,34 @@
+// Amortization-factor (lambda) selection for floating-point biases (§4.3,
+// §4.4).
+//
+// The paper chooses lambda "empirically" such that the decimal group's
+// share of the total mass satisfies W_D / (W_I + W_D) < 1/d, which keeps
+// hierarchical sampling O(1) even when the intra-decimal sampler is
+// rejection-based (the Fig 7 example picks lambda = 10, giving a decimal
+// share of 1/16 < 1/3). This helper automates that choice from a sample of
+// biases and the average degree.
+
+#ifndef BINGO_SRC_CORE_LAMBDA_H_
+#define BINGO_SRC_CORE_LAMBDA_H_
+
+#include <span>
+
+namespace bingo::core {
+
+struct LambdaChoice {
+  double lambda = 1.0;
+  double decimal_share = 0.0;  // W_D / (W_I + W_D) at this lambda
+};
+
+// Computes W_D / (W_I + W_D) for the given biases under `lambda`.
+double DecimalShare(std::span<const double> biases, double lambda);
+
+// Smallest power-of-two lambda (starting at 1) whose decimal share is below
+// `target_share`. `target_share` is typically 1 / average_degree. Scaled
+// biases must stay below 2^52 (see radix.h); the search caps lambda
+// accordingly and returns the best achievable choice.
+LambdaChoice SuggestLambda(std::span<const double> biases, double target_share);
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_LAMBDA_H_

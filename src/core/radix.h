@@ -1,0 +1,80 @@
+// Radix-based bias decomposition (§4.1, §4.3).
+//
+// A bias w is decomposed by its binary representation (Eq. 3):
+//     D(w) = { 2^k  |  w & 2^k != 0 }
+// and group p_k collects the sub-biases of every neighbor whose bit k is
+// set (Eq. 4), so W(p_k) = 2^k * |G_k| — group weights are implicit in the
+// member counts and never stored.
+//
+// Floating-point biases (§4.3) are first scaled by the amortization factor
+// lambda, then split into an integer part (radix-decomposed as above) and a
+// decimal part. The decimal part is quantized to 32-bit fixed point so that
+// all bookkeeping stays in exact integer arithmetic; the quantized value is
+// the ground truth the samplers are tested against.
+
+#ifndef BINGO_SRC_CORE_RADIX_H_
+#define BINGO_SRC_CORE_RADIX_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/bitops.h"
+
+namespace bingo::core {
+
+// Number of fractional bits in the fixed-point decimal representation.
+inline constexpr int kDecimalBits = 32;
+inline constexpr uint64_t kDecimalOne = uint64_t{1} << kDecimalBits;
+
+// Largest supported scaled bias: the integer part must stay exactly
+// representable in a double through the lambda scaling.
+inline constexpr double kMaxScaledBias = 0x1p52;
+
+// A lambda-scaled bias split into radix material.
+struct BiasParts {
+  uint64_t int_bits = 0;     // floor(w * lambda): bit k set => member of group p_k
+  uint32_t dec_fixed = 0;    // frac(w * lambda) in units of 2^-32
+
+  // Total weight in fixed-point units of 2^-32.
+  uint64_t FixedWeight() const { return (int_bits << kDecimalBits) + dec_fixed; }
+
+  bool operator==(const BiasParts&) const = default;
+};
+
+// Splits bias `w` under amortization factor `lambda`. Requires w >= 0 and
+// w * lambda < 2^52. Values whose fraction rounds up to 1.0 carry into the
+// integer part, so dec_fixed < 2^32 always holds.
+inline BiasParts SplitBias(double w, double lambda) {
+  const double scaled = w * lambda;
+  BiasParts parts;
+  const double ip = std::floor(scaled);
+  parts.int_bits = static_cast<uint64_t>(ip);
+  const double frac = scaled - ip;
+  uint64_t dec = static_cast<uint64_t>(
+      std::llround(frac * static_cast<double>(kDecimalOne)));
+  if (dec >= kDecimalOne) {
+    dec = 0;
+    ++parts.int_bits;
+  }
+  parts.dec_fixed = static_cast<uint32_t>(dec);
+  return parts;
+}
+
+// The paper's t = popc(w): how many radix groups this bias occupies.
+inline int NumGroupsOf(const BiasParts& parts) {
+  return util::Popcount(parts.int_bits);
+}
+
+// Highest active radix position of a bias, or -1 if the integer part is 0.
+inline int HighestGroupOf(const BiasParts& parts) {
+  return parts.int_bits == 0 ? -1 : util::HighestBit(parts.int_bits);
+}
+
+// W(p_k) as a double, for inter-group alias construction: 2^k * count.
+inline double GroupWeight(int k, uint64_t count) {
+  return std::ldexp(static_cast<double>(count), k);
+}
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_RADIX_H_

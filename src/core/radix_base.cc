@@ -1,0 +1,276 @@
+#include "src/core/radix_base.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bingo::core {
+
+void RadixBaseVertexSampler::EnsureGroup(int j) {
+  if (static_cast<int>(groups_.size()) <= j) {
+    groups_.resize(j + 1);
+  }
+}
+
+void RadixBaseVertexSampler::Build(std::span<const graph::Edge> adj) {
+  groups_.clear();
+  for (uint32_t idx = 0; idx < adj.size(); ++idx) {
+    InsertEdge(adj, idx);
+  }
+  FinishUpdate();
+}
+
+void RadixBaseVertexSampler::InsertEdge(std::span<const graph::Edge> adj,
+                                        uint32_t idx) {
+  uint64_t bias = IntBias(adj[idx].bias);
+  for (int j = 0; bias != 0; ++j, bias >>= log2_base_) {
+    const uint32_t digit = static_cast<uint32_t>(bias & (Base() - 1));
+    if (digit == 0) {
+      continue;
+    }
+    EnsureGroup(j);
+    DigitGroup& group = groups_[j];
+    if (group.subs.empty()) {
+      group.subs.resize(Base() - 1);
+    }
+    Subgroup& sub = group.subs[digit - 1];
+    sub.inv.Insert(idx, static_cast<uint32_t>(sub.members.size()));
+    sub.members.push_back(idx);
+    group.weight_digits += digit;
+  }
+}
+
+void RadixBaseVertexSampler::RemoveEdge(std::span<const graph::Edge> adj,
+                                        uint32_t idx) {
+  uint64_t bias = IntBias(adj[idx].bias);
+  for (int j = 0; bias != 0; ++j, bias >>= log2_base_) {
+    const uint32_t digit = static_cast<uint32_t>(bias & (Base() - 1));
+    if (digit == 0) {
+      continue;
+    }
+    DigitGroup& group = groups_[j];
+    Subgroup& sub = group.subs[digit - 1];
+    const auto pos = sub.inv.Find(idx);
+    assert(pos.has_value());
+    const uint32_t last = static_cast<uint32_t>(sub.members.size()) - 1;
+    if (*pos != last) {
+      sub.members[*pos] = sub.members[last];
+      sub.inv.Update(sub.members[*pos], *pos);
+    }
+    sub.members.pop_back();
+    sub.inv.Erase(idx);
+    group.weight_digits -= digit;
+  }
+}
+
+void RadixBaseVertexSampler::RenameIndex(double moved_bias, uint32_t from,
+                                         uint32_t to) {
+  uint64_t bias = IntBias(moved_bias);
+  for (int j = 0; bias != 0; ++j, bias >>= log2_base_) {
+    const uint32_t digit = static_cast<uint32_t>(bias & (Base() - 1));
+    if (digit == 0) {
+      continue;
+    }
+    Subgroup& sub = groups_[j].subs[digit - 1];
+    const auto pos = sub.inv.Find(from);
+    assert(pos.has_value());
+    sub.members[*pos] = to;
+    sub.inv.Erase(from);
+    sub.inv.Insert(to, *pos);
+  }
+}
+
+void RadixBaseVertexSampler::RebuildGroupAlias(DigitGroup& group, int /*j*/) {
+  std::vector<double> weights;
+  group.sub_digits.clear();
+  for (uint32_t v = 1; v < Base(); ++v) {
+    const Subgroup& sub = group.subs[v - 1];
+    if (!sub.members.empty()) {
+      weights.push_back(static_cast<double>(v) *
+                        static_cast<double>(sub.members.size()));
+      group.sub_digits.push_back(static_cast<uint16_t>(v));
+    }
+  }
+  group.sub_alias.Build(weights);
+}
+
+void RadixBaseVertexSampler::RebuildInterAlias() {
+  std::vector<double> weights;
+  inter_positions_.clear();
+  for (int j = 0; j < static_cast<int>(groups_.size()); ++j) {
+    if (groups_[j].weight_digits != 0) {
+      weights.push_back(std::ldexp(static_cast<double>(groups_[j].weight_digits),
+                                   j * log2_base_));
+      inter_positions_.push_back(static_cast<int16_t>(j));
+    }
+  }
+  inter_.Build(weights);
+}
+
+void RadixBaseVertexSampler::FinishUpdate() {
+  for (int j = 0; j < static_cast<int>(groups_.size()); ++j) {
+    if (!groups_[j].subs.empty()) {
+      RebuildGroupAlias(groups_[j], j);
+    }
+  }
+  RebuildInterAlias();
+}
+
+uint32_t RadixBaseVertexSampler::SampleIndex(util::Rng& rng) const {
+  if (inter_positions_.empty()) {
+    return kNoNeighbor;
+  }
+  // Stage (i): pick the digit position.
+  const int j = inter_positions_[inter_.Sample(rng)];
+  const DigitGroup& group = groups_[j];
+  // Stage (ii): pick the subgroup (digit value) via its alias table.
+  const uint16_t digit = group.sub_digits[group.sub_alias.Sample(rng)];
+  // Stage (iii): uniform pick inside the equal-bias subgroup.
+  const Subgroup& sub = group.subs[digit - 1];
+  return sub.members[rng.NextBounded(sub.members.size())];
+}
+
+std::vector<double> RadixBaseVertexSampler::ImpliedDistribution(
+    std::span<const graph::Edge> adj) const {
+  std::vector<double> probs(adj.size(), 0.0);
+  const auto inter_probs = inter_.ImpliedProbabilities();
+  for (std::size_t slot = 0; slot < inter_positions_.size(); ++slot) {
+    const DigitGroup& group = groups_[inter_positions_[slot]];
+    const auto sub_probs = group.sub_alias.ImpliedProbabilities();
+    for (std::size_t s = 0; s < group.sub_digits.size(); ++s) {
+      const Subgroup& sub = group.subs[group.sub_digits[s] - 1];
+      const double share =
+          inter_probs[slot] * sub_probs[s] / static_cast<double>(sub.members.size());
+      for (uint32_t idx : sub.members) {
+        probs[idx] += share;
+      }
+    }
+  }
+  return probs;
+}
+
+std::string RadixBaseVertexSampler::CheckInvariants(
+    std::span<const graph::Edge> adj) const {
+  // Recompute subgroup membership from the adjacency.
+  for (int j = 0; j < static_cast<int>(groups_.size()); ++j) {
+    uint64_t want_weight = 0;
+    for (uint32_t v = 1; v < Base(); ++v) {
+      uint32_t want = 0;
+      for (uint32_t idx = 0; idx < adj.size(); ++idx) {
+        if (DigitOf(IntBias(adj[idx].bias), j) == v) {
+          ++want;
+        }
+      }
+      want_weight += static_cast<uint64_t>(want) * v;
+      const uint32_t have =
+          groups_[j].subs.empty()
+              ? 0
+              : static_cast<uint32_t>(groups_[j].subs[v - 1].members.size());
+      if (want != have) {
+        return "subgroup (" + std::to_string(j) + "," + std::to_string(v) +
+               ") count mismatch";
+      }
+    }
+    if (want_weight != groups_[j].weight_digits) {
+      return "group " + std::to_string(j) + " weight mismatch";
+    }
+  }
+  return {};
+}
+
+int RadixBaseVertexSampler::NumActiveGroups() const {
+  int active = 0;
+  for (const DigitGroup& group : groups_) {
+    if (group.weight_digits != 0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+std::size_t RadixBaseVertexSampler::MemoryBytes() const {
+  std::size_t total = groups_.capacity() * sizeof(DigitGroup);
+  for (const DigitGroup& group : groups_) {
+    total += group.subs.capacity() * sizeof(Subgroup);
+    for (const Subgroup& sub : group.subs) {
+      total += sub.members.capacity() * sizeof(uint32_t) + sub.inv.MemoryBytes();
+    }
+    total += group.sub_alias.MemoryBytes() +
+             group.sub_digits.capacity() * sizeof(uint16_t);
+  }
+  total += inter_.MemoryBytes() + inter_positions_.capacity() * sizeof(int16_t);
+  return total;
+}
+
+// ---------------------------------------------------------- RadixBaseStore --
+
+RadixBaseStore::RadixBaseStore(graph::DynamicGraph graph, int log2_base)
+    : log2_base_(log2_base), graph_(std::move(graph)) {
+  samplers_.assign(graph_.NumVertices(), RadixBaseVertexSampler(log2_base_));
+  for (graph::VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    samplers_[v].Build(graph_.Neighbors(v));
+  }
+}
+
+graph::VertexId RadixBaseStore::SampleNeighbor(graph::VertexId v,
+                                               util::Rng& rng) const {
+  const uint32_t idx = samplers_[v].SampleIndex(rng);
+  return idx == RadixBaseVertexSampler::kNoNeighbor
+             ? graph::kInvalidVertex
+             : graph_.NeighborAt(v, idx).dst;
+}
+
+void RadixBaseStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
+                                     double bias) {
+  const uint32_t idx = graph_.Insert(src, dst, bias);
+  samplers_[src].InsertEdge(graph_.Neighbors(src), idx);
+  samplers_[src].FinishUpdate();
+}
+
+bool RadixBaseStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  samplers_[src].RemoveEdge(graph_.Neighbors(src), *idx);
+  const auto result = graph_.SwapRemove(src, *idx);
+  if (result.moved) {
+    samplers_[src].RenameIndex(result.moved_edge.bias, result.moved_from,
+                               result.moved_to);
+  }
+  samplers_[src].FinishUpdate();
+  return true;
+}
+
+double RadixBaseStore::AverageActiveGroups() const {
+  uint64_t total = 0;
+  uint64_t vertices = 0;
+  for (graph::VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    if (graph_.Degree(v) > 0) {
+      total += samplers_[v].NumActiveGroups();
+      ++vertices;
+    }
+  }
+  return vertices == 0 ? 0.0
+                       : static_cast<double>(total) / static_cast<double>(vertices);
+}
+
+std::size_t RadixBaseStore::MemoryBytes() const {
+  std::size_t total = graph_.MemoryBytes() +
+                      samplers_.capacity() * sizeof(RadixBaseVertexSampler);
+  for (const auto& s : samplers_) {
+    total += s.MemoryBytes();
+  }
+  return total;
+}
+
+std::string RadixBaseStore::CheckInvariants() const {
+  for (graph::VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    const std::string err = samplers_[v].CheckInvariants(graph_.Neighbors(v));
+    if (!err.empty()) {
+      return "vertex " + std::to_string(v) + ": " + err;
+    }
+  }
+  return {};
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,109 @@
+// Bingo with arbitrary radix bases (§9.2 supplement, Fig 17).
+//
+// With base B = 2^r, a bias decomposes into base-B digits: w = sum_j d_j B^j.
+// Digit group j collects every neighbor whose digit j is nonzero, but unlike
+// base 2 those members carry different sub-biases (d_j in 1..B-1), so each
+// group is further split into B-1 *subgroups* of equal sub-bias; sampling is
+// inter-group alias -> inter-subgroup alias -> uniform pick (Fig 17 c/d).
+//
+// Larger bases shrink the number of groups K (insertion/deletion touch
+// fewer groups) at the price of wider per-group alias tables — the exact
+// trade-off bench_ablation_radix measures. Base 2 (r = 1) degenerates to
+// one single-subgroup per group, i.e. the main Bingo structure.
+//
+// This module supports integer biases (the ablation workload); the
+// floating-point path lives in the main VertexSampler.
+
+#ifndef BINGO_SRC_CORE_RADIX_BASE_H_
+#define BINGO_SRC_CORE_RADIX_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/groups.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/graph/types.h"
+#include "src/sampling/alias_table.h"
+#include "src/util/rng.h"
+
+namespace bingo::core {
+
+class RadixBaseVertexSampler {
+ public:
+  static constexpr uint32_t kNoNeighbor = 0xFFFFFFFFu;
+
+  // `log2_base` = r, so the radix base is 2^r (r in [1, 16]).
+  explicit RadixBaseVertexSampler(int log2_base = 1) : log2_base_(log2_base) {}
+
+  void Build(std::span<const graph::Edge> adj);
+
+  void InsertEdge(std::span<const graph::Edge> adj, uint32_t idx);
+  void RemoveEdge(std::span<const graph::Edge> adj, uint32_t idx);
+  void RenameIndex(double moved_bias, uint32_t from, uint32_t to);
+  void FinishUpdate();
+
+  uint32_t SampleIndex(util::Rng& rng) const;
+
+  std::vector<double> ImpliedDistribution(std::span<const graph::Edge> adj) const;
+  std::string CheckInvariants(std::span<const graph::Edge> adj) const;
+
+  // Number of non-empty digit groups — the K whose reduction §9.2 predicts.
+  int NumActiveGroups() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Subgroup {
+    std::vector<uint32_t> members;
+    IndexMap inv;  // neighbor index -> member position
+  };
+
+  struct DigitGroup {
+    std::vector<Subgroup> subs;      // indexed by digit value - 1 (size B-1)
+    sampling::AliasTable sub_alias;  // over non-empty subgroups
+    std::vector<uint16_t> sub_digits;  // alias slot -> digit value
+    uint64_t weight_digits = 0;        // sum of digit values (units of B^j)
+  };
+
+  uint32_t Base() const { return uint32_t{1} << log2_base_; }
+  uint32_t DigitOf(uint64_t bias, int j) const {
+    return static_cast<uint32_t>((bias >> (j * log2_base_)) & (Base() - 1));
+  }
+  static uint64_t IntBias(double bias) { return static_cast<uint64_t>(bias); }
+
+  void EnsureGroup(int j);
+  void RebuildGroupAlias(DigitGroup& group, int j);
+  void RebuildInterAlias();
+
+  int log2_base_;
+  std::vector<DigitGroup> groups_;  // by digit position j
+  sampling::AliasTable inter_;
+  std::vector<int16_t> inter_positions_;  // alias slot -> digit position
+};
+
+// Whole-graph wrapper with the streaming-update surface of BingoStore;
+// used by the ablation benchmark.
+class RadixBaseStore {
+ public:
+  RadixBaseStore(graph::DynamicGraph graph, int log2_base);
+
+  const graph::DynamicGraph& Graph() const { return graph_; }
+  int Log2Base() const { return log2_base_; }
+
+  graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const;
+  void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias);
+  bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
+
+  double AverageActiveGroups() const;
+  std::size_t MemoryBytes() const;
+  std::string CheckInvariants() const;
+
+ private:
+  int log2_base_;
+  graph::DynamicGraph graph_;
+  std::vector<RadixBaseVertexSampler> samplers_;
+};
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_RADIX_BASE_H_

@@ -1,0 +1,47 @@
+#include "src/core/snapshot.h"
+
+#include <algorithm>
+
+#include "src/graph/io.h"
+
+namespace bingo::core {
+
+bool SaveSnapshot(const BingoStore& store, const std::string& path) {
+  const graph::DynamicGraph& g = store.Graph();
+  graph::WeightedEdgeList edges;
+  edges.reserve(g.NumEdges());
+  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
+    // Emit in timestamp order so duplicate-edge deletion order survives the
+    // round trip (the adjacency array's index order is not timestamp order
+    // after swap-with-tail deletions).
+    std::vector<const graph::Edge*> ordered;
+    ordered.reserve(g.Degree(v));
+    for (const graph::Edge& e : g.Neighbors(v)) {
+      ordered.push_back(&e);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const graph::Edge* a, const graph::Edge* b) {
+                return a->timestamp < b->timestamp;
+              });
+    for (const graph::Edge* e : ordered) {
+      edges.push_back(graph::WeightedEdge{v, e->dst, e->bias});
+    }
+  }
+  return graph::SaveWeightedEdgesBinary(path, edges);
+}
+
+std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
+                                         BingoConfig config,
+                                         graph::VertexId num_vertices,
+                                         util::ThreadPool* pool) {
+  graph::WeightedEdgeList edges;
+  if (!graph::LoadWeightedEdgesBinary(path, edges)) {
+    return nullptr;
+  }
+  const graph::VertexId n =
+      std::max(num_vertices, graph::ImpliedVertexCount(edges));
+  return std::make_unique<BingoStore>(graph::DynamicGraph::FromEdges(n, edges),
+                                      config, pool);
+}
+
+}  // namespace bingo::core

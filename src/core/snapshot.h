@@ -1,0 +1,36 @@
+// Store persistence: checkpoint a BingoStore's graph to disk and rebuild
+// the store from it.
+//
+// The sampling structures are derived state (Theorem 4.1 makes them a pure
+// function of the adjacency + config), so a snapshot is exactly the
+// weighted edge multiset; loading rebuilds groups and alias tables in
+// O(E·K) — the same cost as the initial bulk load. Edge timestamps are
+// regenerated on load: duplicate-edge deletion order is preserved because
+// serialization emits each vertex's adjacency in index order and bulk load
+// assigns timestamps in emission order.
+
+#ifndef BINGO_SRC_CORE_SNAPSHOT_H_
+#define BINGO_SRC_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/bingo_store.h"
+
+namespace bingo::core {
+
+// Writes the store's live edges (with biases) to `path` in the binary
+// edge-list format of graph/io.h. Returns false on I/O failure.
+bool SaveSnapshot(const BingoStore& store, const std::string& path);
+
+// Rebuilds a store from a snapshot. Returns nullptr on I/O failure.
+// `num_vertices` overrides the vertex-count (0 = max id + 1 from the file;
+// pass the original count to preserve trailing isolated vertices).
+std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
+                                         BingoConfig config = {},
+                                         graph::VertexId num_vertices = 0,
+                                         util::ThreadPool* pool = nullptr);
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_SNAPSHOT_H_

@@ -1,0 +1,369 @@
+#include "src/core/vertex_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/bitops.h"
+
+namespace bingo::core {
+
+VertexMemoryBreakdown& VertexMemoryBreakdown::operator+=(
+    const VertexMemoryBreakdown& other) {
+  for (std::size_t i = 0; i < group_bytes.size(); ++i) {
+    group_bytes[i] += other.group_bytes[i];
+  }
+  decimal_bytes += other.decimal_bytes;
+  alias_bytes += other.alias_bytes;
+  return *this;
+}
+
+void VertexSampler::EnsureGroup(int k) {
+  if (static_cast<int>(groups_.size()) <= k) {
+    groups_.resize(k + 1);
+  }
+}
+
+void VertexSampler::Build(std::span<const graph::Edge> adj) {
+  assert(config_ != nullptr);
+  groups_.clear();
+  decimal_.Clear();
+  decimal_.SetPolicy(config_->decimal_policy);
+  const uint32_t degree = static_cast<uint32_t>(adj.size());
+
+  // Gather members per radix position, then build each group directly in
+  // its classified representation (avoids insert-then-convert churn).
+  std::vector<std::vector<uint32_t>> members;
+  for (uint32_t idx = 0; idx < degree; ++idx) {
+    const BiasParts parts = Split(adj[idx].bias);
+    util::ForEachSetBit(parts.int_bits, [&](int k) {
+      if (static_cast<int>(members.size()) <= k) {
+        members.resize(k + 1);
+      }
+      members[static_cast<std::size_t>(k)].push_back(idx);
+    });
+    if (parts.dec_fixed != 0) {
+      decimal_.Insert(idx, parts.dec_fixed);
+    }
+  }
+  groups_.resize(members.size());
+  for (int k = 0; k < static_cast<int>(members.size()); ++k) {
+    const auto& m = members[static_cast<std::size_t>(k)];
+    if (m.empty()) {
+      continue;
+    }
+    const GroupKind kind = ClassifyGroup(m.size(), degree, config_->adaptive);
+    groups_[static_cast<std::size_t>(k)].RebuildAs(kind, m, degree);
+  }
+  RebuildInterGroupAlias();
+}
+
+void VertexSampler::InsertEdge(std::span<const graph::Edge> adj, uint32_t idx) {
+  const BiasParts parts = Split(adj[idx].bias);
+  const uint32_t degree = static_cast<uint32_t>(adj.size());
+  util::ForEachSetBit(parts.int_bits, [&](int k) {
+    EnsureGroup(k);
+    groups_[static_cast<std::size_t>(k)].Insert(idx, degree);
+  });
+  if (parts.dec_fixed != 0) {
+    decimal_.Insert(idx, parts.dec_fixed);
+  }
+}
+
+void VertexSampler::RemoveEdge(std::span<const graph::Edge> adj, uint32_t idx) {
+  const BiasParts parts = Split(adj[idx].bias);
+  util::ForEachSetBit(parts.int_bits, [&](int k) {
+    groups_[static_cast<std::size_t>(k)].Remove(idx);
+  });
+  if (parts.dec_fixed != 0) {
+    decimal_.Remove(idx);
+  }
+}
+
+void VertexSampler::RenameIndex(double moved_bias, uint32_t from, uint32_t to) {
+  const BiasParts parts = Split(moved_bias);
+  util::ForEachSetBit(parts.int_bits, [&](int k) {
+    groups_[static_cast<std::size_t>(k)].Rename(from, to);
+  });
+  if (parts.dec_fixed != 0) {
+    decimal_.Rename(from, to);
+  }
+}
+
+void VertexSampler::RemoveEdgesBatch(std::span<const graph::Edge> adj,
+                                     std::span<const uint32_t> idxs) {
+  // Bucket the victims by radix group, then run one two-phase
+  // delete-and-swap per affected group (Fig 10b).
+  std::vector<std::vector<uint32_t>> per_group;
+  for (uint32_t idx : idxs) {
+    const BiasParts parts = Split(adj[idx].bias);
+    util::ForEachSetBit(parts.int_bits, [&](int k) {
+      if (static_cast<int>(per_group.size()) <= k) {
+        per_group.resize(k + 1);
+      }
+      per_group[static_cast<std::size_t>(k)].push_back(idx);
+    });
+    if (parts.dec_fixed != 0) {
+      decimal_.Remove(idx);
+    }
+  }
+  for (int k = 0; k < static_cast<int>(per_group.size()); ++k) {
+    const auto& victims = per_group[static_cast<std::size_t>(k)];
+    if (!victims.empty()) {
+      groups_[static_cast<std::size_t>(k)].BatchRemove(victims);
+    }
+  }
+}
+
+void VertexSampler::FinishUpdate(std::span<const graph::Edge> adj) {
+  // BS mode also reclassifies: Insert() may have escalated an empty group
+  // through the one-element representation, and BS requires every
+  // non-empty group to be regular.
+  ReclassifyGroups(adj);
+  RebuildInterGroupAlias();
+}
+
+std::vector<uint32_t> VertexSampler::ScanMembers(std::span<const graph::Edge> adj,
+                                                 int k) const {
+  std::vector<uint32_t> members;
+  for (uint32_t idx = 0; idx < adj.size(); ++idx) {
+    const BiasParts parts = Split(adj[idx].bias);
+    if ((parts.int_bits >> k) & 1ULL) {
+      members.push_back(idx);
+    }
+  }
+  return members;
+}
+
+void VertexSampler::ReclassifyGroups(std::span<const graph::Edge> adj) {
+  const uint32_t degree = static_cast<uint32_t>(adj.size());
+  for (int k = 0; k < static_cast<int>(groups_.size()); ++k) {
+    RadixGroup& group = groups_[static_cast<std::size_t>(k)];
+    const GroupKind current = group.Kind();
+    const GroupKind target =
+        ClassifyGroup(group.Count(), degree, config_->adaptive);
+    if (current == target) {
+      continue;
+    }
+    // Conversion accounting (Table 4) only makes sense for the adaptive
+    // representation; BS conversions are representation plumbing.
+    if (config_->conversion_stats != nullptr && config_->adaptive.adaptive) {
+      config_->conversion_stats->Record(current, target);
+    }
+    if (target == GroupKind::kEmpty) {
+      group.Clear();
+      continue;
+    }
+    std::vector<uint32_t> members;
+    if (current == GroupKind::kDense) {
+      members = ScanMembers(adj, k);
+    } else {
+      group.CollectMembers(members);
+    }
+    group.RebuildAs(target, members, degree);
+  }
+}
+
+void VertexSampler::RebuildInterGroupAlias() {
+  // Runs on every update; scratch is thread-local to avoid per-call heap
+  // traffic (the table itself reuses its own capacity across Build calls).
+  static thread_local std::vector<double> weights;
+  weights.clear();
+  weights.reserve(groups_.size() + 1);
+  alias_groups_.clear();
+  alias_groups_.reserve(groups_.size() + 1);
+  for (int k = 0; k < static_cast<int>(groups_.size()); ++k) {
+    const RadixGroup& group = groups_[static_cast<std::size_t>(k)];
+    if (group.Count() > 0) {
+      weights.push_back(GroupWeight(k, group.Count()));
+      alias_groups_.push_back(static_cast<int8_t>(k));
+    }
+  }
+  if (decimal_.TotalFixed() > 0) {
+    weights.push_back(std::ldexp(static_cast<double>(decimal_.TotalFixed()),
+                                 -kDecimalBits));
+    alias_groups_.push_back(kDecimalGroupId);
+  }
+  alias_.Build(weights);
+}
+
+uint32_t VertexSampler::SampleIndex(std::span<const graph::Edge> adj,
+                                    util::Rng& rng) const {
+  if (alias_groups_.empty()) {
+    return kNoNeighbor;
+  }
+  // Degree-1 vertices (the bulk of a power-law graph) have exactly one
+  // possible outcome; skip both sampling stages.
+  if (adj.size() == 1) {
+    return 0;
+  }
+  // Stage (i): inter-group alias sampling. A single-group space needs no
+  // alias draw.
+  const uint32_t slot =
+      alias_groups_.size() == 1 ? 0 : alias_.Sample(rng);
+  const int k = alias_groups_[slot];
+  if (k == kDecimalGroupId) {
+    return decimal_.Sample(rng);
+  }
+  const RadixGroup& group = groups_[static_cast<std::size_t>(k)];
+  // Stage (ii): uniform intra-group pick.
+  if (group.Kind() == GroupKind::kDense) {
+    // Rejection on the adjacency array (§5.1): accept a uniformly-drawn
+    // neighbor iff its bias has bit k set; acceptance ratio > alpha%.
+    for (;;) {
+      const uint32_t idx = static_cast<uint32_t>(rng.NextBounded(adj.size()));
+      const BiasParts parts = Split(adj[idx].bias);
+      if ((parts.int_bits >> k) & 1ULL) {
+        return idx;
+      }
+    }
+  }
+  return group.PickUniform(rng);
+}
+
+std::vector<double> VertexSampler::ImpliedDistribution(
+    std::span<const graph::Edge> adj) const {
+  std::vector<double> probs(adj.size(), 0.0);
+  const std::vector<double> group_probs = alias_.ImpliedProbabilities();
+  for (std::size_t slot = 0; slot < alias_groups_.size(); ++slot) {
+    const double p_group = group_probs[slot];
+    const int k = alias_groups_[slot];
+    if (k == kDecimalGroupId) {
+      std::vector<std::pair<uint32_t, uint32_t>> members;
+      decimal_.CollectMembers(members);
+      const double total = static_cast<double>(decimal_.TotalFixed());
+      for (const auto& [idx, dec] : members) {
+        probs[idx] += p_group * static_cast<double>(dec) / total;
+      }
+      continue;
+    }
+    const RadixGroup& group = groups_[static_cast<std::size_t>(k)];
+    std::vector<uint32_t> members;
+    if (group.Kind() == GroupKind::kDense) {
+      members = ScanMembers(adj, k);
+    } else {
+      group.CollectMembers(members);
+    }
+    const double share = p_group / static_cast<double>(members.size());
+    for (uint32_t idx : members) {
+      probs[idx] += share;
+    }
+  }
+  return probs;
+}
+
+std::string VertexSampler::CheckInvariants(std::span<const graph::Edge> adj) const {
+  const uint32_t degree = static_cast<uint32_t>(adj.size());
+  // Ground truth: per-k membership recomputed from the adjacency.
+  std::vector<std::vector<uint32_t>> expected;
+  uint64_t expected_decimal_total = 0;
+  uint32_t expected_decimal_count = 0;
+  for (uint32_t idx = 0; idx < degree; ++idx) {
+    const BiasParts parts = Split(adj[idx].bias);
+    util::ForEachSetBit(parts.int_bits, [&](int k) {
+      if (static_cast<int>(expected.size()) <= k) {
+        expected.resize(k + 1);
+      }
+      expected[static_cast<std::size_t>(k)].push_back(idx);
+    });
+    if (parts.dec_fixed != 0) {
+      expected_decimal_total += parts.dec_fixed;
+      ++expected_decimal_count;
+      if (!decimal_.Contains(idx) || decimal_.DecOf(idx) != parts.dec_fixed) {
+        return "decimal group missing or wrong weight for index " +
+               std::to_string(idx);
+      }
+    }
+  }
+  if (decimal_.TotalFixed() != expected_decimal_total ||
+      decimal_.Count() != expected_decimal_count) {
+    return "decimal group aggregate mismatch";
+  }
+  if (const std::string err = decimal_.CheckInvariants(); !err.empty()) {
+    return err;
+  }
+
+  for (int k = 0; k < static_cast<int>(std::max(expected.size(), groups_.size()));
+       ++k) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    const uint64_t want =
+        uk < expected.size() ? expected[uk].size() : 0;
+    const uint64_t have = uk < groups_.size() ? groups_[uk].Count() : 0;
+    if (want != have) {
+      return "group 2^" + std::to_string(k) + " count mismatch: want " +
+             std::to_string(want) + " have " + std::to_string(have);
+    }
+    if (have == 0) {
+      continue;
+    }
+    const RadixGroup& group = groups_[uk];
+    const GroupKind want_kind =
+        ClassifyGroup(have, degree, config_->adaptive);
+    if (group.Kind() != want_kind) {
+      return "group 2^" + std::to_string(k) + " kind mismatch: want " +
+             std::string(ToString(want_kind)) + " have " +
+             std::string(ToString(group.Kind()));
+    }
+    if (const std::string err = group.CheckInvariants(); !err.empty()) {
+      return "group 2^" + std::to_string(k) + ": " + err;
+    }
+    if (group.Kind() != GroupKind::kDense) {
+      for (uint32_t idx : expected[uk]) {
+        if (!group.Contains(idx)) {
+          return "group 2^" + std::to_string(k) + " missing member " +
+                 std::to_string(idx);
+        }
+      }
+    }
+  }
+
+  // The alias table must cover exactly the non-empty groups with the
+  // implicit weights W(p_k) = 2^k * count.
+  std::size_t active = 0;
+  for (int k = 0; k < static_cast<int>(groups_.size()); ++k) {
+    if (groups_[static_cast<std::size_t>(k)].Count() > 0) {
+      ++active;
+    }
+  }
+  if (decimal_.TotalFixed() > 0) {
+    ++active;
+  }
+  if (alias_groups_.size() != active || alias_.Size() != active) {
+    return "inter-group alias table stale";
+  }
+  return {};
+}
+
+VertexMemoryBreakdown VertexSampler::MemoryBreakdown() const {
+  VertexMemoryBreakdown breakdown;
+  for (const RadixGroup& group : groups_) {
+    breakdown.group_bytes[static_cast<int>(group.Kind())] += group.MemoryBytes();
+  }
+  breakdown.group_bytes[static_cast<int>(GroupKind::kEmpty)] +=
+      groups_.capacity() * sizeof(RadixGroup);
+  breakdown.decimal_bytes = decimal_.MemoryBytes();
+  breakdown.alias_bytes =
+      alias_.MemoryBytes() + alias_groups_.capacity() * sizeof(int8_t);
+  return breakdown;
+}
+
+void VertexSampler::CountGroupKinds(std::array<uint64_t, 5>& counts) const {
+  for (const RadixGroup& group : groups_) {
+    if (group.Kind() != GroupKind::kEmpty) {
+      ++counts[static_cast<int>(group.Kind())];
+    }
+  }
+}
+
+int VertexSampler::NumActiveGroups() const {
+  int active = 0;
+  for (const RadixGroup& group : groups_) {
+    if (group.Count() > 0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+}  // namespace bingo::core

@@ -1,0 +1,85 @@
+#include "src/graph/bias.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bingo::graph {
+
+namespace {
+
+uint64_t Clamp(uint64_t value, uint64_t max_bias) {
+  return std::clamp<uint64_t>(value, 1, max_bias);
+}
+
+uint64_t SampleInteger(uint32_t dst_degree, const BiasParams& params,
+                       util::Rng& rng) {
+  switch (params.distribution) {
+    case BiasDistribution::kDegree:
+      return std::max<uint64_t>(1, dst_degree);
+    case BiasDistribution::kUniform:
+      return 1 + rng.NextBounded(params.max_bias);
+    case BiasDistribution::kGauss: {
+      // Box-Muller; mean max/2, sigma max/6 keeps ~99.7% of the mass in range.
+      const double u1 = std::max(rng.NextUnit(), 1e-12);
+      const double u2 = rng.NextUnit();
+      const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double mean =
+          static_cast<double>(params.max_bias) * params.gauss_mean_fraction;
+      const double sigma =
+          static_cast<double>(params.max_bias) * params.gauss_sigma_fraction;
+      const double value = std::round(mean + sigma * z);
+      if (value < 1.0) {
+        return 1;
+      }
+      return Clamp(static_cast<uint64_t>(value), params.max_bias);
+    }
+    case BiasDistribution::kPowerLaw: {
+      // Inverse-CDF style heavy tail: bias = max^(u^alpha); alpha > 1 skews
+      // the mass toward small biases, as in real-world weights.
+      const double u = rng.NextUnit();
+      const double exponent = std::pow(u, params.power_alpha);
+      const double value =
+          std::floor(std::pow(static_cast<double>(params.max_bias), exponent));
+      return Clamp(static_cast<uint64_t>(value), params.max_bias);
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+double GenerateOneBias(uint32_t dst_degree, const BiasParams& params,
+                       util::Rng& rng) {
+  const uint64_t integer = SampleInteger(dst_degree, params, rng);
+  double bias = static_cast<double>(integer);
+  if (params.floating_point) {
+    bias += rng.NextUnit();
+  }
+  return bias;
+}
+
+std::vector<double> GenerateBiases(const Csr& csr, const BiasParams& params,
+                                   util::Rng& rng) {
+  std::vector<double> biases(csr.NumEdges());
+  uint64_t edge_index = 0;
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    for (VertexId dst : csr.Neighbors(v)) {
+      biases[edge_index++] = GenerateOneBias(csr.Degree(dst), params, rng);
+    }
+  }
+  return biases;
+}
+
+WeightedEdgeList ToWeightedEdges(const Csr& csr, const std::vector<double>& biases) {
+  WeightedEdgeList edges;
+  edges.reserve(csr.NumEdges());
+  uint64_t edge_index = 0;
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    for (VertexId dst : csr.Neighbors(v)) {
+      edges.push_back(WeightedEdge{v, dst, biases[edge_index++]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace bingo::graph

@@ -1,0 +1,52 @@
+// Edge-bias generation (§6.1 "Bias").
+//
+// The paper's default bias is derived from vertex degrees ("naturally follow
+// power law distribution"); Fig 9 and Fig 15(c) additionally use Uniform,
+// Gaussian, and Power-law synthetic distributions. Floating-point variants
+// (Fig 14) add a U(0,1) fractional part to the integer bias.
+
+#ifndef BINGO_SRC_GRAPH_BIAS_H_
+#define BINGO_SRC_GRAPH_BIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/util/rng.h"
+
+namespace bingo::graph {
+
+enum class BiasDistribution {
+  kDegree,    // bias(u->v) = out-degree(v), clamped to >= 1
+  kUniform,   // uniform integer in [1, max_bias]
+  kGauss,     // round(N(max/2, max/6)) clamped to [1, max_bias]
+  kPowerLaw,  // Zipf-like: floor(max^(U^alpha)) clamped to [1, max_bias]
+};
+
+struct BiasParams {
+  BiasDistribution distribution = BiasDistribution::kDegree;
+  uint64_t max_bias = 255;  // upper bound for synthetic distributions
+  double power_alpha = 2.0;
+  // Gaussian parameters as fractions of max_bias.
+  double gauss_mean_fraction = 0.5;
+  double gauss_sigma_fraction = 1.0 / 6.0;
+  bool floating_point = false;  // add U(0,1) fractional part (Fig 14)
+};
+
+// Produces one bias per CSR edge (aligned with CSR edge order).
+std::vector<double> GenerateBiases(const Csr& csr, const BiasParams& params,
+                                   util::Rng& rng);
+
+// Produces a bias for a single (src, dst) pair under `params`; used when
+// update streams insert edges that were not part of the initial CSR.
+// `dst_degree` supplies the degree signal for the kDegree distribution.
+double GenerateOneBias(uint32_t dst_degree, const BiasParams& params,
+                       util::Rng& rng);
+
+// Converts CSR + biases to a weighted edge list (bulk-load input).
+WeightedEdgeList ToWeightedEdges(const Csr& csr, const std::vector<double>& biases);
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_BIAS_H_

@@ -1,0 +1,47 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+
+namespace bingo::graph {
+
+Csr Csr::FromPairs(VertexId num_vertices, const EdgePairList& pairs, bool dedup) {
+  Csr csr;
+  csr.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const EdgePair& e : pairs) {
+    ++csr.offsets_[e.src + 1];
+  }
+  for (std::size_t v = 1; v < csr.offsets_.size(); ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+  csr.dsts_.resize(pairs.size());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const EdgePair& e : pairs) {
+    csr.dsts_[cursor[e.src]++] = e.dst;
+  }
+  if (dedup) {
+    std::vector<uint64_t> new_offsets(csr.offsets_.size(), 0);
+    std::vector<VertexId> new_dsts;
+    new_dsts.reserve(csr.dsts_.size());
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      auto begin = csr.dsts_.begin() + static_cast<std::ptrdiff_t>(csr.offsets_[v]);
+      auto end = csr.dsts_.begin() + static_cast<std::ptrdiff_t>(csr.offsets_[v + 1]);
+      std::sort(begin, end);
+      auto last = std::unique(begin, end);
+      new_dsts.insert(new_dsts.end(), begin, last);
+      new_offsets[v + 1] = new_dsts.size();
+    }
+    csr.offsets_ = std::move(new_offsets);
+    csr.dsts_ = std::move(new_dsts);
+  }
+  return csr;
+}
+
+uint32_t Csr::MaxDegree() const {
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+}  // namespace bingo::graph

@@ -1,0 +1,54 @@
+// Immutable compressed-sparse-row graph used for bulk loading and by the
+// synthetic dataset generators.
+
+#ifndef BINGO_SRC_GRAPH_CSR_H_
+#define BINGO_SRC_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace bingo::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from a directed edge-pair list. Self-loops are kept; duplicates
+  // are kept unless `dedup` is set.
+  static Csr FromPairs(VertexId num_vertices, const EdgePairList& pairs,
+                       bool dedup = false);
+
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t NumEdges() const { return dsts_.size(); }
+
+  // [begin, end) range into the dst array for vertex v.
+  std::pair<uint64_t, uint64_t> Range(VertexId v) const {
+    return {offsets_[v], offsets_[v + 1]};
+  }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  VertexId Dst(uint64_t edge_index) const { return dsts_[edge_index]; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {dsts_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  uint32_t MaxDegree() const;
+
+ private:
+  std::vector<uint64_t> offsets_;  // size NumVertices()+1
+  std::vector<VertexId> dsts_;
+};
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_CSR_H_

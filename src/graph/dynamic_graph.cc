@@ -1,0 +1,368 @@
+#include "src/graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/graph/csr.h"
+#include "src/util/bitops.h"
+
+namespace bingo::graph {
+
+namespace {
+// Multiplicative hash for finder probing.
+inline std::size_t HashDst(VertexId dst) {
+  uint64_t x = dst;
+  x *= 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(x >> 32);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Finder --
+
+void DynamicGraph::Finder::Grow(std::size_t min_capacity) {
+  std::size_t cap = 16;
+  while (cap < min_capacity * 2) {
+    cap <<= 1;
+  }
+  std::vector<Entry> old = std::move(table);
+  table.assign(cap, Entry{});
+  used = live;
+  uint32_t relive = 0;
+  for (const Entry& e : old) {
+    if (e.index != kEmpty && e.index != kTombstone) {
+      std::size_t pos = HashDst(e.dst) & Mask();
+      while (table[pos].index != kEmpty) {
+        pos = (pos + 1) & Mask();
+      }
+      table[pos] = e;
+      ++relive;
+    }
+  }
+  live = relive;
+  used = live;
+}
+
+void DynamicGraph::Finder::Insert(VertexId dst, uint32_t index) {
+  if (table.empty() || (used + 1) * 4 >= table.size() * 3) {
+    Grow(std::max<std::size_t>(live + 1, 8));
+  }
+  std::size_t pos = HashDst(dst) & Mask();
+  while (table[pos].index != kEmpty && table[pos].index != kTombstone) {
+    pos = (pos + 1) & Mask();
+  }
+  if (table[pos].index == kEmpty) {
+    ++used;
+  }
+  table[pos] = Entry{dst, index};
+  ++live;
+}
+
+bool DynamicGraph::Finder::Erase(VertexId dst, uint32_t index) {
+  if (table.empty()) {
+    return false;
+  }
+  std::size_t pos = HashDst(dst) & Mask();
+  while (table[pos].index != kEmpty) {
+    if (table[pos].dst == dst && table[pos].index == index) {
+      table[pos].index = kTombstone;
+      --live;
+      return true;
+    }
+    pos = (pos + 1) & Mask();
+  }
+  return false;
+}
+
+bool DynamicGraph::Finder::Reindex(VertexId dst, uint32_t old_index,
+                                   uint32_t new_index) {
+  if (table.empty()) {
+    return false;
+  }
+  std::size_t pos = HashDst(dst) & Mask();
+  while (table[pos].index != kEmpty) {
+    if (table[pos].dst == dst && table[pos].index == old_index) {
+      table[pos].index = new_index;
+      return true;
+    }
+    pos = (pos + 1) & Mask();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------- DynamicGraph --
+
+DynamicGraph::DynamicGraph(VertexId num_vertices)
+    : pool_(std::make_unique<util::MemoryPool>()), slots_(num_vertices) {}
+
+DynamicGraph::~DynamicGraph() {
+  if (pool_ == nullptr) {
+    return;  // moved-from
+  }
+  for (Slot& s : slots_) {
+    if (s.edges != nullptr) {
+      pool_->Deallocate(s.edges, static_cast<std::size_t>(s.capacity) * sizeof(Edge));
+    }
+  }
+}
+
+DynamicGraph::DynamicGraph(DynamicGraph&& other) noexcept
+    : pool_(std::move(other.pool_)),
+      slots_(std::move(other.slots_)),
+      num_edges_(other.num_edges_.load(std::memory_order_relaxed)),
+      next_timestamp_(other.next_timestamp_.load(std::memory_order_relaxed)) {}
+
+DynamicGraph& DynamicGraph::operator=(DynamicGraph&& other) noexcept {
+  if (this != &other) {
+    this->~DynamicGraph();
+    new (this) DynamicGraph(std::move(other));
+  }
+  return *this;
+}
+
+DynamicGraph DynamicGraph::FromEdges(VertexId num_vertices,
+                                     const WeightedEdgeList& edges) {
+  DynamicGraph g(num_vertices);
+  // Two-pass bulk load: size each adjacency block exactly once, then fill.
+  std::vector<uint32_t> degree(num_vertices, 0);
+  for (const WeightedEdge& e : edges) {
+    ++degree[e.src];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (degree[v] == 0) {
+      continue;
+    }
+    Slot& s = g.slots_[v];
+    s.capacity = static_cast<uint32_t>(util::CeilPow2(degree[v]));
+    s.edges = static_cast<Edge*>(
+        g.pool_->Allocate(static_cast<std::size_t>(s.capacity) * sizeof(Edge)));
+  }
+  for (const WeightedEdge& e : edges) {
+    Slot& s = g.slots_[e.src];
+    s.edges[s.size++] =
+        Edge{e.dst, g.next_timestamp_.fetch_add(1, std::memory_order_relaxed),
+             e.bias};
+  }
+  g.num_edges_.store(edges.size(), std::memory_order_relaxed);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (g.slots_[v].size >= kFinderThreshold) {
+      g.EnsureFinder(v);
+    }
+  }
+  return g;
+}
+
+DynamicGraph DynamicGraph::FromCsr(const Csr& csr, std::span<const double> biases) {
+  WeightedEdgeList edges;
+  edges.reserve(csr.NumEdges());
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    const auto [begin, end] = csr.Range(v);
+    for (uint64_t i = begin; i < end; ++i) {
+      edges.push_back(WeightedEdge{v, csr.Dst(i), biases.empty() ? 1.0 : biases[i]});
+    }
+  }
+  return FromEdges(csr.NumVertices(), edges);
+}
+
+void DynamicGraph::Grow(Slot& slot) {
+  const uint32_t new_capacity = slot.capacity == 0 ? 4 : slot.capacity * 2;
+  Edge* new_block = static_cast<Edge*>(
+      pool_->Allocate(static_cast<std::size_t>(new_capacity) * sizeof(Edge)));
+  if (slot.edges != nullptr) {
+    std::memcpy(new_block, slot.edges, static_cast<std::size_t>(slot.size) * sizeof(Edge));
+    pool_->Deallocate(slot.edges,
+                      static_cast<std::size_t>(slot.capacity) * sizeof(Edge));
+  }
+  slot.edges = new_block;
+  slot.capacity = new_capacity;
+}
+
+void DynamicGraph::EnsureFinder(VertexId v) {
+  Slot& s = slots_[v];
+  if (s.finder != nullptr) {
+    return;
+  }
+  s.finder = std::make_unique<Finder>();
+  s.finder->Grow(s.size + 1);
+  for (uint32_t i = 0; i < s.size; ++i) {
+    s.finder->Insert(s.edges[i].dst, i);
+  }
+}
+
+uint32_t DynamicGraph::Insert(VertexId src, VertexId dst, double bias) {
+  Slot& s = slots_[src];
+  if (s.size == s.capacity) {
+    Grow(s);
+  }
+  const uint32_t index = s.size;
+  s.edges[s.size++] =
+      Edge{dst, next_timestamp_.fetch_add(1, std::memory_order_relaxed), bias};
+  num_edges_.fetch_add(1, std::memory_order_relaxed);
+  if (s.finder != nullptr) {
+    s.finder->Insert(dst, index);
+  } else if (s.size >= kFinderThreshold) {
+    EnsureFinder(src);
+  }
+  return index;
+}
+
+DynamicGraph::SwapRemoveResult DynamicGraph::SwapRemove(VertexId src,
+                                                        uint32_t index) {
+  Slot& s = slots_[src];
+  SwapRemoveResult result;
+  result.removed = s.edges[index];
+  const uint32_t last = s.size - 1;
+  if (s.finder != nullptr) {
+    s.finder->Erase(result.removed.dst, index);
+  }
+  if (index != last) {
+    const Edge tail = s.edges[last];
+    s.edges[index] = tail;
+    result.moved = true;
+    result.moved_from = last;
+    result.moved_to = index;
+    result.moved_edge = tail;
+    if (s.finder != nullptr) {
+      s.finder->Reindex(tail.dst, last, index);
+    }
+  }
+  --s.size;
+  num_edges_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<uint32_t> DynamicGraph::CollectMatches(VertexId src, VertexId dst) const {
+  const Slot& s = slots_[src];
+  std::vector<uint32_t> matches;
+  if (s.finder != nullptr) {
+    const Finder& f = *s.finder;
+    if (!f.table.empty()) {
+      std::size_t pos = HashDst(dst) & f.Mask();
+      while (f.table[pos].index != Finder::kEmpty) {
+        const auto& e = f.table[pos];
+        if (e.index != Finder::kTombstone && e.dst == dst) {
+          matches.push_back(e.index);
+        }
+        pos = (pos + 1) & f.Mask();
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < s.size; ++i) {
+      if (s.edges[i].dst == dst) {
+        matches.push_back(i);
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(), [&s](uint32_t a, uint32_t b) {
+    return s.edges[a].timestamp < s.edges[b].timestamp;
+  });
+  return matches;
+}
+
+std::vector<DynamicGraph::MoveRecord> DynamicGraph::BatchSwapRemove(
+    VertexId src, std::span<const uint32_t> sorted_idxs) {
+  Slot& s = slots_[src];
+  std::vector<MoveRecord> moves;
+  const uint32_t n = static_cast<uint32_t>(sorted_idxs.size());
+  if (n == 0) {
+    return moves;
+  }
+  const uint32_t m = s.size;
+  const uint32_t window_begin = m - n;
+
+  // Drop finder entries for every victim before any slot is overwritten.
+  if (s.finder != nullptr) {
+    for (uint32_t idx : sorted_idxs) {
+      s.finder->Erase(s.edges[idx].dst, idx);
+    }
+  }
+
+  // Phase 1: survivors of the tail window [m-n, m) are the fillers; the
+  // gamma victims inside the window are simply dropped (Fig 10b).
+  std::vector<std::pair<uint32_t, Edge>> fillers;  // (original index, edge)
+  {
+    std::size_t cursor = std::lower_bound(sorted_idxs.begin(), sorted_idxs.end(),
+                                          window_begin) -
+                         sorted_idxs.begin();
+    for (uint32_t pos = window_begin; pos < m; ++pos) {
+      if (cursor < sorted_idxs.size() && sorted_idxs[cursor] == pos) {
+        ++cursor;
+      } else {
+        fillers.emplace_back(pos, s.edges[pos]);
+      }
+    }
+  }
+
+  // Phase 2: the n - gamma front holes take the n - gamma guaranteed
+  // survivors.
+  std::size_t filler_cursor = 0;
+  for (uint32_t idx : sorted_idxs) {
+    if (idx >= window_begin) {
+      break;
+    }
+    const auto& [from, edge] = fillers[filler_cursor++];
+    s.edges[idx] = edge;
+    if (s.finder != nullptr) {
+      s.finder->Reindex(edge.dst, from, idx);
+    }
+    moves.push_back(MoveRecord{from, idx, edge});
+  }
+  s.size = m - n;
+  num_edges_.fetch_sub(n, std::memory_order_relaxed);
+  return moves;
+}
+
+std::optional<uint32_t> DynamicGraph::FindEarliest(VertexId src, VertexId dst) const {
+  const Slot& s = slots_[src];
+  uint32_t best_index = kInvalidVertex;
+  uint32_t best_ts = 0xFFFFFFFFu;
+  if (s.finder != nullptr) {
+    const Finder& f = *s.finder;
+    if (f.table.empty()) {
+      return std::nullopt;
+    }
+    std::size_t pos = HashDst(dst) & f.Mask();
+    while (f.table[pos].index != Finder::kEmpty) {
+      const auto& e = f.table[pos];
+      if (e.index != Finder::kTombstone && e.dst == dst) {
+        const uint32_t ts = s.edges[e.index].timestamp;
+        if (ts < best_ts) {
+          best_ts = ts;
+          best_index = e.index;
+        }
+      }
+      pos = (pos + 1) & f.Mask();
+    }
+  } else {
+    for (uint32_t i = 0; i < s.size; ++i) {
+      if (s.edges[i].dst == dst && s.edges[i].timestamp < best_ts) {
+        best_ts = s.edges[i].timestamp;
+        best_index = i;
+      }
+    }
+  }
+  if (best_index == kInvalidVertex) {
+    return std::nullopt;
+  }
+  return best_index;
+}
+
+bool DynamicGraph::HasEdge(VertexId src, VertexId dst) const {
+  return FindEarliest(src, dst).has_value();
+}
+
+void DynamicGraph::AddVertices(VertexId count) {
+  slots_.resize(slots_.size() + count);
+}
+
+std::size_t DynamicGraph::MemoryBytes() const {
+  std::size_t total = slots_.size() * sizeof(Slot);
+  for (const Slot& s : slots_) {
+    total += static_cast<std::size_t>(s.capacity) * sizeof(Edge);
+    if (s.finder != nullptr) {
+      total += s.finder->table.size() * sizeof(Finder::Entry) + sizeof(Finder);
+    }
+  }
+  return total;
+}
+
+}  // namespace bingo::graph

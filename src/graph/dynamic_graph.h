@@ -1,0 +1,169 @@
+// Hornet-style dynamic graph storage (substitution S5 in DESIGN.md).
+//
+// Each vertex owns a dynamic adjacency array carved out of a size-class
+// MemoryPool, doubling capacity on growth. Deletion is swap-with-tail so
+// adjacency arrays stay compact, which is what gives the per-vertex Bingo
+// sampler O(1) unbiased intra-group sampling over neighbor *indices*.
+//
+// The "neighbor index" of an edge is its position in the adjacency array of
+// its source vertex. Swap-with-tail renames one index per deletion; callers
+// that mirror neighbor indices (the Bingo groups) receive the rename via
+// SwapRemoveResult and patch their structures in O(popcount(bias)).
+//
+// High-degree vertices additionally keep an open-addressing (dst -> index)
+// finder so that delete-by-endpoint and node2vec's distance(w, v) adjacency
+// probes run in O(1) expected time; low-degree vertices fall back to a
+// linear scan over the (short) adjacency array.
+
+#ifndef BINGO_SRC_GRAPH_DYNAMIC_GRAPH_H_
+#define BINGO_SRC_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/memory_pool.h"
+
+namespace bingo::graph {
+
+class Csr;
+
+class DynamicGraph {
+ public:
+  // Result of a swap-with-tail removal. If `moved` is true, the edge that
+  // previously lived at neighbor index `moved_from` (the old tail) now lives
+  // at the index that was removed.
+  struct SwapRemoveResult {
+    Edge removed;
+    bool moved = false;
+    uint32_t moved_from = 0;
+    uint32_t moved_to = 0;
+    Edge moved_edge;  // post-move copy, for group re-pointing
+  };
+
+  explicit DynamicGraph(VertexId num_vertices);
+  ~DynamicGraph();
+
+  DynamicGraph(const DynamicGraph&) = delete;
+  DynamicGraph& operator=(const DynamicGraph&) = delete;
+  DynamicGraph(DynamicGraph&&) noexcept;
+  DynamicGraph& operator=(DynamicGraph&&) noexcept;
+
+  // Bulk-loads from a weighted edge list (biases preserved).
+  static DynamicGraph FromEdges(VertexId num_vertices, const WeightedEdgeList& edges);
+
+  // Bulk-loads from CSR with per-edge biases (parallel arrays).
+  static DynamicGraph FromCsr(const Csr& csr, std::span<const double> biases);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(slots_.size()); }
+  uint64_t NumEdges() const { return num_edges_.load(std::memory_order_relaxed); }
+
+  uint32_t Degree(VertexId v) const { return slots_[v].size; }
+
+  std::span<const Edge> Neighbors(VertexId v) const {
+    const Slot& s = slots_[v];
+    return {s.edges, s.size};
+  }
+
+  const Edge& NeighborAt(VertexId v, uint32_t index) const {
+    return slots_[v].edges[index];
+  }
+
+  // Appends edge (src -> dst, bias); returns its neighbor index. O(1)
+  // amortized; growth allocates the next power-of-two block from the pool.
+  uint32_t Insert(VertexId src, VertexId dst, double bias);
+
+  // Removes the edge at `index` by swapping the tail into its place.
+  // O(1) plus the finder patch. Index must be < Degree(src).
+  SwapRemoveResult SwapRemove(VertexId src, uint32_t index);
+
+  // Index of the earliest-inserted surviving copy of (src -> dst), if any.
+  // O(1) expected with the finder, O(d) for low-degree vertices.
+  std::optional<uint32_t> FindEarliest(VertexId src, VertexId dst) const;
+
+  // All neighbor indices of src currently pointing at dst, sorted by
+  // insertion timestamp (earliest first). Batched deletion resolves
+  // duplicate-edge requests against this list (§5.2).
+  std::vector<uint32_t> CollectMatches(VertexId src, VertexId dst) const;
+
+  // One adjacency move produced by a batched removal: the edge moved from
+  // neighbor index `from` to `to`.
+  struct MoveRecord {
+    uint32_t from;
+    uint32_t to;
+    Edge edge;
+  };
+
+  // Removes all edges at `sorted_idxs` (ascending, unique) using the
+  // two-phase delete-and-swap of Fig 10(b): tail-window survivors fill the
+  // front holes, so no filler is itself deleted. Returns the moves so
+  // callers can re-point mirrored structures.
+  std::vector<MoveRecord> BatchSwapRemove(VertexId src,
+                                          std::span<const uint32_t> sorted_idxs);
+
+  // True if an edge (src -> dst) currently exists. Used by node2vec's
+  // distance test.
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  // Grows the vertex set (new vertices start with empty adjacency).
+  void AddVertices(VertexId count);
+
+  // Overwrites the bias of the edge at `index` (bias update event).
+  void SetBias(VertexId src, uint32_t index, double bias) {
+    slots_[src].edges[index].bias = bias;
+  }
+
+  // Bytes reserved by adjacency blocks and finders (analytic accounting).
+  std::size_t MemoryBytes() const;
+
+  util::MemoryPool& Pool() { return *pool_; }
+
+ private:
+  // Open-addressing multi-map from dst to neighbor index. Created once a
+  // vertex's degree reaches kFinderThreshold.
+  struct Finder {
+    struct Entry {
+      VertexId dst = kInvalidVertex;
+      uint32_t index = kEmpty;
+    };
+    static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+    static constexpr uint32_t kTombstone = 0xFFFFFFFEu;
+
+    std::vector<Entry> table;
+    uint32_t live = 0;
+    uint32_t used = 0;  // live + tombstones
+
+    void Insert(VertexId dst, uint32_t index);
+    bool Erase(VertexId dst, uint32_t index);
+    bool Reindex(VertexId dst, uint32_t old_index, uint32_t new_index);
+    void Grow(std::size_t min_capacity);
+    std::size_t Mask() const { return table.size() - 1; }
+  };
+
+  struct Slot {
+    Edge* edges = nullptr;
+    uint32_t size = 0;
+    uint32_t capacity = 0;
+    std::unique_ptr<Finder> finder;
+  };
+
+  static constexpr uint32_t kFinderThreshold = 32;
+
+  void Grow(Slot& slot);
+  void EnsureFinder(VertexId v);
+
+  std::unique_ptr<util::MemoryPool> pool_;
+  std::vector<Slot> slots_;
+  // Atomic so that batched updates may mutate disjoint vertices in
+  // parallel; per-vertex state itself is never shared across workers.
+  std::atomic<uint64_t> num_edges_{0};
+  std::atomic<uint32_t> next_timestamp_{0};
+};
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bingo::graph {
+
+namespace {
+constexpr uint64_t kMagic = 0x42494e474f454447ULL;  // "BINGOEDG"
+}
+
+bool SaveWeightedEdgesText(const std::string& path, const WeightedEdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# bingo weighted edge list: src dst bias\n";
+  for (const WeightedEdge& e : edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.bias << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadWeightedEdgesText(const std::string& path, WeightedEdgeList& edges) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  edges.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream ss(line);
+    WeightedEdge e{0, 0, 1.0};
+    if (!(ss >> e.src >> e.dst)) {
+      return false;
+    }
+    ss >> e.bias;  // optional third column
+    edges.push_back(e);
+  }
+  return true;
+}
+
+bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  const uint64_t count = edges.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
+  return static_cast<bool>(out);
+}
+
+bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return false;
+  }
+  edges.resize(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
+  return static_cast<bool>(in);
+}
+
+VertexId ImpliedVertexCount(const WeightedEdgeList& edges) {
+  VertexId max_id = 0;
+  for (const WeightedEdge& e : edges) {
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  return edges.empty() ? 0 : max_id + 1;
+}
+
+}  // namespace bingo::graph

@@ -1,0 +1,27 @@
+// Edge-list persistence so generated datasets and update streams can be
+// saved and replayed across runs.
+
+#ifndef BINGO_SRC_GRAPH_IO_H_
+#define BINGO_SRC_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/types.h"
+
+namespace bingo::graph {
+
+// Text format: one "src dst bias" line per edge. Lines beginning with '#'
+// or '%' are comments (SNAP / Konect conventions).
+bool SaveWeightedEdgesText(const std::string& path, const WeightedEdgeList& edges);
+bool LoadWeightedEdgesText(const std::string& path, WeightedEdgeList& edges);
+
+// Binary format: little-endian header (magic, count) then packed records.
+bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& edges);
+bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges);
+
+// Number of vertices implied by an edge list (max id + 1).
+VertexId ImpliedVertexCount(const WeightedEdgeList& edges);
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_IO_H_

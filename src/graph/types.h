@@ -1,0 +1,58 @@
+// Fundamental graph types shared across the library.
+
+#ifndef BINGO_SRC_GRAPH_TYPES_H_
+#define BINGO_SRC_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bingo::graph {
+
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+// One directed adjacency entry. Biases are stored as doubles at the storage
+// layer; integer-bias mode (the paper's default) uses exactly-representable
+// integer values and the sampler layer interprets them as uint64. The
+// timestamp implements the paper's duplicate-edge rule (§5.2): duplicated
+// insertions of the same edge are allowed, and a deletion removes the
+// earliest surviving version first.
+struct Edge {
+  VertexId dst = kInvalidVertex;
+  uint32_t timestamp = 0;
+  double bias = 1.0;
+};
+static_assert(sizeof(Edge) == 16, "Edge should stay 16 bytes");
+
+// A (src, dst) pair used by generators and loaders.
+struct EdgePair {
+  VertexId src;
+  VertexId dst;
+};
+
+using EdgePairList = std::vector<EdgePair>;
+
+// A weighted edge used for bulk construction.
+struct WeightedEdge {
+  VertexId src;
+  VertexId dst;
+  double bias;
+};
+
+using WeightedEdgeList = std::vector<WeightedEdge>;
+
+// One dynamic-graph mutation request (§5.2 batched updates).
+struct Update {
+  enum class Kind : uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  double bias = 1.0;  // only meaningful for insertions
+};
+
+using UpdateList = std::vector<Update>;
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_TYPES_H_

@@ -1,0 +1,108 @@
+#include "src/graph/update_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bingo::graph {
+
+namespace {
+
+// Fisher-Yates with our Rng (std::shuffle requires a URBG; Rng qualifies,
+// but an explicit loop keeps the draw count deterministic across stdlibs).
+template <typename T>
+void Shuffle(std::vector<T>& v, util::Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.NextBounded(i)]);
+  }
+}
+
+}  // namespace
+
+UpdateWorkload BuildUpdateWorkload(const WeightedEdgeList& all_edges,
+                                   const UpdateWorkloadParams& params,
+                                   util::Rng& rng) {
+  const uint64_t total_updates =
+      params.batch_size * static_cast<uint64_t>(params.num_batches);
+  uint64_t num_inserts = 0;
+  switch (params.kind) {
+    case UpdateKind::kInsertion:
+      num_inserts = total_updates;
+      break;
+    case UpdateKind::kDeletion:
+      num_inserts = 0;
+      break;
+    case UpdateKind::kMixed:
+      num_inserts = total_updates / 2;
+      break;
+  }
+  assert(all_edges.size() > num_inserts &&
+         "graph too small for the requested reserve set");
+
+  WeightedEdgeList shuffled = all_edges;
+  Shuffle(shuffled, rng);
+
+  UpdateWorkload workload;
+  // Reserve set B = tail of the shuffle; initial set A = the rest.
+  WeightedEdgeList reserve(shuffled.end() - static_cast<std::ptrdiff_t>(num_inserts),
+                           shuffled.end());
+  shuffled.resize(shuffled.size() - num_inserts);
+  workload.initial_edges = std::move(shuffled);
+
+  // The deletion-eligible pool starts as A and grows with every insert.
+  WeightedEdgeList live = workload.initial_edges;
+
+  // Order of operations: insertion-only / deletion-only are trivial; mixed
+  // interleaves an equal number of each, in random order.
+  std::vector<uint8_t> is_insert(total_updates, 0);
+  for (uint64_t i = 0; i < num_inserts; ++i) {
+    is_insert[i] = 1;
+  }
+  if (params.kind == UpdateKind::kMixed) {
+    Shuffle(is_insert, rng);
+  }
+
+  workload.updates.reserve(total_updates);
+  uint64_t reserve_cursor = 0;
+  for (uint64_t step = 0; step < total_updates; ++step) {
+    if (is_insert[step] != 0 && reserve_cursor < reserve.size()) {
+      const WeightedEdge& e = reserve[reserve_cursor++];
+      workload.updates.push_back(
+          Update{Update::Kind::kInsert, e.src, e.dst, e.bias});
+      live.push_back(e);
+    } else {
+      assert(!live.empty() && "deletion requested on an empty live set");
+      const uint64_t pick = rng.NextBounded(live.size());
+      const WeightedEdge e = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      workload.updates.push_back(
+          Update{Update::Kind::kDelete, e.src, e.dst, e.bias});
+    }
+  }
+  return workload;
+}
+
+std::vector<UpdateList> SplitIntoBatches(const UpdateList& updates,
+                                         uint64_t batch_size) {
+  std::vector<UpdateList> batches;
+  for (std::size_t begin = 0; begin < updates.size(); begin += batch_size) {
+    const std::size_t end = std::min(updates.size(), begin + batch_size);
+    batches.emplace_back(updates.begin() + static_cast<std::ptrdiff_t>(begin),
+                         updates.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+const char* ToString(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsertion:
+      return "Insertion";
+    case UpdateKind::kDeletion:
+      return "Deletion";
+    case UpdateKind::kMixed:
+      return "Mixed";
+  }
+  return "?";
+}
+
+}  // namespace bingo::graph

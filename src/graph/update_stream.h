@@ -1,0 +1,54 @@
+// Dynamic-update workload generation, following §6.1 of the paper exactly:
+//
+//   (i)  split the original edges into A (original minus 10·BATCHSIZE edges)
+//        and B (10·BATCHSIZE reserve edges), randomly;
+//   (ii) repeatedly decide insert vs delete;
+//   (iii) a delete removes a random edge currently in A; an insert moves a
+//        random edge from B into A.
+//
+// This is repeated 10·BATCHSIZE times; set A at step (i) initializes the
+// test graph. Three workload kinds exist: Insertion-only, Deletion-only,
+// and Mixed (equal numbers of each).
+
+#ifndef BINGO_SRC_GRAPH_UPDATE_STREAM_H_
+#define BINGO_SRC_GRAPH_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/bias.h"
+#include "src/graph/types.h"
+#include "src/util/rng.h"
+
+namespace bingo::graph {
+
+enum class UpdateKind { kInsertion, kDeletion, kMixed };
+
+struct UpdateWorkload {
+  WeightedEdgeList initial_edges;  // set A after the split
+  UpdateList updates;              // 10·BATCHSIZE updates, in order
+};
+
+struct UpdateWorkloadParams {
+  UpdateKind kind = UpdateKind::kMixed;
+  uint64_t batch_size = 100'000;
+  int num_batches = 10;
+};
+
+// Builds the workload from weighted edges. Deletions always target an edge
+// that is live at that point of the stream; insertions re-add edges from the
+// reserve set with a bias drawn like the original one.
+UpdateWorkload BuildUpdateWorkload(const WeightedEdgeList& all_edges,
+                                   const UpdateWorkloadParams& params,
+                                   util::Rng& rng);
+
+// Slices `updates` into contiguous batches of `batch_size` (last one may be
+// short).
+std::vector<UpdateList> SplitIntoBatches(const UpdateList& updates,
+                                         uint64_t batch_size);
+
+const char* ToString(UpdateKind kind);
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_UPDATE_STREAM_H_

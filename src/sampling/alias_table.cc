@@ -1,0 +1,78 @@
+#include "src/sampling/alias_table.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace bingo::sampling {
+
+void AliasTable::Build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  total_weight_ = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (n == 0 || total_weight_ <= 0.0) {
+    total_weight_ = 0.0;
+    return;
+  }
+
+  // Vose's algorithm: scale weights so the average bucket volume is 1, then
+  // pair each under-full bucket with an over-full donor. Scratch buffers are
+  // thread-local: Build runs on every streaming update (the inter-group
+  // rebuild of §4.2), so per-call allocations would dominate small tables.
+  static thread_local std::vector<double> scaled;
+  static thread_local std::vector<uint32_t> small;
+  static thread_local std::vector<uint32_t> large;
+  scaled.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total_weight_;
+  }
+  small.clear();
+  large.clear();
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically-full buckets.
+  for (uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (uint32_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+uint32_t AliasTable::Sample(util::Rng& rng) const {
+  assert(!prob_.empty() && total_weight_ > 0.0);
+  const uint32_t bucket = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+  return rng.NextUnit() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+std::vector<double> AliasTable::ImpliedProbabilities() const {
+  std::vector<double> probs(prob_.size(), 0.0);
+  if (prob_.empty() || total_weight_ <= 0.0) {
+    return probs;
+  }
+  const double bucket_mass = 1.0 / static_cast<double>(prob_.size());
+  for (std::size_t i = 0; i < prob_.size(); ++i) {
+    probs[i] += bucket_mass * prob_[i];
+    probs[alias_[i]] += bucket_mass * (1.0 - prob_[i]);
+  }
+  return probs;
+}
+
+}  // namespace bingo::sampling

@@ -1,0 +1,51 @@
+// Alias method (Vose construction) — §2.3(b) of the paper.
+//
+// O(d) construction, O(1) sampling. This is both the classical baseline
+// (KnightKing's static sampler, which rebuilds a vertex's table on every
+// update) and the building block of Bingo's *inter-group* sampling space,
+// where d is replaced by the number of radix groups K.
+
+#ifndef BINGO_SRC_SAMPLING_ALIAS_TABLE_H_
+#define BINGO_SRC_SAMPLING_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bingo::sampling {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds the table for (possibly zero) nonnegative weights. O(n).
+  void Build(std::span<const double> weights);
+
+  // Draws an index with probability weight[i] / sum(weights). The table must
+  // have at least one positive weight.
+  uint32_t Sample(util::Rng& rng) const;
+
+  std::size_t Size() const { return prob_.size(); }
+  bool Empty() const { return prob_.empty(); }
+  double TotalWeight() const { return total_weight_; }
+
+  // Exactly reconstructs the probability each index receives from the built
+  // table (sum of its own bucket share plus alias shares). Used by tests to
+  // verify correctness without sampling noise.
+  std::vector<double> ImpliedProbabilities() const;
+
+  std::size_t MemoryBytes() const {
+    return prob_.capacity() * sizeof(double) + alias_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;     // acceptance threshold per bucket, in [0,1]
+  std::vector<uint32_t> alias_;  // alias target per bucket
+  double total_weight_ = 0.0;
+};
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_ALIAS_TABLE_H_

@@ -1,0 +1,26 @@
+// Ground-truth helpers for sampler validation.
+
+#ifndef BINGO_SRC_SAMPLING_EXACT_H_
+#define BINGO_SRC_SAMPLING_EXACT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bingo::sampling {
+
+// Draws `num_samples` outcomes from `sample_fn()` (which must return an
+// index < num_outcomes) and returns the per-outcome counts.
+template <typename SampleFn>
+std::vector<uint64_t> Histogram(std::size_t num_outcomes, uint64_t num_samples,
+                                SampleFn&& sample_fn) {
+  std::vector<uint64_t> counts(num_outcomes, 0);
+  for (uint64_t s = 0; s < num_samples; ++s) {
+    ++counts[sample_fn()];
+  }
+  return counts;
+}
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_EXACT_H_

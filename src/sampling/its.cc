@@ -1,0 +1,50 @@
+#include "src/sampling/its.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bingo::sampling {
+
+void ItsSampler::Build(std::span<const double> weights) {
+  cdf_.resize(weights.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    running += weights[i];
+    cdf_[i] = running;
+  }
+}
+
+void ItsSampler::Append(double weight) {
+  cdf_.push_back(TotalWeight() + weight);
+}
+
+void ItsSampler::RemoveAt(uint32_t index) {
+  assert(index < cdf_.size());
+  const double removed = WeightAt(index);
+  for (std::size_t i = index; i + 1 < cdf_.size(); ++i) {
+    cdf_[i] = cdf_[i + 1] - removed;
+  }
+  cdf_.pop_back();
+}
+
+uint32_t ItsSampler::Sample(util::Rng& rng) const {
+  assert(!cdf_.empty() && cdf_.back() > 0.0);
+  const double x = rng.NextUnit() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<uint32_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+std::vector<double> ItsSampler::ImpliedProbabilities() const {
+  std::vector<double> probs(cdf_.size(), 0.0);
+  const double total = TotalWeight();
+  if (total <= 0.0) {
+    return probs;
+  }
+  for (uint32_t i = 0; i < cdf_.size(); ++i) {
+    probs[i] = WeightAt(i) / total;
+  }
+  return probs;
+}
+
+}  // namespace bingo::sampling

@@ -1,0 +1,54 @@
+// Inverse Transform Sampling — §2.3(c) of the paper.
+//
+// Maintains the prefix-sum (CDF) array C with c_i = sum_{j<=i} w_j.
+// Sampling draws x ~ U[0, c_{d-1}) and binary-searches the interval:
+// O(log d). Construction is O(d); appending one weight is O(1) (this is why
+// the paper's Table 1 lists ITS insertion as O(1)); deletion requires an
+// O(d) rebuild of the suffix. This sampler is the core of the gSampler-like
+// baseline (substitution S3).
+
+#ifndef BINGO_SRC_SAMPLING_ITS_H_
+#define BINGO_SRC_SAMPLING_ITS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bingo::sampling {
+
+class ItsSampler {
+ public:
+  ItsSampler() = default;
+
+  void Build(std::span<const double> weights);
+
+  // O(1) append of one weight.
+  void Append(double weight);
+
+  // O(d - index) removal: rewrites the suffix of the CDF.
+  void RemoveAt(uint32_t index);
+
+  // Draws an index with probability w_i / total. Requires TotalWeight() > 0.
+  uint32_t Sample(util::Rng& rng) const;
+
+  std::size_t Size() const { return cdf_.size(); }
+  double TotalWeight() const { return cdf_.empty() ? 0.0 : cdf_.back(); }
+
+  // Weight of entry i, recovered from the CDF.
+  double WeightAt(uint32_t index) const {
+    return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+  }
+
+  std::vector<double> ImpliedProbabilities() const;
+
+  std::size_t MemoryBytes() const { return cdf_.capacity() * sizeof(double); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_ITS_H_

@@ -1,0 +1,56 @@
+#include "src/sampling/rejection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bingo::sampling {
+
+void RejectionSampler::Build(std::span<const double> weights) {
+  weights_.assign(weights.begin(), weights.end());
+  RecomputeAggregates();
+}
+
+void RejectionSampler::RecomputeAggregates() {
+  max_weight_ = 0.0;
+  total_weight_ = 0.0;
+  for (double w : weights_) {
+    max_weight_ = std::max(max_weight_, w);
+    total_weight_ += w;
+  }
+}
+
+void RejectionSampler::Append(double weight) {
+  weights_.push_back(weight);
+  max_weight_ = std::max(max_weight_, weight);
+  total_weight_ += weight;
+}
+
+void RejectionSampler::RemoveAt(uint32_t index) {
+  assert(index < weights_.size());
+  const double removed = weights_[index];
+  weights_[index] = weights_.back();
+  weights_.pop_back();
+  total_weight_ -= removed;
+  if (removed >= max_weight_) {
+    RecomputeAggregates();
+  }
+}
+
+uint32_t RejectionSampler::Sample(util::Rng& rng) const {
+  assert(!weights_.empty() && max_weight_ > 0.0);
+  for (;;) {
+    const uint32_t candidate = static_cast<uint32_t>(rng.NextBounded(weights_.size()));
+    if (rng.NextUnit() * max_weight_ < weights_[candidate]) {
+      return candidate;
+    }
+  }
+}
+
+double RejectionSampler::ExpectedTrials() const {
+  if (total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(weights_.size()) * max_weight_ / total_weight_;
+}
+
+}  // namespace bingo::sampling

@@ -1,0 +1,55 @@
+// Rejection sampling — §2.3(d) of the paper.
+//
+// Keeps only the weights and their maximum: pick a candidate uniformly,
+// accept with probability w_i / max(w). Expected cost O(d·max(w) / sum(w)),
+// which degrades under skew — the reason the paper rejects it as a general
+// dynamic sampler, and the reason Bingo's dense-group fallback (which uses
+// rejection *within* a radix group, §5.1) caps the rejection ratio at
+// 1 - alpha%.
+
+#ifndef BINGO_SRC_SAMPLING_REJECTION_H_
+#define BINGO_SRC_SAMPLING_REJECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bingo::sampling {
+
+class RejectionSampler {
+ public:
+  RejectionSampler() = default;
+
+  void Build(std::span<const double> weights);
+
+  // O(1) append.
+  void Append(double weight);
+
+  // Swap-with-tail removal; O(1) unless the maximum must be recomputed
+  // (removed weight was the unique max), which is O(d).
+  void RemoveAt(uint32_t index);
+
+  uint32_t Sample(util::Rng& rng) const;
+
+  std::size_t Size() const { return weights_.size(); }
+  double MaxWeight() const { return max_weight_; }
+  double TotalWeight() const { return total_weight_; }
+
+  // Expected number of trials per sample: d * max / total.
+  double ExpectedTrials() const;
+
+  std::size_t MemoryBytes() const { return weights_.capacity() * sizeof(double); }
+
+ private:
+  void RecomputeAggregates();
+
+  std::vector<double> weights_;
+  double max_weight_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_REJECTION_H_

@@ -1,0 +1,11 @@
+#include "src/sampling/reservoir.h"
+
+namespace bingo::sampling {
+
+uint32_t WeightedReservoirPick(std::span<const double> weights, util::Rng& rng) {
+  return WeightedReservoirPickFn(
+      static_cast<uint32_t>(weights.size()),
+      [&weights](uint32_t i) { return weights[i]; }, rng);
+}
+
+}  // namespace bingo::sampling

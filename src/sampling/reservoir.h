@@ -1,0 +1,48 @@
+// Weighted reservoir selection — FlowWalker's sampling primitive
+// (substitution S3 in DESIGN.md).
+//
+// FlowWalker keeps no auxiliary per-vertex structure at all: each walk step
+// scans the neighbor biases once and keeps a running weighted choice
+// ("reservoir" of size one). That makes updates free (the graph itself is
+// the structure) but every sample O(d) — the exact trade-off Fig 16
+// measures against Bingo.
+
+#ifndef BINGO_SRC_SAMPLING_RESERVOIR_H_
+#define BINGO_SRC_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/rng.h"
+
+namespace bingo::sampling {
+
+// Returns an index drawn with probability weights[i]/sum(weights) using a
+// single streaming pass (chain rule: replace the running pick with item i
+// with probability w_i / sum_{j<=i} w_j). Returns UINT32_MAX if all weights
+// are zero.
+uint32_t WeightedReservoirPick(std::span<const double> weights, util::Rng& rng);
+
+// Same, but reads weights through an accessor (used to stream directly over
+// adjacency arrays without materializing a weight vector).
+template <typename WeightFn>
+uint32_t WeightedReservoirPickFn(uint32_t count, WeightFn&& weight_of,
+                                 util::Rng& rng) {
+  double running = 0.0;
+  uint32_t pick = 0xFFFFFFFFu;
+  for (uint32_t i = 0; i < count; ++i) {
+    const double w = weight_of(i);
+    if (w <= 0.0) {
+      continue;
+    }
+    running += w;
+    if (running == w || rng.NextUnit() * running < w) {
+      pick = i;
+    }
+  }
+  return pick;
+}
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_RESERVOIR_H_

@@ -1,0 +1,42 @@
+// Bit-manipulation helpers shared by the radix decomposition (§4.1) and the
+// size-class memory pool.
+
+#ifndef BINGO_SRC_UTIL_BITOPS_H_
+#define BINGO_SRC_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace bingo::util {
+
+// Number of set bits; the paper's t = popc(w_i), the number of groups an
+// edge's bias contributes sub-biases to.
+inline int Popcount(uint64_t x) { return std::popcount(x); }
+
+// Index of the highest set bit; 2^HighestBit(w) is the most significant
+// radix group of bias w. Undefined for x == 0 by contract.
+inline int HighestBit(uint64_t x) { return 63 - std::countl_zero(x); }
+
+// Index of the lowest set bit. Undefined for x == 0 by contract.
+inline int LowestBit(uint64_t x) { return std::countr_zero(x); }
+
+// Smallest power of two >= x (x >= 1).
+inline uint64_t CeilPow2(uint64_t x) { return std::bit_ceil(x); }
+
+// True if x is a power of two (x > 0).
+inline bool IsPow2(uint64_t x) { return std::has_single_bit(x); }
+
+// Visits the index of every set bit of `bits`, lowest first. This is the
+// iteration primitive of Eq. (3): D(w) = {2^k | w & 2^k != 0}.
+template <typename Fn>
+inline void ForEachSetBit(uint64_t bits, Fn&& fn) {
+  while (bits != 0) {
+    const int k = std::countr_zero(bits);
+    fn(k);
+    bits &= bits - 1;
+  }
+}
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_BITOPS_H_

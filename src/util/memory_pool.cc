@@ -1,0 +1,99 @@
+#include "src/util/memory_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <new>
+#include <thread>
+
+#include "src/util/bitops.h"
+
+namespace bingo::util {
+
+namespace {
+// Stable per-thread shard index, striped round-robin across threads.
+int ThreadShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+}  // namespace
+
+std::size_t MemoryPool::ClassSize(std::size_t bytes) {
+  return CeilPow2(std::max(bytes, kMinClassBytes));
+}
+
+int MemoryPool::ClassIndex(std::size_t bytes) {
+  const std::size_t cls = ClassSize(bytes);
+  return HighestBit(cls) - HighestBit(kMinClassBytes);
+}
+
+MemoryPool::Shard& MemoryPool::LocalShard() {
+  return shards_[ThreadShardIndex() % kNumShards];
+}
+
+void* MemoryPool::Allocate(std::size_t bytes) {
+  if (bytes == 0) {
+    return nullptr;
+  }
+  const std::size_t cls = ClassSize(bytes);
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.live_bytes += static_cast<std::ptrdiff_t>(cls);
+  if (cls > kMaxClassBytes) {
+    shard.reserved_bytes += cls;
+    return ::operator new(cls);
+  }
+  auto& free_list = shard.free_lists[ClassIndex(bytes)];
+  if (!free_list.empty()) {
+    void* block = free_list.back();
+    free_list.pop_back();
+    return block;
+  }
+  // Carve from the shard's newest arena; start a new arena if it won't fit.
+  const std::size_t arena_size = std::max(cls, kArenaBytes);
+  if (shard.arenas.empty() || shard.arena_used + cls > kArenaBytes ||
+      cls > kArenaBytes) {
+    shard.arenas.push_back(std::make_unique<std::byte[]>(arena_size));
+    shard.arena_used = 0;
+    shard.reserved_bytes += arena_size;
+  }
+  void* block = shard.arenas.back().get() + shard.arena_used;
+  shard.arena_used += cls;
+  return block;
+}
+
+void MemoryPool::Deallocate(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr || bytes == 0) {
+    return;
+  }
+  const std::size_t cls = ClassSize(bytes);
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.live_bytes -= static_cast<std::ptrdiff_t>(cls);
+  if (cls > kMaxClassBytes) {
+    shard.reserved_bytes -= static_cast<std::ptrdiff_t>(cls);
+    ::operator delete(ptr);
+    return;
+  }
+  shard.free_lists[ClassIndex(bytes)].push_back(ptr);
+}
+
+std::size_t MemoryPool::ReservedBytes() const {
+  std::ptrdiff_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.reserved_bytes;
+  }
+  return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, total));
+}
+
+std::size_t MemoryPool::LiveBytes() const {
+  std::ptrdiff_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.live_bytes;
+  }
+  return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, total));
+}
+
+}  // namespace bingo::util

@@ -1,0 +1,89 @@
+// Size-class slab allocator for dynamic adjacency arrays (Hornet's design,
+// substitution S5 in DESIGN.md).
+//
+// Hornet keeps per-vertex dynamic arrays in pooled blocks whose capacities
+// are powers of two, so that growing a vertex's neighbor list is a
+// free-list pop instead of a device allocation. The paper attributes
+// Bingo's deletion-faster-than-insertion behaviour (§6.2) to exactly this:
+// freed blocks go back to the free list and are recycled "offline", while
+// insertion may have to grow into a fresh block immediately.
+//
+// The pool is sharded: each thread allocates from a shard picked by thread
+// identity, so parallel batched updates (which grow many adjacency blocks
+// concurrently) do not serialize on one lock. Blocks may be freed into a
+// different shard than they were carved from — blocks of one size class are
+// interchangeable and arena memory is only released when the whole pool
+// dies.
+//
+// Blocks above `kMaxClassBytes` fall through to the system allocator.
+
+#ifndef BINGO_SRC_UTIL_MEMORY_POOL_H_
+#define BINGO_SRC_UTIL_MEMORY_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bingo::util {
+
+class MemoryPool {
+ public:
+  static constexpr std::size_t kMinClassBytes = 16;
+  static constexpr std::size_t kMaxClassBytes = std::size_t{1} << 26;  // 64 MiB
+  static constexpr std::size_t kArenaBytes = std::size_t{1} << 22;     // 4 MiB
+  static constexpr int kNumShards = 8;
+
+  MemoryPool() = default;
+  ~MemoryPool() = default;
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  // Returns a block of at least `bytes` bytes (rounded up to its size
+  // class). `bytes == 0` returns nullptr. Thread-safe.
+  void* Allocate(std::size_t bytes);
+
+  // Returns a block obtained from Allocate(bytes). The same `bytes` value
+  // (pre-rounding) must be passed back. Thread-safe.
+  void Deallocate(void* ptr, std::size_t bytes);
+
+  // Capacity actually reserved for a request of `bytes` (its size class).
+  static std::size_t ClassSize(std::size_t bytes);
+
+  // Bytes held in arenas plus oversize allocations (i.e. what the pool has
+  // taken from the system).
+  std::size_t ReservedBytes() const;
+
+  // Bytes currently handed out to callers (rounded to class sizes).
+  std::size_t LiveBytes() const;
+
+ private:
+  static constexpr int kNumClasses = 23;  // 16 B ... 64 MiB
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<std::byte[]>> arenas;
+    std::size_t arena_used = 0;  // bytes used in the newest arena
+    // Signed deltas: a block (or oversize allocation) may be freed via a
+    // different shard than it was taken from; only the cross-shard sums are
+    // meaningful, and those are always the true totals.
+    std::ptrdiff_t reserved_bytes = 0;
+    std::ptrdiff_t live_bytes = 0;
+    std::vector<void*> free_lists[kNumClasses];
+  };
+
+  static int ClassIndex(std::size_t bytes);
+  Shard& LocalShard();
+
+  // live_bytes is tracked per shard as a signed delta (a block may be freed
+  // into a different shard than it was taken from); the public LiveBytes()
+  // sums the deltas, which is always the true total.
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_MEMORY_POOL_H_

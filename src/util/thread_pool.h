@@ -1,0 +1,62 @@
+// Fixed-size thread pool with a blocking ParallelFor.
+//
+// The paper executes batched graph updates and walker advancement as CUDA
+// kernels (one thread block per vertex / per walker). Substitution S1 in
+// DESIGN.md maps that execution model onto a CPU pool: work items are
+// vertices or walker chunks, scheduled round-robin with a grain size.
+
+#ifndef BINGO_SRC_UTIL_THREAD_POOL_H_
+#define BINGO_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bingo::util {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` selects the hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+  // Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  // chunks of at least `grain` iterations. Blocks until all iterations are
+  // done. The first exception thrown by any chunk is rethrown on the caller.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 1);
+
+  // Runs fn(chunk_begin, chunk_end) over contiguous chunks; lower dispatch
+  // overhead than per-index ParallelFor for tight loops.
+  void ParallelForChunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1);
+
+  // Global pool shared by the library (walk engine, batched updates).
+  static ThreadPool& Global();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,59 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// piecewise breakdown experiments (Fig 13, Fig 16).
+
+#ifndef BINGO_SRC_UTIL_TIMER_H_
+#define BINGO_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bingo::util {
+
+// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across disjoint phases, e.g. Bingo's insert/delete vs
+// rebuild vs sampling split in Fig 13.
+class TimeAccumulator {
+ public:
+  void Add(double seconds) { total_ += seconds; }
+  double Seconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  double total_ = 0.0;
+};
+
+// RAII guard that adds its lifetime to a TimeAccumulator.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(TimeAccumulator& acc) : acc_(acc) {}
+  ~ScopedAccumulator() { acc_.Add(timer_.Seconds()); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  Timer timer_;
+};
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_TIMER_H_

@@ -1,0 +1,26 @@
+#include "src/walk/analytics.h"
+
+#include <algorithm>
+
+namespace bingo::walk {
+
+std::vector<std::pair<graph::VertexId, double>> TopK(
+    const std::vector<double>& scores, std::size_t k, graph::VertexId exclude) {
+  std::vector<std::pair<graph::VertexId, double>> ranked;
+  ranked.reserve(scores.size());
+  for (graph::VertexId v = 0; v < scores.size(); ++v) {
+    if (v != exclude && scores[v] > 0.0) {
+      ranked.emplace_back(v, scores[v]);
+    }
+  }
+  const std::size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(take),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                    });
+  ranked.resize(take);
+  return ranked;
+}
+
+}  // namespace bingo::walk

@@ -1,0 +1,145 @@
+// The paper's random walk applications (§2.2, §6.1), store-agnostic:
+//
+//   DeepWalk       — biased first-order walks, fixed length (default 80).
+//   node2vec       — second-order walks; the transition probability is
+//                    modulated by f(w, v) in {1/p, 1, 1/q} depending on the
+//                    distance between the previous vertex w and candidate v
+//                    (Eq 1). Sampling uses KnightKing's approach, which the
+//                    paper adopts (§7.3): draw from the static structure,
+//                    then accept with probability f / f_max.
+//   PPR            — walks with termination probability 1/80; the output is
+//                    per-vertex visit frequencies.
+//   SimpleSampling — unbiased uniform walks (the random_walk_simple_sampling
+//                    kernel).
+//
+// A Store must provide SampleNeighbor(v, rng) and Graph().
+
+#ifndef BINGO_SRC_WALK_APPS_H_
+#define BINGO_SRC_WALK_APPS_H_
+
+#include <algorithm>
+
+#include "src/graph/dynamic_graph.h"
+#include "src/walk/engine.h"
+
+namespace bingo::walk {
+
+struct Node2vecParams {
+  double p = 0.5;  // return parameter
+  double q = 2.0;  // in-out parameter
+};
+
+namespace internal {
+
+template <typename Store>
+struct FirstOrderStepper {
+  const Store& store;
+  graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
+                       util::Rng& rng) const {
+    return store.SampleNeighbor(cur, rng);
+  }
+  bool Terminate(util::Rng& /*rng*/) const { return false; }
+};
+
+template <typename Store>
+struct PprStepper {
+  const Store& store;
+  double stop_probability;
+  graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
+                       util::Rng& rng) const {
+    return store.SampleNeighbor(cur, rng);
+  }
+  bool Terminate(util::Rng& rng) const { return rng.NextBool(stop_probability); }
+};
+
+template <typename Store>
+struct Node2vecStepper {
+  const Store& store;
+  const graph::DynamicGraph& graph;
+  Node2vecParams params;
+  double f_max;
+  // Bounded retry count guards against pathological all-reject states
+  // (e.g. p and q both huge on a vertex whose only neighbor is prev).
+  static constexpr int kMaxTrials = 128;
+
+  graph::VertexId Next(graph::VertexId cur, graph::VertexId prev,
+                       util::Rng& rng) const {
+    if (prev == graph::kInvalidVertex) {
+      return store.SampleNeighbor(cur, rng);  // first hop is first-order
+    }
+    for (int trial = 0; trial < kMaxTrials; ++trial) {
+      const graph::VertexId candidate = store.SampleNeighbor(cur, rng);
+      if (candidate == graph::kInvalidVertex) {
+        return graph::kInvalidVertex;
+      }
+      double f;
+      if (candidate == prev) {
+        f = 1.0 / params.p;  // distance 0
+      } else if (graph.HasEdge(prev, candidate)) {
+        f = 1.0;  // distance 1
+      } else {
+        f = 1.0 / params.q;  // distance 2
+      }
+      if (rng.NextUnit() * f_max < f) {
+        return candidate;
+      }
+    }
+    return graph::kInvalidVertex;
+  }
+  bool Terminate(util::Rng& /*rng*/) const { return false; }
+};
+
+template <typename Store>
+struct UniformStepper {
+  const Store& store;
+  graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
+                       util::Rng& rng) const {
+    const auto adj = store.Graph().Neighbors(cur);
+    if (adj.empty()) {
+      return graph::kInvalidVertex;
+    }
+    return adj[rng.NextBounded(adj.size())].dst;
+  }
+  bool Terminate(util::Rng& /*rng*/) const { return false; }
+};
+
+}  // namespace internal
+
+template <typename Store>
+WalkResult RunDeepWalk(const Store& store, const WalkConfig& cfg,
+                       util::ThreadPool* pool = nullptr) {
+  internal::FirstOrderStepper<Store> stepper{store};
+  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+}
+
+template <typename Store>
+WalkResult RunNode2vec(const Store& store, const WalkConfig& cfg,
+                       const Node2vecParams& params = {},
+                       util::ThreadPool* pool = nullptr) {
+  const double f_max = std::max({1.0 / params.p, 1.0, 1.0 / params.q});
+  internal::Node2vecStepper<Store> stepper{store, store.Graph(), params, f_max};
+  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+}
+
+template <typename Store>
+WalkResult RunPpr(const Store& store, WalkConfig cfg,
+                  double stop_probability = 1.0 / 80.0,
+                  util::ThreadPool* pool = nullptr) {
+  cfg.count_visits = true;
+  // The paper parameterizes PPR by stop probability (expected length 1/p);
+  // the cap only guards the geometric tail.
+  cfg.walk_length = std::max<uint32_t>(cfg.walk_length, 1) * 16;
+  internal::PprStepper<Store> stepper{store, stop_probability};
+  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+}
+
+template <typename Store>
+WalkResult RunSimpleSampling(const Store& store, const WalkConfig& cfg,
+                             util::ThreadPool* pool = nullptr) {
+  internal::UniformStepper<Store> stepper{store};
+  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+}
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_APPS_H_

@@ -1,0 +1,248 @@
+#include "src/walk/baseline_stores.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bingo::walk {
+
+namespace {
+
+// Rebuild-affected-vertices plumbing shared by AliasStore and ItsStore:
+// apply all graph mutations, then rebuild each touched vertex once.
+template <typename Store>
+void ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
+                          const graph::UpdateList& updates,
+                          util::ThreadPool* pool) {
+  std::unordered_set<graph::VertexId> touched;
+  touched.reserve(updates.size());
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kInsert) {
+      g.Insert(u.src, u.dst, u.bias);
+      touched.insert(u.src);
+    } else {
+      const auto idx = g.FindEarliest(u.src, u.dst);
+      if (idx.has_value()) {
+        g.SwapRemove(u.src, *idx);
+        touched.insert(u.src);
+      }
+    }
+  }
+  std::vector<graph::VertexId> order(touched.begin(), touched.end());
+  const auto rebuild_range = [&store, &order](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      store.RebuildVertexPublic(order[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, order.size(), rebuild_range, 256);
+  } else {
+    rebuild_range(0, order.size());
+  }
+}
+
+// Applies updates to the graph only (no sampling-structure maintenance).
+void ApplyUpdatesToGraph(graph::DynamicGraph& g, const graph::UpdateList& updates) {
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kInsert) {
+      g.Insert(u.src, u.dst, u.bias);
+    } else {
+      const auto idx = g.FindEarliest(u.src, u.dst);
+      if (idx.has_value()) {
+        g.SwapRemove(u.src, *idx);
+      }
+    }
+  }
+}
+
+std::vector<double> BiasesOf(const graph::DynamicGraph& g, graph::VertexId v) {
+  const auto adj = g.Neighbors(v);
+  std::vector<double> biases(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    biases[i] = adj[i].bias;
+  }
+  return biases;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- AliasStore --
+
+AliasStore::AliasStore(graph::DynamicGraph graph, util::ThreadPool* pool)
+    : BaselineStoreBase(std::move(graph)) {
+  tables_.resize(graph_.NumVertices());
+  RebuildAll(pool);
+}
+
+void AliasStore::RebuildVertex(graph::VertexId v) {
+  tables_[v].Build(BiasesOf(graph_, v));
+}
+
+void AliasStore::RebuildAll(util::ThreadPool* pool) {
+  const auto range = [this](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      RebuildVertex(static_cast<graph::VertexId>(v));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, tables_.size(), range, 1024);
+  } else {
+    range(0, tables_.size());
+  }
+}
+
+graph::VertexId AliasStore::SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+  const sampling::AliasTable& table = tables_[v];
+  if (table.Empty() || table.TotalWeight() <= 0.0) {
+    return graph::kInvalidVertex;
+  }
+  return graph_.NeighborAt(v, table.Sample(rng)).dst;
+}
+
+void AliasStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
+                                 double bias) {
+  graph_.Insert(src, dst, bias);
+  RebuildVertex(src);  // O(d): the alias method's update cost (Table 1)
+}
+
+bool AliasStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  graph_.SwapRemove(src, *idx);
+  RebuildVertex(src);
+  return true;
+}
+
+void AliasStore::ApplyBatchReload(const graph::UpdateList& updates,
+                                  util::ThreadPool* pool) {
+  ApplyUpdatesToGraph(graph_, updates);
+  RebuildAll(pool);
+}
+
+void AliasStore::ApplyBatch(const graph::UpdateList& updates,
+                            util::ThreadPool* pool) {
+  struct Adapter {
+    AliasStore& store;
+    void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
+  } adapter{*this};
+  ApplyBatchRebuilding(adapter, graph_, updates, pool);
+}
+
+std::size_t AliasStore::MemoryBytes() const {
+  std::size_t total = graph_.MemoryBytes() + tables_.capacity() * sizeof(tables_[0]);
+  for (const auto& t : tables_) {
+    total += t.MemoryBytes();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- ItsStore --
+
+ItsStore::ItsStore(graph::DynamicGraph graph, util::ThreadPool* pool)
+    : BaselineStoreBase(std::move(graph)) {
+  cdfs_.resize(graph_.NumVertices());
+  RebuildAll(pool);
+}
+
+void ItsStore::RebuildVertex(graph::VertexId v) {
+  cdfs_[v].Build(BiasesOf(graph_, v));
+}
+
+void ItsStore::RebuildAll(util::ThreadPool* pool) {
+  const auto range = [this](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      RebuildVertex(static_cast<graph::VertexId>(v));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, cdfs_.size(), range, 1024);
+  } else {
+    range(0, cdfs_.size());
+  }
+}
+
+graph::VertexId ItsStore::SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+  const sampling::ItsSampler& cdf = cdfs_[v];
+  if (cdf.Size() == 0 || cdf.TotalWeight() <= 0.0) {
+    return graph::kInvalidVertex;
+  }
+  return graph_.NeighborAt(v, cdf.Sample(rng)).dst;
+}
+
+void ItsStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
+                               double bias) {
+  graph_.Insert(src, dst, bias);
+  cdfs_[src].Append(bias);  // O(1): ITS insertion (Table 1)
+}
+
+bool ItsStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  graph_.SwapRemove(src, *idx);
+  RebuildVertex(src);  // O(d): swap-remove reorders, so the CDF is rebuilt
+  return true;
+}
+
+void ItsStore::ApplyBatchReload(const graph::UpdateList& updates,
+                                util::ThreadPool* pool) {
+  ApplyUpdatesToGraph(graph_, updates);
+  RebuildAll(pool);
+}
+
+void ItsStore::ApplyBatch(const graph::UpdateList& updates, util::ThreadPool* pool) {
+  struct Adapter {
+    ItsStore& store;
+    void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
+  } adapter{*this};
+  ApplyBatchRebuilding(adapter, graph_, updates, pool);
+}
+
+std::size_t ItsStore::MemoryBytes() const {
+  std::size_t total = graph_.MemoryBytes() + cdfs_.capacity() * sizeof(cdfs_[0]);
+  for (const auto& c : cdfs_) {
+    total += c.MemoryBytes();
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- ReservoirStore --
+
+graph::VertexId ReservoirStore::SampleNeighbor(graph::VertexId v,
+                                               util::Rng& rng) const {
+  const auto adj = graph_.Neighbors(v);
+  if (adj.empty()) {
+    return graph::kInvalidVertex;
+  }
+  const uint32_t pick = sampling::WeightedReservoirPickFn(
+      static_cast<uint32_t>(adj.size()),
+      [&adj](uint32_t i) { return adj[i].bias; }, rng);
+  return pick == 0xFFFFFFFFu ? graph::kInvalidVertex : adj[pick].dst;
+}
+
+bool ReservoirStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  const auto idx = graph_.FindEarliest(src, dst);
+  if (!idx.has_value()) {
+    return false;
+  }
+  graph_.SwapRemove(src, *idx);
+  return true;
+}
+
+void ReservoirStore::ApplyBatch(const graph::UpdateList& updates,
+                                util::ThreadPool* /*pool*/) {
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kInsert) {
+      graph_.Insert(u.src, u.dst, u.bias);
+    } else {
+      const auto idx = graph_.FindEarliest(u.src, u.dst);
+      if (idx.has_value()) {
+        graph_.SwapRemove(u.src, *idx);
+      }
+    }
+  }
+}
+
+}  // namespace bingo::walk

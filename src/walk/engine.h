@@ -1,0 +1,162 @@
+// Parallel random-walk driver.
+//
+// The paper launches one walker per vertex and advances walks step by step,
+// each step being one sample (§6 implementation notes iii). This driver
+// runs walkers in parallel on the thread pool with deterministic per-walker
+// RNG streams; results are identical for any thread count.
+//
+// A Stepper supplies the application logic:
+//
+//   struct Stepper {
+//     // Next vertex, or graph::kInvalidVertex to stop (dead end / reject).
+//     graph::VertexId Next(graph::VertexId cur, graph::VertexId prev,
+//                          util::Rng& rng) const;
+//     // Post-step termination test (e.g. PPR's stop probability).
+//     bool Terminate(util::Rng& rng) const;
+//   };
+
+#ifndef BINGO_SRC_WALK_ENGINE_H_
+#define BINGO_SRC_WALK_ENGINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace bingo::walk {
+
+struct WalkConfig {
+  uint64_t num_walkers = 0;   // 0 = one per vertex
+  uint32_t walk_length = 80;  // maximum steps (stops earlier on dead ends)
+  uint64_t seed = 42;
+  bool record_paths = false;   // collect full paths (embedding corpora)
+  bool count_visits = false;   // per-vertex visit frequencies (PPR)
+};
+
+struct WalkResult {
+  uint64_t total_steps = 0;       // edges traversed across all walkers
+  uint64_t finished_walkers = 0;  // walkers that took at least one step
+  // Flattened paths when record_paths: walker i owns
+  // paths[path_offsets[i] .. path_offsets[i+1]).
+  std::vector<graph::VertexId> paths;
+  std::vector<uint64_t> path_offsets;
+  // Visit frequencies when count_visits (includes start vertices).
+  std::vector<uint32_t> visit_counts;
+};
+
+template <typename Stepper>
+WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
+                    const Stepper& stepper, util::ThreadPool* pool = nullptr) {
+  const uint64_t num_walkers =
+      cfg.num_walkers == 0 ? num_vertices : cfg.num_walkers;
+  WalkResult result;
+  if (cfg.count_visits) {
+    result.visit_counts.assign(num_vertices, 0);
+  }
+  if (cfg.record_paths) {
+    result.path_offsets.assign(num_walkers + 1, 0);
+  }
+
+  std::mutex merge_mutex;
+  struct ChunkOutput {
+    uint64_t begin = 0;
+    std::vector<graph::VertexId> paths;
+    std::vector<uint64_t> lengths;  // per walker, when recording
+  };
+  std::vector<ChunkOutput> chunks;
+
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    uint64_t steps = 0;
+    uint64_t finished = 0;
+    ChunkOutput out;
+    out.begin = lo;
+    std::vector<uint32_t> local_visits;
+    if (cfg.count_visits) {
+      local_visits.assign(num_vertices, 0);
+    }
+    for (std::size_t w = lo; w < hi; ++w) {
+      util::Rng rng = util::Rng::ForStream(cfg.seed, w);
+      graph::VertexId cur = static_cast<graph::VertexId>(w % num_vertices);
+      graph::VertexId prev = graph::kInvalidVertex;
+      uint64_t len = 0;
+      if (cfg.record_paths) {
+        out.paths.push_back(cur);
+        ++len;
+      }
+      if (cfg.count_visits) {
+        ++local_visits[cur];
+      }
+      uint32_t step = 0;
+      for (; step < cfg.walk_length; ++step) {
+        const graph::VertexId next = stepper.Next(cur, prev, rng);
+        if (next == graph::kInvalidVertex) {
+          break;
+        }
+        prev = cur;
+        cur = next;
+        ++steps;
+        if (cfg.record_paths) {
+          out.paths.push_back(cur);
+          ++len;
+        }
+        if (cfg.count_visits) {
+          ++local_visits[cur];
+        }
+        if (stepper.Terminate(rng)) {
+          ++step;
+          break;
+        }
+      }
+      if (step > 0) {
+        ++finished;
+      }
+      if (cfg.record_paths) {
+        out.lengths.push_back(len);
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result.total_steps += steps;
+    result.finished_walkers += finished;
+    if (cfg.count_visits) {
+      for (graph::VertexId v = 0; v < num_vertices; ++v) {
+        result.visit_counts[v] += local_visits[v];
+      }
+    }
+    if (cfg.record_paths) {
+      chunks.push_back(std::move(out));
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, num_walkers, run_range, 256);
+  } else {
+    run_range(0, num_walkers);
+  }
+
+  if (cfg.record_paths) {
+    // Stitch per-chunk buffers into the flattened layout.
+    for (const ChunkOutput& chunk : chunks) {
+      for (std::size_t i = 0; i < chunk.lengths.size(); ++i) {
+        result.path_offsets[chunk.begin + i + 1] = chunk.lengths[i];
+      }
+    }
+    for (std::size_t i = 1; i < result.path_offsets.size(); ++i) {
+      result.path_offsets[i] += result.path_offsets[i - 1];
+    }
+    result.paths.resize(result.path_offsets.back());
+    for (const ChunkOutput& chunk : chunks) {
+      uint64_t cursor = result.path_offsets[chunk.begin];
+      for (graph::VertexId v : chunk.paths) {
+        result.paths[cursor++] = v;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_ENGINE_H_

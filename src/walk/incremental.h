@@ -1,0 +1,101 @@
+// Incremental walk-corpus maintenance on top of Bingo.
+//
+// The paper positions Bingo as orthogonal to systems like Wharf and FIRM
+// (§7.2): those systems track which previously-computed walks a graph
+// update invalidates, then rebuild each stale walk's sampling space from
+// scratch — the step Bingo replaces with O(K) updates and O(1) resampling
+// ("once the calculated random walks are identified, Bingo can help them
+// rapidly update the random walks").
+//
+// This module implements the walk-maintenance half so the combination is
+// usable end to end: it keeps a corpus of first-order walks, finds the
+// walks affected by an update batch through a vertex -> walks index, and
+// resamples each affected walk from its first visit to an updated vertex.
+//
+// Affected-walk semantics: an update with source vertex u changes u's
+// transition distribution (insertions, deletions, and bias updates all do),
+// so every walk that visits u must be resampled from its first visit to u.
+// Transitions before that position are untouched: their source vertices'
+// distributions did not change, and edges out of untouched vertices cannot
+// have been deleted.
+//
+// The index may contain stale entries (a repaired walk's old suffix);
+// candidates are verified against the actual walk before repair, and the
+// index is rebuilt once the stale fraction crosses a threshold.
+
+#ifndef BINGO_SRC_WALK_INCREMENTAL_H_
+#define BINGO_SRC_WALK_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/types.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace bingo::walk {
+
+class IncrementalWalkCorpus {
+ public:
+  struct Config {
+    uint64_t num_walks = 0;     // 0 = one per vertex
+    uint32_t walk_length = 80;  // maximum steps per walk
+    uint64_t seed = 42;
+    // Rebuild the vertex->walks index when stale entries exceed this
+    // fraction of live ones.
+    double index_rebuild_threshold = 1.0;
+  };
+
+  struct RepairStats {
+    uint64_t updates_applied = 0;
+    uint64_t candidate_walks = 0;  // index hits (may include stale entries)
+    uint64_t walks_repaired = 0;
+    uint64_t steps_resampled = 0;
+    bool index_rebuilt = false;
+  };
+
+  IncrementalWalkCorpus(const core::BingoStore& store, Config config);
+
+  // (Re)generates every walk from the store's current state and rebuilds
+  // the index.
+  void Generate(const core::BingoStore& store, util::ThreadPool* pool = nullptr);
+
+  // Applies `updates` to the store (batched, §5.2), then repairs every walk
+  // that visits an updated source vertex.
+  RepairStats ApplyUpdates(core::BingoStore& store,
+                           const graph::UpdateList& updates,
+                           util::ThreadPool* pool = nullptr);
+
+  uint64_t NumWalks() const { return walks_.size(); }
+  const std::vector<graph::VertexId>& Walk(uint64_t w) const { return walks_[w]; }
+
+  // Sum of (len - 1) over all walks: the corpus's transition count.
+  uint64_t TotalSteps() const;
+
+  // Verifies that every transition of every walk is a live edge of the
+  // store's graph. Returns the first violation or empty.
+  std::string CheckWalksValid(const core::BingoStore& store) const;
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  void ExtendWalk(const core::BingoStore& store, uint64_t walk_id,
+                  std::size_t from_position, util::Rng& rng);
+  void IndexWalkSuffix(uint64_t walk_id, std::size_t from_position);
+  void RebuildIndex();
+
+  Config config_;
+  std::vector<std::vector<graph::VertexId>> walks_;
+  // vertex -> walk ids that visited it (append-only between rebuilds, so it
+  // can contain stale or duplicate entries; consumers verify).
+  std::vector<std::vector<uint32_t>> index_;
+  uint64_t live_index_entries_ = 0;
+  uint64_t stale_index_entries_ = 0;
+  uint64_t repair_epoch_ = 0;
+};
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_INCREMENTAL_H_

@@ -1,0 +1,155 @@
+#include "src/walk/partitioned.h"
+
+#include <atomic>
+
+namespace bingo::walk {
+
+PartitionedBingoStore::PartitionedBingoStore(const graph::WeightedEdgeList& edges,
+                                             graph::VertexId num_vertices,
+                                             int num_shards,
+                                             core::BingoConfig config,
+                                             util::ThreadPool* pool)
+    : num_vertices_(num_vertices) {
+  std::vector<graph::WeightedEdgeList> per_shard(num_shards);
+  for (const graph::WeightedEdge& e : edges) {
+    per_shard[e.src % num_shards].push_back(e);
+  }
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<core::BingoStore>(
+        graph::DynamicGraph::FromEdges(num_vertices, per_shard[s]), config,
+        pool));
+  }
+}
+
+core::BatchResult PartitionedBingoStore::ApplyBatch(
+    const graph::UpdateList& updates, util::ThreadPool* pool) {
+  std::vector<graph::UpdateList> per_shard(shards_.size());
+  for (const graph::Update& u : updates) {
+    per_shard[ShardOf(u.src)].push_back(u);
+  }
+  std::atomic<uint64_t> inserted{0};
+  std::atomic<uint64_t> deleted{0};
+  std::atomic<uint64_t> skipped{0};
+  const auto run_shard = [&](std::size_t s) {
+    // Shards are independent; each applies its slice without inner
+    // parallelism (the outer loop is the parallel dimension).
+    const core::BatchResult r = shards_[s]->ApplyBatch(per_shard[s], nullptr);
+    inserted.fetch_add(r.inserted, std::memory_order_relaxed);
+    deleted.fetch_add(r.deleted, std::memory_order_relaxed);
+    skipped.fetch_add(r.skipped_deletes, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, shards_.size(), run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      run_shard(s);
+    }
+  }
+  return core::BatchResult{inserted.load(), deleted.load(), skipped.load()};
+}
+
+std::size_t PartitionedBingoStore::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->MemoryBytes();
+  }
+  return total;
+}
+
+std::string PartitionedBingoStore::CheckInvariants() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string err = shards_[s]->CheckInvariants();
+    if (!err.empty()) {
+      return "shard " + std::to_string(s) + ": " + err;
+    }
+  }
+  return {};
+}
+
+PartitionedWalkResult RunPartitionedDeepWalk(const PartitionedBingoStore& store,
+                                             const WalkConfig& cfg,
+                                             util::ThreadPool* pool) {
+  struct Walker {
+    uint64_t id;
+    graph::VertexId cur;
+    uint32_t steps;
+  };
+  const uint64_t num_walkers =
+      cfg.num_walkers == 0 ? store.NumVertices() : cfg.num_walkers;
+  const int num_shards = store.NumShards();
+
+  std::vector<std::vector<Walker>> queues(num_shards);
+  for (uint64_t w = 0; w < num_walkers; ++w) {
+    const graph::VertexId start =
+        static_cast<graph::VertexId>(w % store.NumVertices());
+    queues[store.ShardOf(start)].push_back(Walker{w, start, 0});
+  }
+
+  PartitionedWalkResult result;
+  std::vector<std::vector<std::vector<Walker>>> outboxes(
+      num_shards, std::vector<std::vector<Walker>>(num_shards));
+
+  bool any_live = true;
+  while (any_live) {
+    ++result.supersteps;
+    std::atomic<uint64_t> steps{0};
+    const auto run_shard = [&](std::size_t s) {
+      uint64_t local_steps = 0;
+      for (Walker walker : queues[s]) {
+        // Per-walker stream keyed by (walker id, step) keeps the walk
+        // deterministic under any shard count.
+        util::Rng rng = util::Rng::ForStream(
+            cfg.seed ^ (uint64_t{walker.steps} << 40), walker.id);
+        const graph::VertexId next = store.SampleNeighbor(walker.cur, rng);
+        if (next == graph::kInvalidVertex) {
+          continue;  // dead end: walker retires
+        }
+        ++local_steps;
+        walker.cur = next;
+        ++walker.steps;
+        if (walker.steps < cfg.walk_length) {
+          outboxes[s][store.ShardOf(next)].push_back(walker);
+        }
+      }
+      queues[s].clear();
+      steps.fetch_add(local_steps, std::memory_order_relaxed);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, static_cast<std::size_t>(num_shards), run_shard);
+    } else {
+      for (int s = 0; s < num_shards; ++s) {
+        run_shard(static_cast<std::size_t>(s));
+      }
+    }
+    result.total_steps += steps.load();
+
+    // Exchange phase: deliver outboxes (the walker transfer).
+    any_live = false;
+    for (int from = 0; from < num_shards; ++from) {
+      for (int to = 0; to < num_shards; ++to) {
+        auto& box = outboxes[from][to];
+        if (box.empty()) {
+          continue;
+        }
+        if (from != to) {
+          result.walker_migrations += box.size();
+        }
+        queues[to].insert(queues[to].end(), box.begin(), box.end());
+        box.clear();
+        any_live = true;
+      }
+    }
+    any_live = any_live || [&] {
+      for (const auto& q : queues) {
+        if (!q.empty()) {
+          return true;
+        }
+      }
+      return false;
+    }();
+  }
+  return result;
+}
+
+}  // namespace bingo::walk

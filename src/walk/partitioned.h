@@ -1,0 +1,82 @@
+// 1-D partitioned Bingo (§9.1 supplement).
+//
+// The paper scales Bingo to multiple GPUs with KnightKing-style 1-D graph
+// partitioning: each device owns the out-edges (and sampling structures) of
+// a slice of the vertex set, and walkers — not sampling structures — are
+// transferred between devices. Here each shard is a BingoStore and shards
+// execute on pool threads; the superstep walk driver moves walkers between
+// per-shard queues exactly like the walker-transfer design.
+
+#ifndef BINGO_SRC_WALK_PARTITIONED_H_
+#define BINGO_SRC_WALK_PARTITIONED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/types.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/engine.h"
+
+namespace bingo::walk {
+
+class PartitionedBingoStore {
+ public:
+  // Round-robin 1-D partitioning: vertex v lives on shard v % num_shards.
+  PartitionedBingoStore(const graph::WeightedEdgeList& edges,
+                        graph::VertexId num_vertices, int num_shards,
+                        core::BingoConfig config = {},
+                        util::ThreadPool* pool = nullptr);
+
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  graph::VertexId NumVertices() const { return num_vertices_; }
+
+  int ShardOf(graph::VertexId v) const {
+    return static_cast<int>(v % shards_.size());
+  }
+
+  graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+    return shards_[ShardOf(v)]->SampleNeighbor(v, rng);
+  }
+
+  void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias) {
+    shards_[ShardOf(src)]->StreamingInsert(src, dst, bias);
+  }
+  bool StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+    return shards_[ShardOf(src)]->StreamingDelete(src, dst);
+  }
+
+  // Routes updates to their owning shards, then applies each shard's slice
+  // as one batch; shards run in parallel.
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates,
+                               util::ThreadPool* pool = nullptr);
+
+  const core::BingoStore& Shard(int s) const { return *shards_[s]; }
+
+  std::size_t MemoryBytes() const;
+  std::string CheckInvariants() const;
+
+ private:
+  graph::VertexId num_vertices_ = 0;
+  std::vector<std::unique_ptr<core::BingoStore>> shards_;
+};
+
+struct PartitionedWalkResult {
+  uint64_t total_steps = 0;
+  uint64_t walker_migrations = 0;  // cross-shard transfers (communication)
+  uint64_t supersteps = 0;
+};
+
+// First-order walks over the partitioned store using the walker-transfer
+// execution model: every superstep advances each live walker one hop on its
+// owning shard, then routes it to the shard of its new vertex.
+PartitionedWalkResult RunPartitionedDeepWalk(const PartitionedBingoStore& store,
+                                             const WalkConfig& cfg,
+                                             util::ThreadPool* pool = nullptr);
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_PARTITIONED_H_

@@ -1,0 +1,167 @@
+// Tests for walk-derived analytics: PPR queries, SimRank estimates, and
+// random-walk domination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/walk/analytics.h"
+
+namespace bingo::walk {
+namespace {
+
+using core::BingoStore;
+using graph::VertexId;
+
+// ------------------------------------------------------------------- PPR --
+
+TEST(PprQueryTest, ScoresConcentrateNearTheSource) {
+  // Two cliques joined by one bridge edge; PPR from clique A must put far
+  // more mass on A than on B.
+  graph::WeightedEdgeList edges;
+  const auto add_clique = [&edges](VertexId base) {
+    for (VertexId i = 0; i < 8; ++i) {
+      for (VertexId j = 0; j < 8; ++j) {
+        if (i != j) {
+          edges.push_back({base + i, base + j, 1.0});
+        }
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(8);
+  edges.push_back({0, 8, 0.05});
+  edges.push_back({8, 0, 0.05});
+  BingoStore store(graph::DynamicGraph::FromEdges(16, edges));
+
+  PprQueryConfig config;
+  config.num_walkers = 4000;
+  config.stop_probability = 1.0 / 10.0;
+  const auto scores = PersonalizedPageRank(store, 3, config);
+  double mass_a = 0;
+  double mass_b = 0;
+  for (VertexId v = 0; v < 8; ++v) {
+    mass_a += scores[v];
+  }
+  for (VertexId v = 8; v < 16; ++v) {
+    mass_b += scores[v];
+  }
+  EXPECT_GT(mass_a, mass_b * 5);
+  EXPECT_NEAR(mass_a + mass_b, 1.0, 1e-9);
+}
+
+TEST(PprQueryTest, ParallelMatchesSerialTotals) {
+  util::Rng rng(4);
+  auto pairs = graph::GenerateRmat(8, 2000, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(256, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  BingoStore store(graph::DynamicGraph::FromCsr(csr, biases));
+
+  util::ThreadPool pool(4);
+  PprQueryConfig config;
+  config.num_walkers = 3000;
+  const auto serial = PersonalizedPageRank(store, 5, config, nullptr);
+  const auto parallel = PersonalizedPageRank(store, 5, config, &pool);
+  // Per-walker RNG streams make the two runs identical, not just similar.
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t v = 0; v < serial.size(); ++v) {
+    EXPECT_DOUBLE_EQ(serial[v], parallel[v]) << "vertex " << v;
+  }
+}
+
+TEST(TopKTest, OrdersAndExcludes) {
+  const std::vector<double> scores = {0.1, 0.5, 0.0, 0.3, 0.5};
+  const auto top = TopK(scores, 3, /*exclude=*/1);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 4u);  // 0.5 (vertex 1 excluded; tie-break by id)
+  EXPECT_EQ(top[1].first, 3u);  // 0.3
+  EXPECT_EQ(top[2].first, 0u);  // 0.1
+}
+
+TEST(TopKTest, KLargerThanCandidates) {
+  const std::vector<double> scores = {0.0, 0.2};
+  const auto top = TopK(scores, 10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 1u);
+}
+
+// --------------------------------------------------------------- SimRank --
+
+TEST(SimRankTest, IdenticalVerticesScoreOne) {
+  BingoStore store(graph::DynamicGraph(4));
+  EXPECT_DOUBLE_EQ(SimRankEstimate(store, 2, 2), 1.0);
+}
+
+TEST(SimRankTest, SharedNeighborhoodBeatsDisjoint) {
+  // a and b both point only at {x, y}; c points at {p, q}. s(a,b) must far
+  // exceed s(a,c).
+  graph::WeightedEdgeList edges = {
+      {0, 10, 1.0}, {0, 11, 1.0},   // a
+      {1, 10, 1.0}, {1, 11, 1.0},   // b
+      {2, 12, 1.0}, {2, 13, 1.0},   // c
+      // sinks loop to themselves so walks can continue
+      {10, 10, 1.0}, {11, 11, 1.0}, {12, 12, 1.0}, {13, 13, 1.0}};
+  BingoStore store(graph::DynamicGraph::FromEdges(16, edges));
+  const double same = SimRankEstimate(store, 0, 1, 0.8, 30000);
+  const double different = SimRankEstimate(store, 0, 2, 0.8, 30000);
+  // Analytically, the a/b pair meets at t=1 with probability 1/2: s ~ 0.4+.
+  EXPECT_GT(same, 0.3);
+  EXPECT_LT(different, 0.05);
+}
+
+TEST(SimRankTest, DecayReducesScores) {
+  graph::WeightedEdgeList edges = {{0, 2, 1.0}, {1, 2, 1.0}, {2, 2, 1.0}};
+  BingoStore store(graph::DynamicGraph::FromEdges(4, edges));
+  const double high_decay = SimRankEstimate(store, 0, 1, 0.9, 20000);
+  const double low_decay = SimRankEstimate(store, 0, 1, 0.3, 20000);
+  EXPECT_GT(high_decay, low_decay);
+  // Both walkers hit vertex 2 at t=1 deterministically: estimate = decay.
+  EXPECT_NEAR(high_decay, 0.9, 0.01);
+  EXPECT_NEAR(low_decay, 0.3, 0.01);
+}
+
+// ------------------------------------------------------------- domination --
+
+TEST(DominationTest, HubCoversStarGraph) {
+  // Star: every leaf points to the hub, hub points to all leaves. Walks
+  // from any leaf pass through the hub, so one seed (the hub) covers all.
+  graph::WeightedEdgeList edges;
+  for (VertexId leaf = 1; leaf <= 20; ++leaf) {
+    edges.push_back({leaf, 0, 1.0});
+    edges.push_back({0, leaf, 1.0});
+  }
+  BingoStore store(graph::DynamicGraph::FromEdges(21, edges));
+  const auto seeds = RandomWalkDomination(store, 3, /*walk_length=*/4);
+  ASSERT_FALSE(seeds.empty());
+  EXPECT_EQ(seeds[0], 0u);  // hub first
+  // The hub alone covers every walk; the greedy loop stops early.
+  EXPECT_EQ(seeds.size(), 1u);
+}
+
+TEST(DominationTest, SeedsAreDistinctAndCoverageGrows) {
+  util::Rng rng(8);
+  auto pairs = graph::GenerateRmat(8, 2200, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(256, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  BingoStore store(graph::DynamicGraph::FromCsr(csr, biases));
+  const auto seeds = RandomWalkDomination(store, 6, 6);
+  ASSERT_GE(seeds.size(), 2u);
+  std::vector<VertexId> unique(seeds.begin(), seeds.end());
+  std::sort(unique.begin(), unique.end());
+  EXPECT_EQ(std::adjacent_find(unique.begin(), unique.end()), unique.end());
+}
+
+}  // namespace
+}  // namespace bingo::walk

@@ -1,0 +1,119 @@
+// Tests for the decimal group (§4.3) under both intra-group policies.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/decimal_group.h"
+#include "src/sampling/exact.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace bingo::core {
+namespace {
+
+using Policy = DecimalGroup::Policy;
+
+class DecimalGroupPolicyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(DecimalGroupPolicyTest, InsertRemoveTracksTotals) {
+  DecimalGroup g(GetParam());
+  g.Insert(0, 100);
+  g.Insert(5, 200);
+  g.Insert(2, 300);
+  EXPECT_EQ(g.Count(), 3u);
+  EXPECT_EQ(g.TotalFixed(), 600u);
+  EXPECT_TRUE(g.Contains(5));
+  EXPECT_EQ(g.DecOf(5), 200u);
+  g.Remove(5);
+  EXPECT_EQ(g.Count(), 2u);
+  EXPECT_EQ(g.TotalFixed(), 400u);
+  EXPECT_FALSE(g.Contains(5));
+  EXPECT_TRUE(g.CheckInvariants().empty()) << g.CheckInvariants();
+}
+
+TEST_P(DecimalGroupPolicyTest, RenameMovesIndexKeepsWeight) {
+  DecimalGroup g(GetParam());
+  g.Insert(7, 1000);
+  g.Insert(3, 2000);
+  g.Rename(7, 12);
+  EXPECT_FALSE(g.Contains(7));
+  EXPECT_TRUE(g.Contains(12));
+  EXPECT_EQ(g.DecOf(12), 1000u);
+  EXPECT_EQ(g.TotalFixed(), 3000u);
+  EXPECT_TRUE(g.CheckInvariants().empty());
+}
+
+TEST_P(DecimalGroupPolicyTest, SamplingMatchesWeights) {
+  DecimalGroup g(GetParam());
+  // Deliberately skewed fixed-point weights.
+  const std::vector<std::pair<uint32_t, uint32_t>> members = {
+      {0, 1u << 30}, {1, 1u << 28}, {2, 3u << 28}, {3, 1u << 31}, {4, 1u << 20}};
+  std::vector<double> weights;
+  for (const auto& [idx, dec] : members) {
+    g.Insert(idx, dec);
+    weights.push_back(static_cast<double>(dec));
+  }
+  util::Rng rng(404);
+  const auto counts = sampling::Histogram(
+      members.size(), 300000, [&] { return g.Sample(rng); });
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, util::Normalize(weights)));
+}
+
+TEST_P(DecimalGroupPolicyTest, ChurnAgainstReferenceMap) {
+  DecimalGroup g(GetParam());
+  std::map<uint32_t, uint32_t> reference;
+  util::Rng rng(55);
+  for (int round = 0; round < 5000; ++round) {
+    const uint32_t idx = static_cast<uint32_t>(rng.NextBounded(200));
+    if (reference.count(idx)) {
+      g.Remove(idx);
+      reference.erase(idx);
+    } else {
+      const uint32_t dec = 1 + rng.NextU32() / 2;
+      g.Insert(idx, dec);
+      reference[idx] = dec;
+    }
+  }
+  EXPECT_EQ(g.Count(), reference.size());
+  uint64_t total = 0;
+  for (const auto& [idx, dec] : reference) {
+    EXPECT_TRUE(g.Contains(idx));
+    EXPECT_EQ(g.DecOf(idx), dec);
+    total += dec;
+  }
+  EXPECT_EQ(g.TotalFixed(), total);
+  EXPECT_TRUE(g.CheckInvariants().empty()) << g.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DecimalGroupPolicyTest,
+                         ::testing::Values(Policy::kRejection, Policy::kIts));
+
+TEST(DecimalGroupTest, SetPolicySwitchesMidstream) {
+  DecimalGroup g(Policy::kRejection);
+  g.Insert(0, 500);
+  g.Insert(1, 1500);
+  g.SetPolicy(Policy::kIts);
+  EXPECT_TRUE(g.CheckInvariants().empty()) << g.CheckInvariants();
+  util::Rng rng(9);
+  const auto counts = sampling::Histogram(2, 100000, [&] { return g.Sample(rng); });
+  const std::vector<double> expected = {0.25, 0.75};
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, expected));
+  g.SetPolicy(Policy::kRejection);
+  EXPECT_TRUE(g.CheckInvariants().empty());
+}
+
+TEST(DecimalGroupTest, ClearReleasesEverything) {
+  DecimalGroup g(Policy::kIts);
+  g.Insert(0, 10);
+  g.Insert(1, 20);
+  g.Clear();
+  EXPECT_EQ(g.Count(), 0u);
+  EXPECT_EQ(g.TotalFixed(), 0u);
+  EXPECT_EQ(g.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bingo::core

@@ -1,0 +1,498 @@
+// Unit tests for src/graph: dynamic graph, CSR, generators, biases,
+// update streams, and I/O.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/graph/types.h"
+#include "src/graph/update_stream.h"
+
+namespace bingo::graph {
+namespace {
+
+WeightedEdgeList StarEdges(VertexId center, VertexId leaves) {
+  WeightedEdgeList edges;
+  for (VertexId i = 1; i <= leaves; ++i) {
+    edges.push_back(WeightedEdge{center, i, static_cast<double>(i)});
+  }
+  return edges;
+}
+
+// Collects (dst, bias) pairs of a vertex into a canonical multiset.
+std::multiset<std::pair<VertexId, double>> AdjacencySet(const DynamicGraph& g,
+                                                        VertexId v) {
+  std::multiset<std::pair<VertexId, double>> result;
+  for (const Edge& e : g.Neighbors(v)) {
+    result.insert({e.dst, e.bias});
+  }
+  return result;
+}
+
+// ---------------------------------------------------------- DynamicGraph --
+
+TEST(DynamicGraphTest, FromEdgesPreservesAdjacency) {
+  const auto edges = StarEdges(0, 5);
+  auto g = DynamicGraph::FromEdges(6, edges);
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(1), 0u);
+  const auto adj = AdjacencySet(g, 0);
+  EXPECT_EQ(adj.size(), 5u);
+  EXPECT_TRUE(adj.count({3, 3.0}) == 1);
+}
+
+TEST(DynamicGraphTest, InsertAppendsAndReturnsIndex) {
+  DynamicGraph g(4);
+  EXPECT_EQ(g.Insert(0, 1, 2.0), 0u);
+  EXPECT_EQ(g.Insert(0, 2, 3.0), 1u);
+  EXPECT_EQ(g.Insert(1, 0, 1.0), 0u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.NeighborAt(0, 1).dst, 2u);
+  EXPECT_DOUBLE_EQ(g.NeighborAt(0, 1).bias, 3.0);
+}
+
+TEST(DynamicGraphTest, TimestampsIncreaseWithInsertionOrder) {
+  DynamicGraph g(2);
+  g.Insert(0, 1, 1.0);
+  g.Insert(0, 1, 1.0);
+  EXPECT_LT(g.NeighborAt(0, 0).timestamp, g.NeighborAt(0, 1).timestamp);
+}
+
+TEST(DynamicGraphTest, SwapRemoveMiddleMovesTail) {
+  DynamicGraph g(8);
+  for (VertexId i = 1; i <= 4; ++i) {
+    g.Insert(0, i, i);
+  }
+  const auto result = g.SwapRemove(0, 1);  // removes dst=2
+  EXPECT_EQ(result.removed.dst, 2u);
+  EXPECT_TRUE(result.moved);
+  EXPECT_EQ(result.moved_from, 3u);
+  EXPECT_EQ(result.moved_to, 1u);
+  EXPECT_EQ(result.moved_edge.dst, 4u);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.NeighborAt(0, 1).dst, 4u);
+}
+
+TEST(DynamicGraphTest, SwapRemoveLastDoesNotMove) {
+  DynamicGraph g(8);
+  g.Insert(0, 1, 1.0);
+  g.Insert(0, 2, 2.0);
+  const auto result = g.SwapRemove(0, 1);
+  EXPECT_FALSE(result.moved);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(DynamicGraphTest, FindEarliestPrefersOldestDuplicate) {
+  DynamicGraph g(4);
+  g.Insert(0, 3, 1.0);
+  g.Insert(0, 2, 1.0);
+  g.Insert(0, 3, 9.0);  // duplicate of (0,3), later timestamp
+  const auto idx = g.FindEarliest(0, 3);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  // After deleting the earliest, the later duplicate is found.
+  g.SwapRemove(0, *idx);
+  const auto idx2 = g.FindEarliest(0, 3);
+  ASSERT_TRUE(idx2.has_value());
+  EXPECT_DOUBLE_EQ(g.NeighborAt(0, *idx2).bias, 9.0);
+}
+
+TEST(DynamicGraphTest, FindEarliestMissingReturnsNullopt) {
+  DynamicGraph g(4);
+  g.Insert(0, 1, 1.0);
+  EXPECT_FALSE(g.FindEarliest(0, 2).has_value());
+  EXPECT_FALSE(g.FindEarliest(1, 0).has_value());
+}
+
+TEST(DynamicGraphTest, HasEdgeTracksMutations) {
+  DynamicGraph g(4);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  g.Insert(0, 1, 1.0);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  g.SwapRemove(0, 0);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, FinderKicksInForHighDegreeAndStaysConsistent) {
+  DynamicGraph g(1000);
+  // Push degree well past the finder threshold.
+  for (VertexId i = 1; i <= 200; ++i) {
+    g.Insert(0, i, 1.0);
+  }
+  for (VertexId i = 1; i <= 200; ++i) {
+    EXPECT_TRUE(g.HasEdge(0, i)) << i;
+  }
+  // Random deletions keep the finder in sync.
+  for (VertexId i = 1; i <= 100; ++i) {
+    const auto idx = g.FindEarliest(0, i);
+    ASSERT_TRUE(idx.has_value()) << i;
+    g.SwapRemove(0, *idx);
+    EXPECT_FALSE(g.HasEdge(0, i));
+  }
+  for (VertexId i = 101; i <= 200; ++i) {
+    EXPECT_TRUE(g.HasEdge(0, i)) << i;
+  }
+}
+
+TEST(DynamicGraphTest, CollectMatchesSortedByTimestamp) {
+  DynamicGraph g(4);
+  g.Insert(0, 1, 1.0);
+  g.Insert(0, 2, 1.0);
+  g.Insert(0, 1, 2.0);
+  g.Insert(0, 1, 3.0);
+  const auto matches = g.CollectMatches(0, 1);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_LT(g.NeighborAt(0, matches[0]).timestamp,
+            g.NeighborAt(0, matches[1]).timestamp);
+  EXPECT_LT(g.NeighborAt(0, matches[1]).timestamp,
+            g.NeighborAt(0, matches[2]).timestamp);
+}
+
+TEST(DynamicGraphTest, BatchSwapRemoveMatchesSequentialSemantics) {
+  // Remove a mix of front/middle/tail indices and verify the surviving
+  // multiset is exactly the complement.
+  DynamicGraph g(64);
+  for (VertexId i = 0; i < 20; ++i) {
+    g.Insert(0, 100 + i, i + 1.0);
+  }
+  const std::vector<uint32_t> victims = {0, 3, 4, 17, 18, 19};
+  std::multiset<std::pair<VertexId, double>> expected;
+  for (uint32_t i = 0; i < 20; ++i) {
+    if (std::find(victims.begin(), victims.end(), i) == victims.end()) {
+      expected.insert({100 + i, i + 1.0});
+    }
+  }
+  const auto moves = g.BatchSwapRemove(0, victims);
+  EXPECT_EQ(g.Degree(0), 14u);
+  EXPECT_EQ(AdjacencySet(g, 0), expected);
+  // Every move's target must be a victim slot in the front region, and no
+  // moved edge may itself be a victim.
+  for (const auto& m : moves) {
+    EXPECT_LT(m.to, 14u);
+    EXPECT_GE(m.from, 14u);
+    EXPECT_EQ(g.NeighborAt(0, m.to).dst, m.edge.dst);
+  }
+}
+
+TEST(DynamicGraphTest, BatchSwapRemoveAllEdges) {
+  DynamicGraph g(8);
+  std::vector<uint32_t> all;
+  for (VertexId i = 0; i < 10; ++i) {
+    g.Insert(0, i, 1.0);
+    all.push_back(i);
+  }
+  g.BatchSwapRemove(0, all);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(DynamicGraphTest, BatchSwapRemoveKeepsFinderConsistent) {
+  DynamicGraph g(512);
+  for (VertexId i = 0; i < 100; ++i) {
+    g.Insert(7, i, 1.0);
+  }
+  std::vector<uint32_t> victims;
+  for (uint32_t i = 0; i < 100; i += 3) {
+    victims.push_back(i);
+  }
+  g.BatchSwapRemove(7, victims);
+  for (VertexId i = 0; i < 100; ++i) {
+    const bool deleted = i % 3 == 0;
+    EXPECT_EQ(g.HasEdge(7, i), !deleted) << i;
+  }
+}
+
+TEST(DynamicGraphTest, AddVerticesGrowsVertexSet) {
+  DynamicGraph g(2);
+  g.AddVertices(3);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  g.Insert(4, 0, 1.0);
+  EXPECT_EQ(g.Degree(4), 1u);
+}
+
+TEST(DynamicGraphTest, MemoryBytesGrowsWithEdges) {
+  DynamicGraph g(100);
+  const std::size_t before = g.MemoryBytes();
+  for (VertexId i = 0; i < 50; ++i) {
+    g.Insert(0, i, 1.0);
+  }
+  EXPECT_GT(g.MemoryBytes(), before);
+}
+
+// -------------------------------------------------------------------- Csr --
+
+TEST(CsrTest, FromPairsBuildsCorrectRanges) {
+  const EdgePairList pairs = {{0, 1}, {0, 2}, {2, 0}, {2, 1}, {2, 3}};
+  const Csr csr = Csr::FromPairs(4, pairs);
+  EXPECT_EQ(csr.NumVertices(), 4u);
+  EXPECT_EQ(csr.NumEdges(), 5u);
+  EXPECT_EQ(csr.Degree(0), 2u);
+  EXPECT_EQ(csr.Degree(1), 0u);
+  EXPECT_EQ(csr.Degree(2), 3u);
+  EXPECT_EQ(csr.MaxDegree(), 3u);
+}
+
+TEST(CsrTest, DedupRemovesDuplicates) {
+  const EdgePairList pairs = {{0, 1}, {0, 1}, {0, 2}, {1, 0}, {1, 0}};
+  const Csr csr = Csr::FromPairs(3, pairs, /*dedup=*/true);
+  EXPECT_EQ(csr.NumEdges(), 3u);
+  EXPECT_EQ(csr.Degree(0), 2u);
+  EXPECT_EQ(csr.Degree(1), 1u);
+}
+
+// ------------------------------------------------------------- generators --
+
+TEST(GeneratorsTest, RmatProducesRequestedEdgeCountInRange) {
+  util::Rng rng(1);
+  const auto edges = GenerateRmat(10, 5000, rng);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const EdgePair& e : edges) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  util::Rng rng(2);
+  const auto edges = GenerateRmat(12, 40000, rng);
+  const Csr csr = Csr::FromPairs(1 << 12, edges);
+  // Power-law-ish: the max degree far exceeds the average degree.
+  const double avg = 40000.0 / (1 << 12);
+  EXPECT_GT(csr.MaxDegree(), avg * 5);
+}
+
+TEST(GeneratorsTest, UniformGeneratorInRange) {
+  util::Rng rng(3);
+  const auto edges = GenerateUniform(100, 1000, rng);
+  EXPECT_EQ(edges.size(), 1000u);
+  for (const EdgePair& e : edges) {
+    EXPECT_LT(e.src, 100u);
+    EXPECT_LT(e.dst, 100u);
+  }
+}
+
+TEST(GeneratorsTest, RingHasUniformDegree) {
+  const auto edges = GenerateRing(10, 3);
+  const Csr csr = Csr::FromPairs(10, edges);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(csr.Degree(v), 3u);
+  }
+}
+
+TEST(GeneratorsTest, MakeUndirectedDoublesEdges) {
+  EdgePairList edges = {{0, 1}, {2, 3}};
+  MakeUndirected(edges);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[2].src, 1u);
+  EXPECT_EQ(edges[2].dst, 0u);
+}
+
+TEST(GeneratorsTest, CanonicalizeDropsLoopsAndDuplicates) {
+  EdgePairList edges = {{0, 0}, {0, 1}, {0, 1}, {1, 2}};
+  Canonicalize(edges);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+// ------------------------------------------------------------------ bias --
+
+TEST(BiasTest, DegreeBiasMatchesOutDegrees) {
+  const EdgePairList pairs = {{0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 2}};
+  const Csr csr = Csr::FromPairs(3, pairs);
+  util::Rng rng(1);
+  BiasParams params;
+  params.distribution = BiasDistribution::kDegree;
+  const auto biases = GenerateBiases(csr, params, rng);
+  ASSERT_EQ(biases.size(), 6u);
+  // Edge 0: (0 -> 1): degree(1) == 1. Edge 1: (0 -> 2): degree(2) == 3.
+  EXPECT_DOUBLE_EQ(biases[0], 1.0);
+  EXPECT_DOUBLE_EQ(biases[1], 3.0);
+}
+
+TEST(BiasTest, SyntheticDistributionsRespectBounds) {
+  const Csr csr = Csr::FromPairs(50, GenerateRing(50, 4));
+  util::Rng rng(7);
+  for (const auto dist : {BiasDistribution::kUniform, BiasDistribution::kGauss,
+                          BiasDistribution::kPowerLaw}) {
+    BiasParams params;
+    params.distribution = dist;
+    params.max_bias = 100;
+    const auto biases = GenerateBiases(csr, params, rng);
+    for (double b : biases) {
+      EXPECT_GE(b, 1.0);
+      EXPECT_LE(b, 100.0);
+      EXPECT_EQ(b, std::floor(b));  // integer-valued
+    }
+  }
+}
+
+TEST(BiasTest, FloatingPointAddsFraction) {
+  const Csr csr = Csr::FromPairs(10, GenerateRing(10, 2));
+  util::Rng rng(9);
+  BiasParams params;
+  params.distribution = BiasDistribution::kUniform;
+  params.max_bias = 10;
+  params.floating_point = true;
+  const auto biases = GenerateBiases(csr, params, rng);
+  bool any_fraction = false;
+  for (double b : biases) {
+    EXPECT_GE(b, 1.0);
+    any_fraction = any_fraction || b != std::floor(b);
+  }
+  EXPECT_TRUE(any_fraction);
+}
+
+TEST(BiasTest, PowerLawIsSkewedTowardSmallValues) {
+  const Csr csr = Csr::FromPairs(2000, GenerateRing(2000, 5));
+  util::Rng rng(11);
+  BiasParams params;
+  params.distribution = BiasDistribution::kPowerLaw;
+  params.max_bias = 1000;
+  const auto biases = GenerateBiases(csr, params, rng);
+  uint64_t small = 0;
+  for (double b : biases) {
+    small += b <= 10 ? 1 : 0;
+  }
+  // Far more than 10/1000 of the mass sits at <= 10.
+  EXPECT_GT(small, biases.size() / 4);
+}
+
+// --------------------------------------------------------- update streams --
+
+TEST(UpdateStreamTest, InsertionWorkloadHasOnlyInserts) {
+  util::Rng rng(5);
+  const Csr csr = Csr::FromPairs(100, GenerateRing(100, 10));
+  const auto edges = ToWeightedEdges(csr, std::vector<double>(1000, 1.0));
+  UpdateWorkloadParams params;
+  params.kind = UpdateKind::kInsertion;
+  params.batch_size = 20;
+  params.num_batches = 10;
+  const auto workload = BuildUpdateWorkload(edges, params, rng);
+  EXPECT_EQ(workload.initial_edges.size(), 800u);
+  EXPECT_EQ(workload.updates.size(), 200u);
+  for (const Update& u : workload.updates) {
+    EXPECT_EQ(u.kind, Update::Kind::kInsert);
+  }
+}
+
+TEST(UpdateStreamTest, DeletionWorkloadDeletesLiveEdges) {
+  util::Rng rng(6);
+  const Csr csr = Csr::FromPairs(100, GenerateRing(100, 10));
+  const auto edges = ToWeightedEdges(csr, std::vector<double>(1000, 1.0));
+  UpdateWorkloadParams params;
+  params.kind = UpdateKind::kDeletion;
+  params.batch_size = 30;
+  params.num_batches = 10;
+  const auto workload = BuildUpdateWorkload(edges, params, rng);
+  EXPECT_EQ(workload.initial_edges.size(), 1000u);
+  EXPECT_EQ(workload.updates.size(), 300u);
+  // Every delete must target a distinct live edge: replaying against a
+  // multiset must always find its target.
+  std::multiset<std::pair<VertexId, VertexId>> live;
+  for (const auto& e : workload.initial_edges) {
+    live.insert({e.src, e.dst});
+  }
+  for (const Update& u : workload.updates) {
+    EXPECT_EQ(u.kind, Update::Kind::kDelete);
+    const auto it = live.find({u.src, u.dst});
+    ASSERT_NE(it, live.end());
+    live.erase(it);
+  }
+}
+
+TEST(UpdateStreamTest, MixedWorkloadIsBalancedAndReplayable) {
+  util::Rng rng(7);
+  const Csr csr = Csr::FromPairs(200, GenerateRing(200, 10));
+  const auto edges = ToWeightedEdges(csr, std::vector<double>(2000, 2.0));
+  UpdateWorkloadParams params;
+  params.kind = UpdateKind::kMixed;
+  params.batch_size = 50;
+  params.num_batches = 10;
+  const auto workload = BuildUpdateWorkload(edges, params, rng);
+  uint64_t inserts = 0;
+  std::multiset<std::pair<VertexId, VertexId>> live;
+  for (const auto& e : workload.initial_edges) {
+    live.insert({e.src, e.dst});
+  }
+  for (const Update& u : workload.updates) {
+    if (u.kind == Update::Kind::kInsert) {
+      ++inserts;
+      live.insert({u.src, u.dst});
+    } else {
+      const auto it = live.find({u.src, u.dst});
+      ASSERT_NE(it, live.end()) << "delete of non-live edge";
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(inserts, 250u);
+}
+
+TEST(UpdateStreamTest, SplitIntoBatchesPreservesOrder) {
+  UpdateList updates(25);
+  for (std::size_t i = 0; i < 25; ++i) {
+    updates[i].src = static_cast<VertexId>(i);
+  }
+  const auto batches = SplitIntoBatches(updates, 10);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 10u);
+  EXPECT_EQ(batches[2].size(), 5u);
+  EXPECT_EQ(batches[2][4].src, 24u);
+}
+
+// -------------------------------------------------------------------- io --
+
+TEST(IoTest, TextRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_text.txt";
+  const WeightedEdgeList edges = {{0, 1, 2.5}, {3, 4, 1.0}, {2, 2, 7.0}};
+  ASSERT_TRUE(SaveWeightedEdgesText(path, edges));
+  WeightedEdgeList loaded;
+  ASSERT_TRUE(LoadWeightedEdgesText(path, loaded));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].src, 0u);
+  EXPECT_EQ(loaded[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].bias, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_bin.dat";
+  WeightedEdgeList edges;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    edges.push_back(WeightedEdge{i, i * 2 + 1, i * 0.5});
+  }
+  ASSERT_TRUE(SaveWeightedEdgesBinary(path, edges));
+  WeightedEdgeList loaded;
+  ASSERT_TRUE(LoadWeightedEdgesBinary(path, loaded));
+  ASSERT_EQ(loaded.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(loaded[i].src, edges[i].src);
+    EXPECT_EQ(loaded[i].dst, edges[i].dst);
+    EXPECT_DOUBLE_EQ(loaded[i].bias, edges[i].bias);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  WeightedEdgeList edges;
+  EXPECT_FALSE(LoadWeightedEdgesText("/nonexistent/nope.txt", edges));
+  EXPECT_FALSE(LoadWeightedEdgesBinary("/nonexistent/nope.bin", edges));
+}
+
+TEST(IoTest, ImpliedVertexCount) {
+  EXPECT_EQ(ImpliedVertexCount({}), 0u);
+  EXPECT_EQ(ImpliedVertexCount({{0, 5, 1.0}, {3, 2, 1.0}}), 6u);
+}
+
+}  // namespace
+}  // namespace bingo::graph

@@ -1,0 +1,214 @@
+// Tests for incremental walk-corpus maintenance (Wharf/FIRM-style walk
+// tracking with Bingo's O(K) update + O(1) resampling underneath).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/stats.h"
+#include "src/walk/incremental.h"
+
+namespace bingo::walk {
+namespace {
+
+using core::BingoStore;
+using graph::Update;
+using graph::VertexId;
+
+graph::WeightedEdgeList DenseEdges(uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(8, 2600, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(256, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return graph::ToWeightedEdges(csr, biases);
+}
+
+IncrementalWalkCorpus::Config SmallConfig() {
+  IncrementalWalkCorpus::Config config;
+  config.walk_length = 24;
+  return config;
+}
+
+TEST(IncrementalTest, GeneratedCorpusIsValid) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(1)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+  EXPECT_EQ(corpus.NumWalks(), 256u);
+  EXPECT_GT(corpus.TotalSteps(), 0u);
+  EXPECT_TRUE(corpus.CheckWalksValid(store).empty())
+      << corpus.CheckWalksValid(store);
+}
+
+TEST(IncrementalTest, GenerateIsDeterministicAcrossThreadCounts) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(2)));
+  util::ThreadPool pool(4);
+  IncrementalWalkCorpus serial(store, SmallConfig());
+  serial.Generate(store, nullptr);
+  IncrementalWalkCorpus parallel(store, SmallConfig());
+  parallel.Generate(store, &pool);
+  ASSERT_EQ(serial.NumWalks(), parallel.NumWalks());
+  for (uint64_t w = 0; w < serial.NumWalks(); ++w) {
+    EXPECT_EQ(serial.Walk(w), parallel.Walk(w)) << "walk " << w;
+  }
+}
+
+TEST(IncrementalTest, RepairedCorpusStaysValidUnderChurn) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(3)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+
+  util::Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    graph::UpdateList updates;
+    for (int i = 0; i < 60; ++i) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(256));
+      if (rng.NextBool(0.5)) {
+        updates.push_back({Update::Kind::kInsert, u,
+                           static_cast<VertexId>(rng.NextBounded(256)),
+                           1.0 + rng.NextBounded(32)});
+      } else if (store.Graph().Degree(u) > 0) {
+        const auto adj = store.Graph().Neighbors(u);
+        updates.push_back({Update::Kind::kDelete, u,
+                           adj[rng.NextBounded(adj.size())].dst, 0.0});
+      }
+    }
+    const auto stats = corpus.ApplyUpdates(store, updates);
+    EXPECT_GE(stats.candidate_walks, stats.walks_repaired);
+    ASSERT_TRUE(corpus.CheckWalksValid(store).empty())
+        << "round " << round << ": " << corpus.CheckWalksValid(store);
+    ASSERT_TRUE(store.CheckInvariants().empty());
+  }
+}
+
+TEST(IncrementalTest, UntouchedWalksAreNotModified) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(4)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+
+  // Snapshot, then update a single vertex far from some walks.
+  std::vector<std::vector<VertexId>> before;
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    before.push_back(corpus.Walk(w));
+  }
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, 7, 11, 50.0});
+  const auto stats = corpus.ApplyUpdates(store, updates);
+  EXPECT_GT(stats.walks_repaired, 0u);  // vertex 7 is on some walks
+
+  uint64_t unchanged = 0;
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    const bool visits_7 =
+        std::find(before[w].begin(), before[w].end(), VertexId{7}) !=
+        before[w].end();
+    if (!visits_7) {
+      EXPECT_EQ(corpus.Walk(w), before[w]) << "walk " << w;
+      ++unchanged;
+    }
+  }
+  EXPECT_GT(unchanged, 0u);
+}
+
+TEST(IncrementalTest, RepairStartsAtFirstTouchedVisit) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(5)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+  std::vector<std::vector<VertexId>> before;
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    before.push_back(corpus.Walk(w));
+  }
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, 42, 43, 99.0});
+  corpus.ApplyUpdates(store, updates);
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    const auto& old_walk = before[w];
+    const auto it = std::find(old_walk.begin(), old_walk.end(), VertexId{42});
+    if (it == old_walk.end()) {
+      continue;
+    }
+    const std::size_t first = static_cast<std::size_t>(it - old_walk.begin());
+    const auto& new_walk = corpus.Walk(w);
+    ASSERT_GE(new_walk.size(), first + 1);
+    for (std::size_t p = 0; p <= first; ++p) {
+      EXPECT_EQ(new_walk[p], old_walk[p]) << "walk " << w << " pos " << p;
+    }
+  }
+}
+
+TEST(IncrementalTest, RepairedSuffixesFollowNewDistribution) {
+  // Make one vertex's distribution collapse onto a single new neighbor; all
+  // repaired walks must leave that vertex through the new edge afterwards.
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(6)));
+  IncrementalWalkCorpus::Config config = SmallConfig();
+  config.num_walks = 2048;  // denser statistics
+  IncrementalWalkCorpus corpus(store, config);
+  corpus.Generate(store);
+
+  const VertexId hub = [&] {
+    VertexId best = 0;
+    for (VertexId v = 0; v < 256; ++v) {
+      if (store.Graph().Degree(v) > store.Graph().Degree(best)) {
+        best = v;
+      }
+    }
+    return best;
+  }();
+  // Overwhelm the hub's mass with one huge edge.
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, hub, 0, 1e9});
+  corpus.ApplyUpdates(store, updates);
+
+  uint64_t exits = 0;
+  uint64_t to_new_edge = 0;
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    const auto& walk = corpus.Walk(w);
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      if (walk[i] == hub) {
+        ++exits;
+        to_new_edge += walk[i + 1] == 0 ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(exits, 50u);
+  EXPECT_GT(static_cast<double>(to_new_edge) / static_cast<double>(exits), 0.95);
+}
+
+TEST(IncrementalTest, IndexRebuildCompactsStaleEntries) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(7)));
+  IncrementalWalkCorpus::Config config = SmallConfig();
+  config.index_rebuild_threshold = 0.05;  // rebuild aggressively
+  IncrementalWalkCorpus corpus(store, config);
+  corpus.Generate(store);
+  util::Rng rng(11);
+  bool saw_rebuild = false;
+  for (int round = 0; round < 15; ++round) {
+    graph::UpdateList updates;
+    for (int i = 0; i < 40; ++i) {
+      updates.push_back({Update::Kind::kInsert,
+                         static_cast<VertexId>(rng.NextBounded(256)),
+                         static_cast<VertexId>(rng.NextBounded(256)),
+                         1.0 + rng.NextBounded(8)});
+    }
+    saw_rebuild = corpus.ApplyUpdates(store, updates).index_rebuilt || saw_rebuild;
+    ASSERT_TRUE(corpus.CheckWalksValid(store).empty());
+  }
+  EXPECT_TRUE(saw_rebuild);
+}
+
+TEST(IncrementalTest, MemoryAccountingIsPositive) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(8)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+  EXPECT_GT(corpus.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bingo::walk

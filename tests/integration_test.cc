@@ -1,0 +1,251 @@
+// Cross-system integration tests: the full §6.1 evaluation workflow run
+// against all four sampler stores, with ground-truth distribution audits
+// after every round, plus failure-injection cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/core/radix_base.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/update_stream.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
+#include "src/walk/baseline_stores.h"
+
+namespace bingo {
+namespace {
+
+using core::BingoStore;
+using graph::Update;
+using graph::VertexId;
+
+graph::WeightedEdgeList MakeEdges(int scale, uint64_t num_edges, uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(scale, num_edges, rng);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(VertexId{1} << scale, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return graph::ToWeightedEdges(csr, biases);
+}
+
+// Ground-truth per-vertex distribution from a graph.
+std::map<VertexId, double> GroundTruth(const graph::DynamicGraph& g, VertexId v) {
+  std::map<VertexId, double> mass;
+  double total = 0;
+  for (const graph::Edge& e : g.Neighbors(v)) {
+    mass[e.dst] += e.bias;
+    total += e.bias;
+  }
+  for (auto& [dst, m] : mass) {
+    m /= total;
+  }
+  return mass;
+}
+
+// Empirical per-vertex distribution via a store's SampleNeighbor.
+template <typename Store>
+bool StoreMatchesGroundTruth(const Store& store, VertexId v, uint64_t seed) {
+  const auto truth = GroundTruth(store.Graph(), v);
+  if (truth.empty()) {
+    return true;
+  }
+  util::Rng rng(seed);
+  std::map<VertexId, uint64_t> histogram;
+  constexpr int kSamples = 60000;
+  for (int s = 0; s < kSamples; ++s) {
+    ++histogram[store.SampleNeighbor(v, rng)];
+  }
+  std::vector<uint64_t> counts;
+  std::vector<double> expected;
+  for (const auto& [dst, p] : truth) {
+    const auto it = histogram.find(dst);
+    counts.push_back(it == histogram.end() ? 0 : it->second);
+    expected.push_back(p);
+  }
+  return util::ChiSquareTestPasses(counts, expected, 1e-5);
+}
+
+// The full paper workflow (rounds of updates + walks) against every store,
+// with per-round distribution audits on probe vertices.
+class WorkflowParamTest : public ::testing::TestWithParam<graph::UpdateKind> {};
+
+TEST_P(WorkflowParamTest, AllStoresTrackTheGraphThroughRounds) {
+  const graph::UpdateKind kind = GetParam();
+  const auto edges = MakeEdges(8, 2600, 71);
+  util::Rng rng(72);
+  graph::UpdateWorkloadParams wparams;
+  wparams.kind = kind;
+  wparams.batch_size = 120;
+  wparams.num_batches = 5;
+  const auto workload = graph::BuildUpdateWorkload(edges, wparams, rng);
+  const auto batches = graph::SplitIntoBatches(workload.updates, 120);
+
+  util::ThreadPool pool(3);
+  BingoStore bingo(graph::DynamicGraph::FromEdges(1 << 8, workload.initial_edges),
+                   core::BingoConfig{}, &pool);
+  walk::AliasStore alias(
+      graph::DynamicGraph::FromEdges(1 << 8, workload.initial_edges), &pool);
+  walk::ItsStore its(
+      graph::DynamicGraph::FromEdges(1 << 8, workload.initial_edges), &pool);
+  walk::ReservoirStore reservoir(
+      graph::DynamicGraph::FromEdges(1 << 8, workload.initial_edges));
+
+  uint64_t round = 0;
+  for (const auto& batch : batches) {
+    bingo.ApplyBatch(batch, &pool);
+    alias.ApplyBatch(batch, &pool);
+    its.ApplyBatch(batch, &pool);
+    reservoir.ApplyBatch(batch);
+    ASSERT_TRUE(bingo.CheckInvariants().empty()) << bingo.CheckInvariants();
+    ASSERT_EQ(bingo.Graph().NumEdges(), alias.Graph().NumEdges());
+    ASSERT_EQ(bingo.Graph().NumEdges(), its.Graph().NumEdges());
+    ASSERT_EQ(bingo.Graph().NumEdges(), reservoir.Graph().NumEdges());
+
+    // Probe a couple of vertices per round for distribution agreement.
+    for (const VertexId v :
+         {VertexId{0}, static_cast<VertexId>(100 + 7 * round)}) {
+      if (bingo.Graph().Degree(v) == 0) {
+        continue;
+      }
+      EXPECT_TRUE(StoreMatchesGroundTruth(bingo, v, 10 + round)) << "bingo v=" << v;
+      EXPECT_TRUE(StoreMatchesGroundTruth(alias, v, 20 + round)) << "alias v=" << v;
+      EXPECT_TRUE(StoreMatchesGroundTruth(its, v, 30 + round)) << "its v=" << v;
+      EXPECT_TRUE(StoreMatchesGroundTruth(reservoir, v, 40 + round))
+          << "reservoir v=" << v;
+    }
+    ++round;
+  }
+  EXPECT_EQ(round, 5u);
+
+  // All stores still run every application after the churn.
+  walk::WalkConfig cfg;
+  cfg.walk_length = 20;
+  cfg.num_walkers = 128;
+  EXPECT_GT(walk::RunDeepWalk(bingo, cfg, &pool).total_steps, 0u);
+  EXPECT_GT(walk::RunNode2vec(alias, cfg, {}, &pool).total_steps, 0u);
+  EXPECT_GT(walk::RunPpr(its, cfg, 1.0 / 20.0, &pool).total_steps, 0u);
+  EXPECT_GT(walk::RunSimpleSampling(reservoir, cfg, &pool).total_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WorkflowParamTest,
+                         ::testing::Values(graph::UpdateKind::kInsertion,
+                                           graph::UpdateKind::kDeletion,
+                                           graph::UpdateKind::kMixed));
+
+// Base-2 generalized-radix sampler and the main sampler imply identical
+// distributions over the same adjacency.
+TEST(IntegrationTest, RadixBase2MatchesMainSampler) {
+  const auto edges = MakeEdges(7, 900, 81);
+  BingoStore bingo(graph::DynamicGraph::FromEdges(1 << 7, edges));
+  core::RadixBaseStore base2(graph::DynamicGraph::FromEdges(1 << 7, edges), 1);
+  for (VertexId v = 0; v < (1 << 7); ++v) {
+    if (bingo.Graph().Degree(v) == 0) {
+      continue;
+    }
+    ASSERT_TRUE(StoreMatchesGroundTruth(base2, v, v + 1)) << "v=" << v;
+  }
+  EXPECT_TRUE(base2.CheckInvariants().empty());
+}
+
+// ------------------------------------------------------ failure injection --
+
+TEST(FailureInjectionTest, SelfLoopsAreSampledLikeAnyEdge) {
+  BingoStore store(graph::DynamicGraph(4));
+  store.StreamingInsert(1, 1, 8.0);  // self loop
+  store.StreamingInsert(1, 2, 8.0);
+  util::Rng rng(5);
+  int self = 0;
+  for (int i = 0; i < 10000; ++i) {
+    self += store.SampleNeighbor(1, rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(self / 10000.0, 0.5, 0.05);
+  EXPECT_TRUE(store.CheckInvariants().empty());
+}
+
+TEST(FailureInjectionTest, MassDuplicateChurn) {
+  // Many duplicates of a single endpoint pair; deletes must consume them
+  // earliest-first and never corrupt the structure.
+  BingoStore store(graph::DynamicGraph(4));
+  for (int i = 0; i < 64; ++i) {
+    store.StreamingInsert(0, 1, 1.0 + i);
+  }
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.StreamingDelete(0, 1)) << i;
+    ASSERT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  }
+  EXPECT_FALSE(store.StreamingDelete(0, 1));
+  EXPECT_EQ(store.Graph().NumEdges(), 0u);
+}
+
+TEST(FailureInjectionTest, BatchOfOnlyMissingDeletes) {
+  BingoStore store(graph::DynamicGraph(8));
+  graph::UpdateList batch;
+  for (VertexId v = 0; v < 8; ++v) {
+    batch.push_back({Update::Kind::kDelete, v, VertexId((v + 1) % 8), 0.0});
+  }
+  const auto result = store.ApplyBatch(batch);
+  EXPECT_EQ(result.deleted, 0u);
+  EXPECT_EQ(result.skipped_deletes, 8u);
+  EXPECT_TRUE(store.CheckInvariants().empty());
+}
+
+TEST(FailureInjectionTest, AlternatingGrowShrinkAroundPowerOfTwo) {
+  // Oscillating right at a capacity boundary stresses the pool's grow /
+  // free-list recycling path.
+  BingoStore store(graph::DynamicGraph(4));
+  for (VertexId i = 0; i < 8; ++i) {
+    store.StreamingInsert(0, 1 + (i % 3), static_cast<double>(i + 1));
+  }
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    store.StreamingInsert(0, 2, 5.0);  // degree 8 -> 9 (grow past 8)
+    ASSERT_TRUE(store.StreamingDelete(0, 2));
+    ASSERT_TRUE(store.CheckInvariants().empty()) << "cycle " << cycle;
+  }
+}
+
+TEST(FailureInjectionTest, HugeBiasNextToTinyBias) {
+  // 2^40 vs 1: forty-one groups, most one-element; the distribution must
+  // still be exact and sampling must hit the tiny neighbor eventually.
+  BingoStore store(graph::DynamicGraph(4));
+  store.StreamingInsert(0, 1, std::ldexp(1.0, 40));
+  store.StreamingInsert(0, 2, 1.0);
+  ASSERT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  const auto implied =
+      store.SamplerAt(0).ImpliedDistribution(store.Graph().Neighbors(0));
+  EXPECT_NEAR(implied[0], std::ldexp(1.0, 40) / (std::ldexp(1.0, 40) + 1.0), 1e-12);
+  EXPECT_NEAR(implied[1], 1.0 / (std::ldexp(1.0, 40) + 1.0), 1e-15);
+}
+
+TEST(FailureInjectionTest, EmptyBatchIsNoOp) {
+  BingoStore store(graph::DynamicGraph(4));
+  const auto result = store.ApplyBatch({});
+  EXPECT_EQ(result.inserted + result.deleted + result.skipped_deletes, 0u);
+}
+
+TEST(FailureInjectionTest, WalksOnEmptyAndDisconnectedGraphs) {
+  BingoStore empty(graph::DynamicGraph(16));
+  walk::WalkConfig cfg;
+  cfg.walk_length = 10;
+  const auto result = walk::RunDeepWalk(empty, cfg, nullptr);
+  EXPECT_EQ(result.total_steps, 0u);
+  EXPECT_EQ(result.finished_walkers, 0u);
+
+  // One component walks, the rest are isolated.
+  BingoStore partial(graph::DynamicGraph(16));
+  partial.StreamingInsert(0, 1, 1.0);
+  partial.StreamingInsert(1, 0, 1.0);
+  const auto partial_result = walk::RunDeepWalk(partial, cfg, nullptr);
+  EXPECT_EQ(partial_result.finished_walkers, 2u);
+  EXPECT_EQ(partial_result.total_steps, 20u);
+}
+
+}  // namespace
+}  // namespace bingo

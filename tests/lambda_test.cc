@@ -1,0 +1,65 @@
+// Tests for amortization-factor selection (§4.3/§4.4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/lambda.h"
+#include "src/util/rng.h"
+
+namespace bingo::core {
+namespace {
+
+TEST(LambdaTest, IntegerBiasesHaveZeroDecimalShare) {
+  const std::vector<double> biases = {1.0, 2.0, 7.0, 100.0};
+  EXPECT_DOUBLE_EQ(DecimalShare(biases, 1.0), 0.0);
+  const LambdaChoice choice = SuggestLambda(biases, 0.1);
+  EXPECT_DOUBLE_EQ(choice.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(choice.decimal_share, 0.0);
+}
+
+TEST(LambdaTest, PaperFig7Example) {
+  // (0.554, 0.726, 0.320) with lambda 10 gives integer mass 5+7+3 = 15 and
+  // decimal mass 0.54+0.26+0.20 = 1.0 -> share 1/16, below 1/d = 1/3.
+  const std::vector<double> biases = {0.554, 0.726, 0.320};
+  EXPECT_NEAR(DecimalShare(biases, 10.0), 1.0 / 16.0, 1e-9);
+  EXPECT_LT(DecimalShare(biases, 10.0), 1.0 / 3.0);
+}
+
+TEST(LambdaTest, SubUnitBiasesNeedScaling) {
+  // All-fractional biases: at lambda = 1 everything is decimal (share 1).
+  util::Rng rng(3);
+  std::vector<double> biases(100);
+  for (auto& b : biases) {
+    b = 0.01 + 0.98 * rng.NextUnit();
+  }
+  EXPECT_DOUBLE_EQ(DecimalShare(biases, 1.0), 1.0);
+  const LambdaChoice choice = SuggestLambda(biases, 1.0 / 50.0);
+  EXPECT_GT(choice.lambda, 1.0);
+  EXPECT_LT(choice.decimal_share, 1.0 / 50.0);
+}
+
+TEST(LambdaTest, ShareDecreasesMonotonicallyEnough) {
+  // Doubling lambda halves the relative weight of the (bounded) fractional
+  // remainders, so the suggested lambda always meets a feasible target.
+  util::Rng rng(7);
+  std::vector<double> biases(500);
+  for (auto& b : biases) {
+    b = 1.0 + rng.NextBounded(100) + rng.NextUnit();
+  }
+  for (const double target : {0.5, 0.1, 0.01, 0.001}) {
+    const LambdaChoice choice = SuggestLambda(biases, target);
+    EXPECT_LT(choice.decimal_share, target) << "target " << target;
+  }
+}
+
+TEST(LambdaTest, CapsAtRepresentableRange) {
+  // Huge biases leave no room to scale; the helper must not overflow the
+  // 2^52 contract even when the target is unreachable.
+  std::vector<double> biases = {1e15, 0.5};
+  const LambdaChoice choice = SuggestLambda(biases, 1e-12);
+  EXPECT_LT(biases[0] * choice.lambda, 0x1p52);
+}
+
+}  // namespace
+}  // namespace bingo::core

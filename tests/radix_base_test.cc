@@ -1,0 +1,160 @@
+// Tests for the arbitrary-radix-base extension (§9.2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/radix_base.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/sampling/exact.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace bingo::core {
+namespace {
+
+graph::DynamicGraph StarGraph(const std::vector<double>& biases) {
+  graph::DynamicGraph g(4096);
+  for (std::size_t i = 0; i < biases.size(); ++i) {
+    g.Insert(0, static_cast<graph::VertexId>(i + 1), biases[i]);
+  }
+  return g;
+}
+
+std::vector<double> ExpectedProbs(const std::vector<double>& biases) {
+  return util::Normalize(biases);
+}
+
+class RadixBaseParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RadixBaseParamTest, ImpliedDistributionIsExact) {
+  const auto [log2_base, seed] = GetParam();
+  util::Rng rng(seed);
+  std::vector<double> biases(60);
+  for (auto& b : biases) {
+    b = 1 + rng.NextBounded(1 << 12);
+  }
+  auto g = StarGraph(biases);
+  RadixBaseVertexSampler sampler(log2_base);
+  sampler.Build(g.Neighbors(0));
+  EXPECT_TRUE(sampler.CheckInvariants(g.Neighbors(0)).empty())
+      << sampler.CheckInvariants(g.Neighbors(0));
+  const auto implied = sampler.ImpliedDistribution(g.Neighbors(0));
+  const auto expected = ExpectedProbs(biases);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(implied[i], expected[i], 1e-9) << i;
+  }
+}
+
+TEST_P(RadixBaseParamTest, StreamingChurnStaysExact) {
+  const auto [log2_base, seed] = GetParam();
+  util::Rng rng(100 + seed);
+  std::vector<double> biases(20);
+  for (auto& b : biases) {
+    b = 1 + rng.NextBounded(255);
+  }
+  graph::DynamicGraph g = StarGraph(biases);
+  RadixBaseVertexSampler sampler(log2_base);
+  sampler.Build(g.Neighbors(0));
+  graph::VertexId next_dst = 1000;
+  for (int op = 0; op < 150; ++op) {
+    if (g.Degree(0) == 0 || rng.NextBool(0.5)) {
+      const uint32_t idx =
+          g.Insert(0, next_dst++, 1.0 + rng.NextBounded(1 << 10));
+      sampler.InsertEdge(g.Neighbors(0), idx);
+    } else {
+      const uint32_t idx = static_cast<uint32_t>(rng.NextBounded(g.Degree(0)));
+      sampler.RemoveEdge(g.Neighbors(0), idx);
+      const auto result = g.SwapRemove(0, idx);
+      if (result.moved) {
+        sampler.RenameIndex(result.moved_edge.bias, result.moved_from,
+                            result.moved_to);
+      }
+    }
+    sampler.FinishUpdate();
+    ASSERT_TRUE(sampler.CheckInvariants(g.Neighbors(0)).empty())
+        << "op " << op << ": " << sampler.CheckInvariants(g.Neighbors(0));
+  }
+  // Final exact-distribution audit.
+  std::vector<double> current;
+  for (const auto& e : g.Neighbors(0)) {
+    current.push_back(e.bias);
+  }
+  if (!current.empty()) {
+    const auto implied = sampler.ImpliedDistribution(g.Neighbors(0));
+    const auto expected = ExpectedProbs(current);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(implied[i], expected[i], 1e-9) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RadixBaseParamTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Range(0, 4)));
+
+TEST(RadixBaseTest, EmpiricalSamplingMatches) {
+  util::Rng rng(7);
+  std::vector<double> biases(30);
+  for (auto& b : biases) {
+    b = 1 + rng.NextBounded(1000);
+  }
+  auto g = StarGraph(biases);
+  for (const int r : {1, 2, 4}) {
+    RadixBaseVertexSampler sampler(r);
+    sampler.Build(g.Neighbors(0));
+    util::Rng sample_rng(1234);
+    const auto counts = sampling::Histogram(
+        biases.size(), 200000, [&] { return sampler.SampleIndex(sample_rng); });
+    EXPECT_TRUE(util::ChiSquareTestPasses(counts, ExpectedProbs(biases)))
+        << "base 2^" << r;
+  }
+}
+
+TEST(RadixBaseTest, LargerBaseMeansFewerGroups) {
+  util::Rng rng(9);
+  std::vector<double> biases(100);
+  for (auto& b : biases) {
+    b = 1 + rng.NextBounded(1 << 16);
+  }
+  auto g = StarGraph(biases);
+  int last = 1 << 30;
+  for (const int r : {1, 2, 4, 8}) {
+    RadixBaseVertexSampler sampler(r);
+    sampler.Build(g.Neighbors(0));
+    const int active = sampler.NumActiveGroups();
+    EXPECT_LE(active, last) << "base 2^" << r;
+    last = active;
+  }
+}
+
+TEST(RadixBaseStoreTest, EndToEndStreaming) {
+  util::Rng rng(21);
+  graph::WeightedEdgeList edges;
+  for (graph::VertexId v = 0; v < 50; ++v) {
+    for (int i = 0; i < 6; ++i) {
+      edges.push_back({v, static_cast<graph::VertexId>(rng.NextBounded(50)),
+                       1.0 + rng.NextBounded(500)});
+    }
+  }
+  RadixBaseStore store(graph::DynamicGraph::FromEdges(50, edges), 2);
+  EXPECT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  for (int op = 0; op < 100; ++op) {
+    const graph::VertexId src = static_cast<graph::VertexId>(rng.NextBounded(50));
+    if (rng.NextBool(0.5)) {
+      store.StreamingInsert(src, static_cast<graph::VertexId>(rng.NextBounded(50)),
+                            1.0 + rng.NextBounded(500));
+    } else if (store.Graph().Degree(src) > 0) {
+      const auto adj = store.Graph().Neighbors(src);
+      store.StreamingDelete(src, adj[rng.NextBounded(adj.size())].dst);
+    }
+  }
+  EXPECT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  EXPECT_GT(store.AverageActiveGroups(), 0.0);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bingo::core

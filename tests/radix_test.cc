@@ -1,0 +1,122 @@
+// Tests for the radix-based bias decomposition (§4.1, §4.3 — Eq 3/4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/core/radix.h"
+#include "src/util/rng.h"
+
+namespace bingo::core {
+namespace {
+
+TEST(RadixTest, IntegerBiasSplitsToItsBits) {
+  const BiasParts parts = SplitBias(13.0, 1.0);  // 1101b
+  EXPECT_EQ(parts.int_bits, 13u);
+  EXPECT_EQ(parts.dec_fixed, 0u);
+  EXPECT_EQ(NumGroupsOf(parts), 3);
+  EXPECT_EQ(HighestGroupOf(parts), 3);
+}
+
+TEST(RadixTest, ZeroBiasYieldsNothing) {
+  const BiasParts parts = SplitBias(0.0, 1.0);
+  EXPECT_EQ(parts.int_bits, 0u);
+  EXPECT_EQ(parts.dec_fixed, 0u);
+  EXPECT_EQ(parts.FixedWeight(), 0u);
+  EXPECT_EQ(HighestGroupOf(parts), -1);
+}
+
+TEST(RadixTest, FractionGoesToDecimalPart) {
+  const BiasParts parts = SplitBias(5.25, 1.0);
+  EXPECT_EQ(parts.int_bits, 5u);
+  EXPECT_EQ(parts.dec_fixed, uint32_t{1} << 30);  // 0.25 * 2^32
+}
+
+TEST(RadixTest, LambdaScalesBeforeSplitting) {
+  // The paper's Fig 7 example: bias 0.554 with lambda 10 -> 5.54.
+  const BiasParts parts = SplitBias(0.554, 10.0);
+  EXPECT_EQ(parts.int_bits, 5u);
+  EXPECT_NEAR(static_cast<double>(parts.dec_fixed) / 4294967296.0, 0.54, 1e-9);
+}
+
+TEST(RadixTest, Fig7ExampleGroupAssignment) {
+  // (2,1,0.554), (2,4,0.726), (2,5,0.320) with lambda = 10 give integer
+  // parts 5, 7, 3: groups 2^0 = {1,4,5}, 2^1 = {4,5}, 2^2 = {1,4}.
+  const BiasParts e1 = SplitBias(0.554, 10.0);
+  const BiasParts e4 = SplitBias(0.726, 10.0);
+  const BiasParts e5 = SplitBias(0.320, 10.0);
+  EXPECT_EQ(e1.int_bits, 5u);
+  EXPECT_EQ(e4.int_bits, 7u);
+  EXPECT_EQ(e5.int_bits, 3u);
+  // Group 2^0 membership:
+  EXPECT_TRUE(e1.int_bits & 1);
+  EXPECT_TRUE(e4.int_bits & 1);
+  EXPECT_TRUE(e5.int_bits & 1);
+  // Group 2^1: only 7 (=111b) and 3 (=11b).
+  EXPECT_FALSE((e1.int_bits >> 1) & 1);
+  EXPECT_TRUE((e4.int_bits >> 1) & 1);
+  EXPECT_TRUE((e5.int_bits >> 1) & 1);
+  // Group 2^2: 5 (=101b) and 7.
+  EXPECT_TRUE((e1.int_bits >> 2) & 1);
+  EXPECT_TRUE((e4.int_bits >> 2) & 1);
+  EXPECT_FALSE((e5.int_bits >> 2) & 1);
+}
+
+TEST(RadixTest, FractionNearOneCarriesIntoInteger) {
+  // 2^-33 below 3.0: the fixed-point rounding must carry, not produce
+  // dec_fixed == 2^32.
+  const double w = std::nextafter(3.0, 0.0);
+  const BiasParts parts = SplitBias(w, 1.0);
+  EXPECT_EQ(parts.int_bits, 3u);
+  EXPECT_EQ(parts.dec_fixed, 0u);
+}
+
+TEST(RadixTest, FixedWeightIsExactSum) {
+  const BiasParts parts = SplitBias(6.5, 1.0);
+  EXPECT_EQ(parts.FixedWeight(), (uint64_t{6} << 32) + (uint64_t{1} << 31));
+}
+
+TEST(RadixTest, GroupWeightIsPow2TimesCount) {
+  EXPECT_DOUBLE_EQ(GroupWeight(0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(GroupWeight(3, 2), 16.0);
+  EXPECT_DOUBLE_EQ(GroupWeight(10, 0), 0.0);
+}
+
+// Property sweep: reconstruction. For random biases and lambdas, the split
+// must satisfy int_bits + dec/2^32 ~= w * lambda to fixed-point precision.
+TEST(RadixTest, SplitReconstructsScaledBias) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double w = rng.NextUnit() * 1000.0;
+    const double lambda = 1.0 + rng.NextBounded(100);
+    const BiasParts parts = SplitBias(w, lambda);
+    const double reconstructed = static_cast<double>(parts.int_bits) +
+                                 static_cast<double>(parts.dec_fixed) / 4294967296.0;
+    EXPECT_NEAR(reconstructed, w * lambda, 1e-6 * std::max(1.0, w * lambda));
+    EXPECT_LT(parts.dec_fixed, uint64_t{1} << 32);
+  }
+}
+
+// Property: Eq 4 — summing the group weights over all neighbors recovers the
+// total integer mass: sum_k 2^k * |G_k| == sum_i int_bits_i.
+TEST(RadixTest, GroupWeightsSumToTotalIntegerMass) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t counts[64] = {};
+    uint64_t total = 0;
+    for (int i = 0; i < 50; ++i) {
+      const uint64_t bias = 1 + rng.NextBounded(1 << 20);
+      total += bias;
+      util::ForEachSetBit(bias, [&](int k) { ++counts[k]; });
+    }
+    double group_sum = 0;
+    for (int k = 0; k < 64; ++k) {
+      group_sum += GroupWeight(k, counts[k]);
+    }
+    EXPECT_DOUBLE_EQ(group_sum, static_cast<double>(total));
+  }
+}
+
+}  // namespace
+}  // namespace bingo::core

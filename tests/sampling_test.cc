@@ -1,0 +1,254 @@
+// Unit + property tests for the classical Monte Carlo samplers (§2.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sampling/alias_table.h"
+#include "src/sampling/exact.h"
+#include "src/sampling/its.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/reservoir.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace bingo::sampling {
+namespace {
+
+std::vector<double> MakeWeights(int pattern, std::size_t n) {
+  std::vector<double> w(n);
+  util::Rng rng(1000 + pattern);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (pattern) {
+      case 0:  // uniform
+        w[i] = 1.0;
+        break;
+      case 1:  // linear ramp
+        w[i] = static_cast<double>(i + 1);
+        break;
+      case 2:  // heavy skew
+        w[i] = i == 0 ? 1000.0 : 1.0;
+        break;
+      case 3:  // random
+        w[i] = 1.0 + rng.NextBounded(100);
+        break;
+      case 4:  // powers of two
+        w[i] = std::ldexp(1.0, static_cast<int>(i % 10));
+        break;
+      default:
+        w[i] = 1.0;
+    }
+  }
+  return w;
+}
+
+// ------------------------------------------------------------- AliasTable --
+
+class AliasTableParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AliasTableParamTest, ImpliedProbabilitiesMatchWeightsExactly) {
+  const auto [pattern, size] = GetParam();
+  const auto weights = MakeWeights(pattern, size);
+  AliasTable table;
+  table.Build(weights);
+  const auto implied = table.ImpliedProbabilities();
+  const auto expected = util::Normalize(weights);
+  ASSERT_EQ(implied.size(), expected.size());
+  for (std::size_t i = 0; i < implied.size(); ++i) {
+    EXPECT_NEAR(implied[i], expected[i], 1e-9) << "pattern " << pattern
+                                               << " index " << i;
+  }
+}
+
+TEST_P(AliasTableParamTest, EmpiricalDistributionPassesChiSquare) {
+  const auto [pattern, size] = GetParam();
+  const auto weights = MakeWeights(pattern, size);
+  AliasTable table;
+  table.Build(weights);
+  util::Rng rng(77);
+  const auto counts =
+      Histogram(weights.size(), 200000, [&] { return table.Sample(rng); });
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, util::Normalize(weights)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AliasTableParamTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 7, 64, 500)));
+
+TEST(AliasTableTest, EmptyAndZeroWeightsAreSafe) {
+  AliasTable table;
+  table.Build({});
+  EXPECT_TRUE(table.Empty());
+  const std::vector<double> zeros(4, 0.0);
+  table.Build(zeros);
+  EXPECT_DOUBLE_EQ(table.TotalWeight(), 0.0);
+}
+
+TEST(AliasTableTest, SingleElementAlwaysSelected) {
+  AliasTable table;
+  table.Build(std::vector<double>{42.0});
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightEntryIsNeverSampled) {
+  AliasTable table;
+  table.Build(std::vector<double>{1.0, 0.0, 3.0});
+  util::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.Sample(rng), 1u);
+  }
+}
+
+// ------------------------------------------------------------- ItsSampler --
+
+class ItsParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ItsParamTest, ImpliedProbabilitiesMatchWeights) {
+  const auto [pattern, size] = GetParam();
+  const auto weights = MakeWeights(pattern, size);
+  ItsSampler its;
+  its.Build(weights);
+  const auto implied = its.ImpliedProbabilities();
+  const auto expected = util::Normalize(weights);
+  for (std::size_t i = 0; i < implied.size(); ++i) {
+    EXPECT_NEAR(implied[i], expected[i], 1e-9);
+  }
+}
+
+TEST_P(ItsParamTest, EmpiricalDistributionPassesChiSquare) {
+  const auto [pattern, size] = GetParam();
+  const auto weights = MakeWeights(pattern, size);
+  ItsSampler its;
+  its.Build(weights);
+  util::Rng rng(88);
+  const auto counts =
+      Histogram(weights.size(), 200000, [&] { return its.Sample(rng); });
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, util::Normalize(weights)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ItsParamTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1, 2, 33, 256)));
+
+TEST(ItsTest, AppendExtendsDistribution) {
+  ItsSampler its;
+  its.Build(std::vector<double>{1.0, 2.0});
+  its.Append(3.0);
+  EXPECT_EQ(its.Size(), 3u);
+  EXPECT_DOUBLE_EQ(its.TotalWeight(), 6.0);
+  EXPECT_DOUBLE_EQ(its.WeightAt(2), 3.0);
+}
+
+TEST(ItsTest, RemoveAtShiftsSuffix) {
+  ItsSampler its;
+  its.Build(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  its.RemoveAt(1);
+  EXPECT_EQ(its.Size(), 3u);
+  EXPECT_DOUBLE_EQ(its.TotalWeight(), 8.0);
+  EXPECT_DOUBLE_EQ(its.WeightAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(its.WeightAt(1), 3.0);
+  EXPECT_DOUBLE_EQ(its.WeightAt(2), 4.0);
+}
+
+// ------------------------------------------------------- RejectionSampler --
+
+class RejectionParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RejectionParamTest, EmpiricalDistributionPassesChiSquare) {
+  const auto weights = MakeWeights(GetParam(), 40);
+  RejectionSampler sampler;
+  sampler.Build(weights);
+  util::Rng rng(99);
+  const auto counts =
+      Histogram(weights.size(), 200000, [&] { return sampler.Sample(rng); });
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, util::Normalize(weights)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RejectionParamTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(RejectionTest, AppendAndRemoveMaintainAggregates) {
+  RejectionSampler sampler;
+  sampler.Build(std::vector<double>{1.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(sampler.MaxWeight(), 5.0);
+  EXPECT_DOUBLE_EQ(sampler.TotalWeight(), 8.0);
+  sampler.Append(9.0);
+  EXPECT_DOUBLE_EQ(sampler.MaxWeight(), 9.0);
+  sampler.RemoveAt(3);  // removes the 9.0 -> max must be recomputed
+  EXPECT_DOUBLE_EQ(sampler.MaxWeight(), 5.0);
+  EXPECT_DOUBLE_EQ(sampler.TotalWeight(), 8.0);
+}
+
+TEST(RejectionTest, ExpectedTrialsReflectsSkew) {
+  RejectionSampler uniform;
+  uniform.Build(MakeWeights(0, 100));
+  EXPECT_NEAR(uniform.ExpectedTrials(), 1.0, 1e-9);
+  RejectionSampler skewed;
+  skewed.Build(MakeWeights(2, 100));  // one 1000, rest 1
+  EXPECT_GT(skewed.ExpectedTrials(), 50.0);
+}
+
+// --------------------------------------------------------------- Reservoir --
+
+class ReservoirParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReservoirParamTest, EmpiricalDistributionPassesChiSquare) {
+  const auto weights = MakeWeights(GetParam(), 30);
+  util::Rng rng(123);
+  const auto counts = Histogram(weights.size(), 200000, [&] {
+    return WeightedReservoirPick(weights, rng);
+  });
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, util::Normalize(weights)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReservoirParamTest, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(ReservoirTest, AllZeroWeightsReturnsSentinel) {
+  const std::vector<double> zeros(5, 0.0);
+  util::Rng rng(1);
+  EXPECT_EQ(WeightedReservoirPick(zeros, rng), 0xFFFFFFFFu);
+}
+
+TEST(ReservoirTest, SkipsZeroWeightEntries) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(WeightedReservoirPick(weights, rng), 1u);
+  }
+}
+
+// Cross-sampler agreement: all four methods must draw from the same
+// distribution for the same weights.
+TEST(CrossSamplerTest, AllMethodsAgree) {
+  const auto weights = MakeWeights(3, 64);
+  const auto expected = util::Normalize(weights);
+  util::Rng rng(31337);
+
+  AliasTable alias;
+  alias.Build(weights);
+  ItsSampler its;
+  its.Build(weights);
+  RejectionSampler rejection;
+  rejection.Build(weights);
+
+  constexpr uint64_t kSamples = 150000;
+  const auto alias_counts =
+      Histogram(weights.size(), kSamples, [&] { return alias.Sample(rng); });
+  const auto its_counts =
+      Histogram(weights.size(), kSamples, [&] { return its.Sample(rng); });
+  const auto rejection_counts =
+      Histogram(weights.size(), kSamples, [&] { return rejection.Sample(rng); });
+  const auto reservoir_counts = Histogram(weights.size(), kSamples, [&] {
+    return WeightedReservoirPick(weights, rng);
+  });
+  EXPECT_TRUE(util::ChiSquareTestPasses(alias_counts, expected));
+  EXPECT_TRUE(util::ChiSquareTestPasses(its_counts, expected));
+  EXPECT_TRUE(util::ChiSquareTestPasses(rejection_counts, expected));
+  EXPECT_TRUE(util::ChiSquareTestPasses(reservoir_counts, expected));
+}
+
+}  // namespace
+}  // namespace bingo::sampling

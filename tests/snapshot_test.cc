@@ -1,0 +1,135 @@
+// Tests for store snapshot/restore.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/core/snapshot.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+
+namespace bingo::core {
+namespace {
+
+using graph::VertexId;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+BingoStore RmatStore(uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(8, 2000, rng);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(256, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return BingoStore(graph::DynamicGraph::FromCsr(csr, biases));
+}
+
+std::multiset<std::tuple<VertexId, VertexId, double>> AllEdges(
+    const BingoStore& store) {
+  std::multiset<std::tuple<VertexId, VertexId, double>> edges;
+  for (VertexId v = 0; v < store.Graph().NumVertices(); ++v) {
+    for (const graph::Edge& e : store.Graph().Neighbors(v)) {
+      edges.insert({v, e.dst, e.bias});
+    }
+  }
+  return edges;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEdgesAndDistributions) {
+  const std::string path = TempPath("snap_roundtrip.bin");
+  BingoStore original = RmatStore(1);
+  // Churn a little so the store is not in pristine bulk-load shape.
+  original.StreamingInsert(3, 9, 17.0);
+  original.StreamingDelete(0, original.Graph().Neighbors(0)[0].dst);
+  ASSERT_TRUE(SaveSnapshot(original, path));
+
+  const auto loaded = LoadSnapshot(path, BingoConfig{}, 256);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Graph().NumVertices(), 256u);
+  EXPECT_EQ(AllEdges(*loaded), AllEdges(original));
+  EXPECT_TRUE(loaded->CheckInvariants().empty()) << loaded->CheckInvariants();
+
+  // Per-vertex implied distributions agree (keyed by dst+bias; adjacency
+  // order may differ).
+  for (VertexId v = 0; v < 256; ++v) {
+    std::map<std::pair<VertexId, double>, double> lhs, rhs;
+    const auto pa =
+        original.SamplerAt(v).ImpliedDistribution(original.Graph().Neighbors(v));
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      const auto& e = original.Graph().NeighborAt(v, static_cast<uint32_t>(i));
+      lhs[{e.dst, e.bias}] += pa[i];
+    }
+    const auto pb =
+        loaded->SamplerAt(v).ImpliedDistribution(loaded->Graph().Neighbors(v));
+    for (std::size_t i = 0; i < pb.size(); ++i) {
+      const auto& e = loaded->Graph().NeighborAt(v, static_cast<uint32_t>(i));
+      rhs[{e.dst, e.bias}] += pb[i];
+    }
+    ASSERT_EQ(lhs.size(), rhs.size()) << "vertex " << v;
+    for (const auto& [key, p] : lhs) {
+      ASSERT_NEAR(p, rhs.at(key), 1e-9) << "vertex " << v;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DuplicateDeletionOrderSurvivesRoundTrip) {
+  const std::string path = TempPath("snap_dups.bin");
+  BingoStore original(graph::DynamicGraph(4));
+  original.StreamingInsert(0, 1, 2.0);   // earliest
+  original.StreamingInsert(0, 1, 16.0);  // later duplicate
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  auto loaded = LoadSnapshot(path, BingoConfig{}, 4);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(loaded->StreamingDelete(0, 1));
+  // The earliest copy (bias 2) must be the one deleted after the round trip.
+  ASSERT_EQ(loaded->Graph().Degree(0), 1u);
+  EXPECT_DOUBLE_EQ(loaded->Graph().NeighborAt(0, 0).bias, 16.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileReturnsNull) {
+  EXPECT_EQ(LoadSnapshot("/nonexistent/never.bin"), nullptr);
+}
+
+TEST(SnapshotTest, IsolatedTrailingVerticesNeedExplicitCount) {
+  const std::string path = TempPath("snap_isolated.bin");
+  BingoStore original(graph::DynamicGraph(100));
+  original.StreamingInsert(0, 1, 1.0);
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  // Without the override, only max-id+1 vertices are restored.
+  const auto implicit = LoadSnapshot(path);
+  ASSERT_NE(implicit, nullptr);
+  EXPECT_EQ(implicit->Graph().NumVertices(), 2u);
+  const auto explicit_count = LoadSnapshot(path, BingoConfig{}, 100);
+  ASSERT_NE(explicit_count, nullptr);
+  EXPECT_EQ(explicit_count->Graph().NumVertices(), 100u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadedStoreAcceptsFurtherUpdates) {
+  const std::string path = TempPath("snap_updates.bin");
+  BingoStore original = RmatStore(2);
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  auto loaded = LoadSnapshot(path, BingoConfig{}, 256);
+  ASSERT_NE(loaded, nullptr);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    loaded->StreamingInsert(static_cast<VertexId>(rng.NextBounded(256)),
+                            static_cast<VertexId>(rng.NextBounded(256)),
+                            1.0 + rng.NextBounded(64));
+  }
+  EXPECT_TRUE(loaded->CheckInvariants().empty()) << loaded->CheckInvariants();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bingo::core

@@ -1,0 +1,132 @@
+// Tests for the vertex-level store operations of §4.2's closing remark:
+// edge-bias updates, vertex out-edge deletion, and vertex insertion.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace bingo::core {
+namespace {
+
+using graph::VertexId;
+
+BingoStore SmallStore() {
+  graph::WeightedEdgeList edges;
+  for (VertexId i = 1; i <= 10; ++i) {
+    edges.push_back({0, i, static_cast<double>(i)});
+  }
+  return BingoStore(graph::DynamicGraph::FromEdges(32, edges));
+}
+
+TEST(StoreOpsTest, UpdateBiasRewritesDistributionExactly) {
+  BingoStore store = SmallStore();
+  ASSERT_TRUE(store.UpdateBias(0, 3, 100.0));
+  ASSERT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  const auto implied =
+      store.SamplerAt(0).ImpliedDistribution(store.Graph().Neighbors(0));
+  // New total: 55 - 3 + 100 = 152; edge at index 2 carries bias 100.
+  double total = 0;
+  for (const graph::Edge& e : store.Graph().Neighbors(0)) {
+    total += e.bias;
+  }
+  EXPECT_DOUBLE_EQ(total, 152.0);
+  for (uint32_t i = 0; i < store.Graph().Degree(0); ++i) {
+    EXPECT_NEAR(implied[i], store.Graph().NeighborAt(0, i).bias / total, 1e-9);
+  }
+}
+
+TEST(StoreOpsTest, UpdateBiasMissingEdgeFails) {
+  BingoStore store = SmallStore();
+  EXPECT_FALSE(store.UpdateBias(0, 99, 5.0));
+  EXPECT_FALSE(store.UpdateBias(5, 1, 5.0));
+}
+
+TEST(StoreOpsTest, UpdateBiasOnDuplicateHitsEarliest) {
+  BingoStore store(graph::DynamicGraph(4));
+  store.StreamingInsert(0, 1, 2.0);
+  store.StreamingInsert(0, 1, 4.0);
+  ASSERT_TRUE(store.UpdateBias(0, 1, 32.0));
+  // The earliest copy (bias 2) became 32; the later copy is untouched.
+  std::vector<double> biases;
+  for (const graph::Edge& e : store.Graph().Neighbors(0)) {
+    biases.push_back(e.bias);
+  }
+  std::sort(biases.begin(), biases.end());
+  EXPECT_EQ(biases, (std::vector<double>{4.0, 32.0}));
+  EXPECT_TRUE(store.CheckInvariants().empty());
+}
+
+TEST(StoreOpsTest, UpdateBiasChurnKeepsInvariants) {
+  BingoStore store = SmallStore();
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const VertexId dst = 1 + static_cast<VertexId>(rng.NextBounded(10));
+    ASSERT_TRUE(store.UpdateBias(0, dst, 1.0 + rng.NextBounded(1 << 12)));
+    ASSERT_TRUE(store.CheckInvariants().empty()) << i;
+  }
+}
+
+TEST(StoreOpsTest, UpdateBiasIntegerToFloatAndBack) {
+  BingoStore store = SmallStore();
+  ASSERT_TRUE(store.UpdateBias(0, 2, 3.75));  // gains a decimal part
+  ASSERT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  EXPECT_GT(store.SamplerAt(0).Decimal().TotalFixed(), 0u);
+  ASSERT_TRUE(store.UpdateBias(0, 2, 6.0));  // decimal part withdrawn
+  ASSERT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  EXPECT_EQ(store.SamplerAt(0).Decimal().TotalFixed(), 0u);
+}
+
+TEST(StoreOpsTest, DeleteVertexOutEdgesClearsVertexOnly) {
+  BingoStore store = SmallStore();
+  store.StreamingInsert(5, 6, 2.0);
+  EXPECT_EQ(store.DeleteVertexOutEdges(0), 10u);
+  EXPECT_EQ(store.Graph().Degree(0), 0u);
+  EXPECT_EQ(store.Graph().Degree(5), 1u);  // other vertices untouched
+  EXPECT_EQ(store.Graph().NumEdges(), 1u);
+  EXPECT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+  util::Rng rng(1);
+  EXPECT_EQ(store.SampleNeighbor(0, rng), graph::kInvalidVertex);
+  // The vertex is immediately reusable.
+  store.StreamingInsert(0, 7, 3.0);
+  EXPECT_EQ(store.SampleNeighbor(0, rng), 7u);
+}
+
+TEST(StoreOpsTest, DeleteVertexOutEdgesOnEmptyVertex) {
+  BingoStore store = SmallStore();
+  EXPECT_EQ(store.DeleteVertexOutEdges(17), 0u);
+  EXPECT_TRUE(store.CheckInvariants().empty());
+}
+
+TEST(StoreOpsTest, AddVerticesExtendsStore) {
+  BingoStore store = SmallStore();
+  const VertexId old_n = store.Graph().NumVertices();
+  store.AddVertices(8);
+  EXPECT_EQ(store.Graph().NumVertices(), old_n + 8);
+  // New vertices work end to end.
+  store.StreamingInsert(old_n + 3, 1, 4.0);
+  util::Rng rng(2);
+  EXPECT_EQ(store.SampleNeighbor(old_n + 3, rng), 1u);
+  EXPECT_TRUE(store.CheckInvariants().empty()) << store.CheckInvariants();
+}
+
+TEST(StoreOpsTest, SamplingAfterBiasUpdateFollowsNewWeights) {
+  BingoStore store = SmallStore();
+  // Collapse all mass onto one edge.
+  for (VertexId i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(store.UpdateBias(0, i, i == 4 ? 1e6 : 1.0));
+  }
+  util::Rng rng(3);
+  int hits = 0;
+  for (int s = 0; s < 1000; ++s) {
+    hits += store.SampleNeighbor(0, rng) == 4 ? 1 : 0;
+  }
+  EXPECT_GT(hits, 990);
+}
+
+}  // namespace
+}  // namespace bingo::core

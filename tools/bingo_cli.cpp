@@ -1,0 +1,254 @@
+// bingo_cli — command-line driver for the Bingo engine.
+//
+// Subcommands:
+//   generate  --scale N --edges M [--bias degree|uniform|gauss|powerlaw]
+//             [--undirected] --out FILE[.bin]
+//       Generate an R-MAT weighted edge list and save it.
+//
+//   walk      --graph FILE --app deepwalk|node2vec|ppr|simple
+//             [--length L] [--walkers W] [--p P] [--q Q] [--seed S]
+//             [--paths OUT.txt]
+//       Load a graph, build the Bingo store, run the application, report
+//       steps/second (and optionally dump the paths).
+//
+//   stats     --graph FILE
+//       Load a graph and print structural + store statistics (degrees,
+//       group-kind census, memory breakdown).
+//
+// Examples:
+//   bingo_cli generate --scale 16 --edges 1000000 --out g.bin
+//   bingo_cli walk --graph g.bin --app deepwalk --length 80
+//   bingo_cli stats --graph g.bin
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/bingo.h"
+
+namespace {
+
+using namespace bingo;
+
+struct Args {
+  std::string command;
+  std::string graph_path;
+  std::string out_path;
+  std::string app = "deepwalk";
+  std::string bias = "degree";
+  int scale = 14;
+  uint64_t edges = 200000;
+  uint32_t length = 80;
+  uint64_t walkers = 0;
+  double p = 0.5;
+  double q = 2.0;
+  uint64_t seed = 42;
+  bool undirected = false;
+  std::string paths_out;
+};
+
+bool Parse(int argc, char** argv, Args& args) {
+  if (argc < 2) {
+    return false;
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--graph") {
+      args.graph_path = next();
+    } else if (flag == "--out") {
+      args.out_path = next();
+    } else if (flag == "--app") {
+      args.app = next();
+    } else if (flag == "--bias") {
+      args.bias = next();
+    } else if (flag == "--scale") {
+      args.scale = std::atoi(next());
+    } else if (flag == "--edges") {
+      args.edges = std::atoll(next());
+    } else if (flag == "--length") {
+      args.length = static_cast<uint32_t>(std::atoi(next()));
+    } else if (flag == "--walkers") {
+      args.walkers = std::atoll(next());
+    } else if (flag == "--p") {
+      args.p = std::atof(next());
+    } else if (flag == "--q") {
+      args.q = std::atof(next());
+    } else if (flag == "--seed") {
+      args.seed = std::atoll(next());
+    } else if (flag == "--undirected") {
+      args.undirected = true;
+    } else if (flag == "--paths") {
+      args.paths_out = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".bin";
+}
+
+int Generate(const Args& args) {
+  util::Rng rng(args.seed);
+  auto pairs = graph::GenerateRmat(args.scale, args.edges, rng);
+  if (args.undirected) {
+    graph::MakeUndirected(pairs);
+  }
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = graph::VertexId{1} << args.scale;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams params;
+  if (args.bias == "uniform") {
+    params.distribution = graph::BiasDistribution::kUniform;
+  } else if (args.bias == "gauss") {
+    params.distribution = graph::BiasDistribution::kGauss;
+  } else if (args.bias == "powerlaw") {
+    params.distribution = graph::BiasDistribution::kPowerLaw;
+  } else {
+    params.distribution = graph::BiasDistribution::kDegree;
+  }
+  util::Rng bias_rng(args.seed + 1);
+  const auto biases = graph::GenerateBiases(csr, params, bias_rng);
+  const auto edges = graph::ToWeightedEdges(csr, biases);
+  const bool ok = IsBinaryPath(args.out_path)
+                      ? graph::SaveWeightedEdgesBinary(args.out_path, edges)
+                      : graph::SaveWeightedEdgesText(args.out_path, edges);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write %s\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges over %u vertices to %s\n", edges.size(), n,
+              args.out_path.c_str());
+  return 0;
+}
+
+bool LoadEdges(const std::string& path, graph::WeightedEdgeList& edges) {
+  return IsBinaryPath(path) ? graph::LoadWeightedEdgesBinary(path, edges)
+                            : graph::LoadWeightedEdgesText(path, edges);
+}
+
+int Walk(const Args& args) {
+  graph::WeightedEdgeList edges;
+  if (!LoadEdges(args.graph_path, edges)) {
+    std::fprintf(stderr, "failed to load %s\n", args.graph_path.c_str());
+    return 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  util::Timer build_timer;
+  core::BingoStore store(graph::DynamicGraph::FromEdges(n, edges),
+                         core::BingoConfig{}, &util::ThreadPool::Global());
+  std::printf("built store over %u vertices / %zu edges in %.2fs (%.1f MiB)\n",
+              n, edges.size(), build_timer.Seconds(),
+              store.MemoryBytes() / 1024.0 / 1024.0);
+
+  walk::WalkConfig cfg;
+  cfg.walk_length = args.length;
+  cfg.num_walkers = args.walkers;
+  cfg.seed = args.seed;
+  cfg.record_paths = !args.paths_out.empty();
+
+  util::Timer walk_timer;
+  walk::WalkResult result;
+  if (args.app == "node2vec") {
+    walk::Node2vecParams params;
+    params.p = args.p;
+    params.q = args.q;
+    result = walk::RunNode2vec(store, cfg, params, &util::ThreadPool::Global());
+  } else if (args.app == "ppr") {
+    result = walk::RunPpr(store, cfg, 1.0 / args.length,
+                          &util::ThreadPool::Global());
+  } else if (args.app == "simple") {
+    result = walk::RunSimpleSampling(store, cfg, &util::ThreadPool::Global());
+  } else {
+    result = walk::RunDeepWalk(store, cfg, &util::ThreadPool::Global());
+  }
+  const double seconds = walk_timer.Seconds();
+  std::printf("%s: %llu steps in %.2fs (%.2fM steps/s)\n", args.app.c_str(),
+              static_cast<unsigned long long>(result.total_steps), seconds,
+              result.total_steps / seconds / 1e6);
+
+  if (!args.paths_out.empty()) {
+    std::ofstream out(args.paths_out);
+    for (std::size_t w = 0; w + 1 < result.path_offsets.size(); ++w) {
+      for (uint64_t i = result.path_offsets[w]; i < result.path_offsets[w + 1];
+           ++i) {
+        out << result.paths[i]
+            << (i + 1 == result.path_offsets[w + 1] ? '\n' : ' ');
+      }
+    }
+    std::printf("paths written to %s\n", args.paths_out.c_str());
+  }
+  return 0;
+}
+
+int Stats(const Args& args) {
+  graph::WeightedEdgeList edges;
+  if (!LoadEdges(args.graph_path, edges)) {
+    std::fprintf(stderr, "failed to load %s\n", args.graph_path.c_str());
+    return 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  core::BingoStore store(graph::DynamicGraph::FromEdges(n, edges),
+                         core::BingoConfig{}, &util::ThreadPool::Global());
+  const auto& g = store.Graph();
+  uint32_t max_degree = 0;
+  uint64_t isolated = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+    isolated += g.Degree(v) == 0 ? 1 : 0;
+  }
+  std::printf("vertices:    %u (%llu isolated)\n", n,
+              static_cast<unsigned long long>(isolated));
+  std::printf("edges:       %llu (avg degree %.2f, max %u)\n",
+              static_cast<unsigned long long>(g.NumEdges()),
+              static_cast<double>(g.NumEdges()) / n, max_degree);
+  const auto stats = store.MemoryStats();
+  std::printf("memory:      graph %.1f MiB, samplers %.1f MiB\n",
+              stats.graph_bytes / 1024.0 / 1024.0,
+              stats.SamplerBytes() / 1024.0 / 1024.0);
+  const auto kinds = store.CountGroupKinds();
+  const char* names[] = {"empty", "dense", "one-element", "sparse", "regular"};
+  uint64_t total_groups = 0;
+  for (uint64_t c : kinds) {
+    total_groups += c;
+  }
+  std::printf("radix groups (%llu total):\n",
+              static_cast<unsigned long long>(total_groups));
+  for (int k = 1; k < 5; ++k) {
+    std::printf("  %-12s %10llu (%.1f%%)\n", names[k],
+                static_cast<unsigned long long>(kinds[k]),
+                100.0 * kinds[k] / std::max<uint64_t>(1, total_groups));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: bingo_cli generate|walk|stats [flags]\n"
+                 "see the header comment of tools/bingo_cli.cpp\n");
+    return 2;
+  }
+  if (args.command == "generate") {
+    return Generate(args);
+  }
+  if (args.command == "walk") {
+    return Walk(args);
+  }
+  if (args.command == "stats") {
+    return Stats(args);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return 2;
+}
