@@ -71,8 +71,9 @@ class InstrumentedStore {
     }
   }
 
-  // Store surface for the walk apps.
+  // Store surface for the walk apps (walk::SamplingStore).
   const graph::DynamicGraph& Graph() const { return graph_; }
+  graph::VertexId NumVertices() const { return graph_.NumVertices(); }
   graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
     const uint32_t idx = samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
     return idx == core::VertexSampler::kNoNeighbor ? graph::kInvalidVertex

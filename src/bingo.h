@@ -35,5 +35,7 @@
 #include "src/walk/engine.h"
 #include "src/walk/incremental.h"
 #include "src/walk/partitioned.h"
+#include "src/walk/service.h"
+#include "src/walk/store.h"
 
 #endif  // BINGO_SRC_BINGO_H_

@@ -232,7 +232,7 @@ StoreMemoryStats BingoStore::MemoryStats() const {
   stats.graph_bytes = graph_.MemoryBytes();
   stats.sampler_fixed_bytes = samplers_.capacity() * sizeof(VertexSampler);
   for (const VertexSampler& sampler : samplers_) {
-    stats.samplers += sampler.MemoryBreakdown();
+    stats.sampler_dynamic_bytes += sampler.MemoryBreakdown().Total();
   }
   return stats;
 }

@@ -13,27 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "src/core/store_types.h"
 #include "src/core/vertex_sampler.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
 #include "src/util/thread_pool.h"
 
 namespace bingo::core {
-
-struct BatchResult {
-  uint64_t inserted = 0;
-  uint64_t deleted = 0;
-  uint64_t skipped_deletes = 0;  // delete requests with no surviving match
-};
-
-struct StoreMemoryStats {
-  std::size_t graph_bytes = 0;
-  std::size_t sampler_fixed_bytes = 0;  // per-vertex sampler objects
-  VertexMemoryBreakdown samplers;
-
-  std::size_t SamplerBytes() const { return sampler_fixed_bytes + samplers.Total(); }
-  std::size_t TotalBytes() const { return graph_bytes + SamplerBytes(); }
-};
 
 class BingoStore {
  public:
@@ -47,6 +33,17 @@ class BingoStore {
 
   const graph::DynamicGraph& Graph() const { return graph_; }
   const BingoConfig& Config() const { return config_; }
+
+  // --- uniform store surface (src/walk/store.h concept) --------------------
+
+  graph::VertexId NumVertices() const { return graph_.NumVertices(); }
+  uint64_t NumEdges() const { return graph_.NumEdges(); }
+  bool HasEdge(graph::VertexId src, graph::VertexId dst) const {
+    return graph_.HasEdge(src, dst);
+  }
+  std::span<const graph::Edge> NeighborsOf(graph::VertexId v) const {
+    return graph_.Neighbors(v);
+  }
 
   // --- sampling -----------------------------------------------------------
 

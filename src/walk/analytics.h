@@ -9,6 +9,7 @@
 #ifndef BINGO_SRC_WALK_ANALYTICS_H_
 #define BINGO_SRC_WALK_ANALYTICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
 #include "src/walk/engine.h"
+#include "src/walk/store.h"
 
 namespace bingo::walk {
 
@@ -32,7 +34,7 @@ struct PprQueryConfig {
 
 // Monte-Carlo personalized PageRank from a single source: visit
 // frequencies of walks restarted at `source`, normalized to sum 1.
-template <typename Store>
+template <SamplingStore Store>
 std::vector<double> PersonalizedPageRank(const Store& store,
                                          graph::VertexId source,
                                          const PprQueryConfig& config = {},
@@ -48,7 +50,7 @@ std::vector<std::pair<graph::VertexId, double>> TopK(
 // Monte-Carlo SimRank s(a, b): the expected discounted first-meeting time
 // of two independent walkers starting at a and b (Jeh & Widom's random
 // surfer-pairs model, estimated by simulation with decay factor c).
-template <typename Store>
+template <SamplingStore Store>
 double SimRankEstimate(const Store& store, graph::VertexId a, graph::VertexId b,
                        double decay = 0.8, uint64_t num_pairs = 20000,
                        uint32_t max_length = 16, uint64_t seed = 42);
@@ -58,7 +60,7 @@ double SimRankEstimate(const Store& store, graph::VertexId a, graph::VertexId b,
 // Greedy k-seed selection maximizing walk coverage (Li et al.'s random-walk
 // domination, hit-and-cover form): repeatedly picks the vertex covering the
 // most yet-uncovered walks from a corpus of short walks.
-template <typename Store>
+template <SamplingStore Store>
 std::vector<graph::VertexId> RandomWalkDomination(const Store& store,
                                                   std::size_t k,
                                                   uint32_t walk_length = 8,
@@ -67,7 +69,7 @@ std::vector<graph::VertexId> RandomWalkDomination(const Store& store,
 
 // ------------------------------------------------------- implementations --
 
-template <typename Store>
+template <SamplingStore Store>
 std::vector<double> PersonalizedPageRank(const Store& store,
                                          graph::VertexId source,
                                          const PprQueryConfig& config,
@@ -85,11 +87,12 @@ std::vector<double> PersonalizedPageRank(const Store& store,
   };
   // All walkers start at `source`: run the generic engine with one walker
   // per stream but remap starts by walking a single-vertex id space and
-  // translating. Simpler: drive the walks directly here.
-  std::vector<uint32_t> visits(store.Graph().NumVertices(), 0);
-  std::mutex merge;
+  // translating. Simpler: drive the walks directly here. Merging follows
+  // the engine's lock-free pattern: chunk-local counts flushed through
+  // relaxed atomics (additions commute, so the result is deterministic).
+  std::vector<std::atomic<uint32_t>> visit_acc(store.NumVertices());
   const auto run_range = [&](std::size_t lo, std::size_t hi) {
-    std::vector<uint32_t> local(store.Graph().NumVertices(), 0);
+    std::vector<uint32_t> local(store.NumVertices(), 0);
     SourcePprStepper stepper{store, config.stop_probability};
     for (std::size_t w = lo; w < hi; ++w) {
       util::Rng rng = util::Rng::ForStream(config.seed, w);
@@ -107,9 +110,10 @@ std::vector<double> PersonalizedPageRank(const Store& store,
         }
       }
     }
-    std::lock_guard<std::mutex> lock(merge);
-    for (std::size_t v = 0; v < visits.size(); ++v) {
-      visits[v] += local[v];
+    for (std::size_t v = 0; v < local.size(); ++v) {
+      if (local[v] != 0) {
+        visit_acc[v].fetch_add(local[v], std::memory_order_relaxed);
+      }
     }
   };
   if (pool != nullptr) {
@@ -118,19 +122,20 @@ std::vector<double> PersonalizedPageRank(const Store& store,
     run_range(0, config.num_walkers);
   }
   uint64_t total = 0;
-  for (uint32_t c : visits) {
-    total += c;
+  for (const auto& c : visit_acc) {
+    total += c.load(std::memory_order_relaxed);
   }
-  std::vector<double> scores(visits.size(), 0.0);
+  std::vector<double> scores(visit_acc.size(), 0.0);
   if (total > 0) {
-    for (std::size_t v = 0; v < visits.size(); ++v) {
-      scores[v] = static_cast<double>(visits[v]) / static_cast<double>(total);
+    for (std::size_t v = 0; v < visit_acc.size(); ++v) {
+      scores[v] = static_cast<double>(visit_acc[v].load(std::memory_order_relaxed)) /
+                  static_cast<double>(total);
     }
   }
   return scores;
 }
 
-template <typename Store>
+template <SamplingStore Store>
 double SimRankEstimate(const Store& store, graph::VertexId a, graph::VertexId b,
                        double decay, uint64_t num_pairs, uint32_t max_length,
                        uint64_t seed) {
@@ -162,7 +167,7 @@ double SimRankEstimate(const Store& store, graph::VertexId a, graph::VertexId b,
   return total / static_cast<double>(num_pairs);
 }
 
-template <typename Store>
+template <SamplingStore Store>
 std::vector<graph::VertexId> RandomWalkDomination(const Store& store,
                                                   std::size_t k,
                                                   uint32_t walk_length,
@@ -172,15 +177,14 @@ std::vector<graph::VertexId> RandomWalkDomination(const Store& store,
   cfg.walk_length = walk_length;
   cfg.seed = seed;
   cfg.record_paths = true;
-  const WalkResult corpus = RunWalks(
-      store.Graph().NumVertices(), cfg,
-      internal::FirstOrderStepper<Store>{store}, pool);
+  const WalkResult corpus =
+      RunWalks(store, cfg, internal::FirstOrderStepper<Store>{store}, pool);
 
   const std::size_t num_walks = cfg.num_walkers == 0
-                                    ? store.Graph().NumVertices()
+                                    ? store.NumVertices()
                                     : cfg.num_walkers;
   // vertex -> walks it appears on.
-  std::vector<std::vector<uint32_t>> covers(store.Graph().NumVertices());
+  std::vector<std::vector<uint32_t>> covers(store.NumVertices());
   for (std::size_t w = 0; w < num_walks; ++w) {
     for (uint64_t i = corpus.path_offsets[w]; i < corpus.path_offsets[w + 1];
          ++i) {

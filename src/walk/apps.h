@@ -12,15 +12,18 @@
 //   SimpleSampling — unbiased uniform walks (the random_walk_simple_sampling
 //                    kernel).
 //
-// A Store must provide SampleNeighbor(v, rng) and Graph().
+// Every application is written against the store concept (src/walk/store.h)
+// and runs unchanged on BingoStore, the baseline stores, and
+// PartitionedBingoStore. First-order apps need only SamplingStore; node2vec
+// and uniform sampling probe adjacency and need AdjacencyStore.
 
 #ifndef BINGO_SRC_WALK_APPS_H_
 #define BINGO_SRC_WALK_APPS_H_
 
 #include <algorithm>
 
-#include "src/graph/dynamic_graph.h"
 #include "src/walk/engine.h"
+#include "src/walk/store.h"
 
 namespace bingo::walk {
 
@@ -31,7 +34,7 @@ struct Node2vecParams {
 
 namespace internal {
 
-template <typename Store>
+template <SamplingStore Store>
 struct FirstOrderStepper {
   const Store& store;
   graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
@@ -41,7 +44,7 @@ struct FirstOrderStepper {
   bool Terminate(util::Rng& /*rng*/) const { return false; }
 };
 
-template <typename Store>
+template <SamplingStore Store>
 struct PprStepper {
   const Store& store;
   double stop_probability;
@@ -52,10 +55,9 @@ struct PprStepper {
   bool Terminate(util::Rng& rng) const { return rng.NextBool(stop_probability); }
 };
 
-template <typename Store>
+template <AdjacencyStore Store>
 struct Node2vecStepper {
   const Store& store;
-  const graph::DynamicGraph& graph;
   Node2vecParams params;
   double f_max;
   // Bounded retry count guards against pathological all-reject states
@@ -75,7 +77,7 @@ struct Node2vecStepper {
       double f;
       if (candidate == prev) {
         f = 1.0 / params.p;  // distance 0
-      } else if (graph.HasEdge(prev, candidate)) {
+      } else if (store.HasEdge(prev, candidate)) {
         f = 1.0;  // distance 1
       } else {
         f = 1.0 / params.q;  // distance 2
@@ -89,12 +91,12 @@ struct Node2vecStepper {
   bool Terminate(util::Rng& /*rng*/) const { return false; }
 };
 
-template <typename Store>
+template <AdjacencyStore Store>
 struct UniformStepper {
   const Store& store;
   graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
                        util::Rng& rng) const {
-    const auto adj = store.Graph().Neighbors(cur);
+    const auto adj = store.NeighborsOf(cur);
     if (adj.empty()) {
       return graph::kInvalidVertex;
     }
@@ -105,23 +107,23 @@ struct UniformStepper {
 
 }  // namespace internal
 
-template <typename Store>
+template <SamplingStore Store>
 WalkResult RunDeepWalk(const Store& store, const WalkConfig& cfg,
                        util::ThreadPool* pool = nullptr) {
   internal::FirstOrderStepper<Store> stepper{store};
-  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+  return RunWalks(store, cfg, stepper, pool);
 }
 
-template <typename Store>
+template <AdjacencyStore Store>
 WalkResult RunNode2vec(const Store& store, const WalkConfig& cfg,
                        const Node2vecParams& params = {},
                        util::ThreadPool* pool = nullptr) {
   const double f_max = std::max({1.0 / params.p, 1.0, 1.0 / params.q});
-  internal::Node2vecStepper<Store> stepper{store, store.Graph(), params, f_max};
-  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+  internal::Node2vecStepper<Store> stepper{store, params, f_max};
+  return RunWalks(store, cfg, stepper, pool);
 }
 
-template <typename Store>
+template <SamplingStore Store>
 WalkResult RunPpr(const Store& store, WalkConfig cfg,
                   double stop_probability = 1.0 / 80.0,
                   util::ThreadPool* pool = nullptr) {
@@ -130,14 +132,14 @@ WalkResult RunPpr(const Store& store, WalkConfig cfg,
   // the cap only guards the geometric tail.
   cfg.walk_length = std::max<uint32_t>(cfg.walk_length, 1) * 16;
   internal::PprStepper<Store> stepper{store, stop_probability};
-  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+  return RunWalks(store, cfg, stepper, pool);
 }
 
-template <typename Store>
+template <AdjacencyStore Store>
 WalkResult RunSimpleSampling(const Store& store, const WalkConfig& cfg,
                              util::ThreadPool* pool = nullptr) {
   internal::UniformStepper<Store> stepper{store};
-  return RunWalks(store.Graph().NumVertices(), cfg, stepper, pool);
+  return RunWalks(store, cfg, stepper, pool);
 }
 
 }  // namespace bingo::walk

@@ -1,29 +1,41 @@
 #include "src/walk/baseline_stores.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
+#include "src/walk/store.h"
+
 namespace bingo::walk {
+
+static_assert(WalkStore<AliasStore> && AdjacencyStore<AliasStore>);
+static_assert(WalkStore<ItsStore> && AdjacencyStore<ItsStore>);
+static_assert(WalkStore<ReservoirStore> && AdjacencyStore<ReservoirStore>);
 
 namespace {
 
 // Rebuild-affected-vertices plumbing shared by AliasStore and ItsStore:
 // apply all graph mutations, then rebuild each touched vertex once.
 template <typename Store>
-void ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
-                          const graph::UpdateList& updates,
-                          util::ThreadPool* pool) {
+core::BatchResult ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
+                                       const graph::UpdateList& updates,
+                                       util::ThreadPool* pool) {
+  core::BatchResult result;
   std::unordered_set<graph::VertexId> touched;
   touched.reserve(updates.size());
   for (const graph::Update& u : updates) {
     if (u.kind == graph::Update::Kind::kInsert) {
       g.Insert(u.src, u.dst, u.bias);
       touched.insert(u.src);
+      ++result.inserted;
     } else {
       const auto idx = g.FindEarliest(u.src, u.dst);
       if (idx.has_value()) {
         g.SwapRemove(u.src, *idx);
         touched.insert(u.src);
+        ++result.deleted;
+      } else {
+        ++result.skipped_deletes;
       }
     }
   }
@@ -38,6 +50,7 @@ void ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
   } else {
     rebuild_range(0, order.size());
   }
+  return result;
 }
 
 // Applies updates to the graph only (no sampling-structure maintenance).
@@ -52,6 +65,44 @@ void ApplyUpdatesToGraph(graph::DynamicGraph& g, const graph::UpdateList& update
       }
     }
   }
+}
+
+double BiasSum(const graph::DynamicGraph& g, graph::VertexId v) {
+  double total = 0.0;
+  for (const graph::Edge& e : g.Neighbors(v)) {
+    total += e.bias;
+  }
+  return total;
+}
+
+// Sampler weight must track the adjacency bias mass (loose tolerance:
+// the structures accumulate in different orders).
+bool WeightMatches(double structure_total, double bias_total) {
+  const double scale = std::max({1.0, structure_total, bias_total});
+  return std::abs(structure_total - bias_total) <= 1e-6 * scale;
+}
+
+// Shared audit for AliasStore/ItsStore: one sampling structure per vertex,
+// sized to the degree, with weight equal to the adjacency bias sum.
+// `Structure` needs Size() and TotalWeight().
+template <typename Structure>
+std::string CheckPerVertexStructures(const graph::DynamicGraph& g,
+                                     const std::vector<Structure>& structures,
+                                     const char* what) {
+  if (structures.size() != g.NumVertices()) {
+    return std::string(what) + " count != vertex count";
+  }
+  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (structures[v].Size() != g.Degree(v)) {
+      return "vertex " + std::to_string(v) + ": " + what + " size " +
+             std::to_string(structures[v].Size()) + " != degree " +
+             std::to_string(g.Degree(v));
+    }
+    if (!WeightMatches(structures[v].TotalWeight(), BiasSum(g, v))) {
+      return "vertex " + std::to_string(v) + ": " + what + " weight drift";
+    }
+  }
+  return {};
 }
 
 std::vector<double> BiasesOf(const graph::DynamicGraph& g, graph::VertexId v) {
@@ -120,21 +171,27 @@ void AliasStore::ApplyBatchReload(const graph::UpdateList& updates,
   RebuildAll(pool);
 }
 
-void AliasStore::ApplyBatch(const graph::UpdateList& updates,
-                            util::ThreadPool* pool) {
+core::BatchResult AliasStore::ApplyBatch(const graph::UpdateList& updates,
+                                         util::ThreadPool* pool) {
   struct Adapter {
     AliasStore& store;
     void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
   } adapter{*this};
-  ApplyBatchRebuilding(adapter, graph_, updates, pool);
+  return ApplyBatchRebuilding(adapter, graph_, updates, pool);
 }
 
-std::size_t AliasStore::MemoryBytes() const {
-  std::size_t total = graph_.MemoryBytes() + tables_.capacity() * sizeof(tables_[0]);
+core::StoreMemoryStats AliasStore::MemoryStats() const {
+  core::StoreMemoryStats stats;
+  stats.graph_bytes = graph_.MemoryBytes();
+  stats.sampler_fixed_bytes = tables_.capacity() * sizeof(tables_[0]);
   for (const auto& t : tables_) {
-    total += t.MemoryBytes();
+    stats.sampler_dynamic_bytes += t.MemoryBytes();
   }
-  return total;
+  return stats;
+}
+
+std::string AliasStore::CheckInvariants() const {
+  return CheckPerVertexStructures(graph_, tables_, "alias table");
 }
 
 // ---------------------------------------------------------------- ItsStore --
@@ -192,20 +249,27 @@ void ItsStore::ApplyBatchReload(const graph::UpdateList& updates,
   RebuildAll(pool);
 }
 
-void ItsStore::ApplyBatch(const graph::UpdateList& updates, util::ThreadPool* pool) {
+core::BatchResult ItsStore::ApplyBatch(const graph::UpdateList& updates,
+                                       util::ThreadPool* pool) {
   struct Adapter {
     ItsStore& store;
     void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
   } adapter{*this};
-  ApplyBatchRebuilding(adapter, graph_, updates, pool);
+  return ApplyBatchRebuilding(adapter, graph_, updates, pool);
 }
 
-std::size_t ItsStore::MemoryBytes() const {
-  std::size_t total = graph_.MemoryBytes() + cdfs_.capacity() * sizeof(cdfs_[0]);
+core::StoreMemoryStats ItsStore::MemoryStats() const {
+  core::StoreMemoryStats stats;
+  stats.graph_bytes = graph_.MemoryBytes();
+  stats.sampler_fixed_bytes = cdfs_.capacity() * sizeof(cdfs_[0]);
   for (const auto& c : cdfs_) {
-    total += c.MemoryBytes();
+    stats.sampler_dynamic_bytes += c.MemoryBytes();
   }
-  return total;
+  return stats;
+}
+
+std::string ItsStore::CheckInvariants() const {
+  return CheckPerVertexStructures(graph_, cdfs_, "CDF");
 }
 
 // ----------------------------------------------------------- ReservoirStore --
@@ -231,18 +295,24 @@ bool ReservoirStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
   return true;
 }
 
-void ReservoirStore::ApplyBatch(const graph::UpdateList& updates,
-                                util::ThreadPool* /*pool*/) {
+core::BatchResult ReservoirStore::ApplyBatch(const graph::UpdateList& updates,
+                                             util::ThreadPool* /*pool*/) {
+  core::BatchResult result;
   for (const graph::Update& u : updates) {
     if (u.kind == graph::Update::Kind::kInsert) {
       graph_.Insert(u.src, u.dst, u.bias);
+      ++result.inserted;
     } else {
       const auto idx = graph_.FindEarliest(u.src, u.dst);
       if (idx.has_value()) {
         graph_.SwapRemove(u.src, *idx);
+        ++result.deleted;
+      } else {
+        ++result.skipped_deletes;
       }
     }
   }
+  return result;
 }
 
 }  // namespace bingo::walk

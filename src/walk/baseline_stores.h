@@ -20,8 +20,11 @@
 #define BINGO_SRC_WALK_BASELINE_STORES_H_
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "src/core/store_types.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
 #include "src/sampling/alias_table.h"
@@ -33,13 +36,23 @@
 namespace bingo::walk {
 
 // Common base: owns the dynamic graph and implements update plumbing; the
-// derived classes provide the per-vertex sampling structure.
+// derived classes provide the per-vertex sampling structure. Exposes the
+// graph half of the WalkStore / AdjacencyStore surface (src/walk/store.h).
 class BaselineStoreBase {
  public:
   explicit BaselineStoreBase(graph::DynamicGraph graph)
       : graph_(std::move(graph)) {}
 
   const graph::DynamicGraph& Graph() const { return graph_; }
+
+  graph::VertexId NumVertices() const { return graph_.NumVertices(); }
+  uint64_t NumEdges() const { return graph_.NumEdges(); }
+  bool HasEdge(graph::VertexId src, graph::VertexId dst) const {
+    return graph_.HasEdge(src, dst);
+  }
+  std::span<const graph::Edge> NeighborsOf(graph::VertexId v) const {
+    return graph_.Neighbors(v);
+  }
 
  protected:
   graph::DynamicGraph graph_;
@@ -53,7 +66,8 @@ class AliasStore : public BaselineStoreBase {
 
   void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias);
   bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
-  void ApplyBatch(const graph::UpdateList& updates, util::ThreadPool* pool = nullptr);
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates,
+                               util::ThreadPool* pool = nullptr);
 
   // The paper's literal Table 3 protocol: mutate the graph, then
   // reconstruct every vertex's table ("reload or reconstruct the
@@ -64,7 +78,9 @@ class AliasStore : public BaselineStoreBase {
   // Reconstructs every vertex's table.
   void RebuildAll(util::ThreadPool* pool = nullptr);
 
-  std::size_t MemoryBytes() const;
+  core::StoreMemoryStats MemoryStats() const;
+  std::size_t MemoryBytes() const { return MemoryStats().TotalBytes(); }
+  std::string CheckInvariants() const;
 
  private:
   void RebuildVertex(graph::VertexId v);
@@ -80,7 +96,8 @@ class ItsStore : public BaselineStoreBase {
 
   void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias);
   bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
-  void ApplyBatch(const graph::UpdateList& updates, util::ThreadPool* pool = nullptr);
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates,
+                               util::ThreadPool* pool = nullptr);
 
   // The paper's literal Table 3 protocol (see AliasStore::ApplyBatchReload).
   void ApplyBatchReload(const graph::UpdateList& updates,
@@ -88,7 +105,9 @@ class ItsStore : public BaselineStoreBase {
 
   void RebuildAll(util::ThreadPool* pool = nullptr);
 
-  std::size_t MemoryBytes() const;
+  core::StoreMemoryStats MemoryStats() const;
+  std::size_t MemoryBytes() const { return MemoryStats().TotalBytes(); }
+  std::string CheckInvariants() const;
 
  private:
   void RebuildVertex(graph::VertexId v);
@@ -108,9 +127,16 @@ class ReservoirStore : public BaselineStoreBase {
     graph_.Insert(src, dst, bias);
   }
   bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
-  void ApplyBatch(const graph::UpdateList& updates, util::ThreadPool* pool = nullptr);
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates,
+                               util::ThreadPool* pool = nullptr);
 
+  core::StoreMemoryStats MemoryStats() const {
+    core::StoreMemoryStats stats;
+    stats.graph_bytes = graph_.MemoryBytes();
+    return stats;
+  }
   std::size_t MemoryBytes() const { return graph_.MemoryBytes(); }
+  std::string CheckInvariants() const { return {}; }  // graph is the structure
 };
 
 }  // namespace bingo::walk

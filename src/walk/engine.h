@@ -3,7 +3,8 @@
 // The paper launches one walker per vertex and advances walks step by step,
 // each step being one sample (§6 implementation notes iii). This driver
 // runs walkers in parallel on the thread pool with deterministic per-walker
-// RNG streams; results are identical for any thread count.
+// RNG streams; results are identical for any thread count and for any
+// store backend driving the stepper (see src/walk/store.h).
 //
 // A Stepper supplies the application logic:
 //
@@ -14,10 +15,17 @@
 //     // Post-step termination test (e.g. PPR's stop probability).
 //     bool Terminate(util::Rng& rng) const;
 //   };
+//
+// Merging is contention-free: step/walker totals and per-vertex visit
+// counts accumulate through relaxed atomics outside any critical section;
+// the only lock guards the per-chunk path-buffer list, and holds it just
+// long enough to move a buffer in.
 
 #ifndef BINGO_SRC_WALK_ENGINE_H_
 #define BINGO_SRC_WALK_ENGINE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -25,6 +33,7 @@
 #include "src/graph/types.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
+#include "src/walk/store.h"
 
 namespace bingo::walk {
 
@@ -53,14 +62,21 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
   const uint64_t num_walkers =
       cfg.num_walkers == 0 ? num_vertices : cfg.num_walkers;
   WalkResult result;
-  if (cfg.count_visits) {
-    result.visit_counts.assign(num_vertices, 0);
-  }
   if (cfg.record_paths) {
     result.path_offsets.assign(num_walkers + 1, 0);
   }
+  if (num_vertices == 0 || num_walkers == 0) {
+    return result;  // nowhere to start a walker
+  }
 
-  std::mutex merge_mutex;
+  std::atomic<uint64_t> total_steps{0};
+  std::atomic<uint64_t> finished_walkers{0};
+  // Shared visit accumulator; merged with relaxed fetch_add (additions
+  // commute, so the result stays deterministic).
+  std::vector<std::atomic<uint32_t>> visit_acc(cfg.count_visits ? num_vertices
+                                                                : 0);
+
+  std::mutex chunk_mutex;  // guards `chunks` only
   struct ChunkOutput {
     uint64_t begin = 0;
     std::vector<graph::VertexId> paths;
@@ -73,6 +89,13 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
     uint64_t finished = 0;
     ChunkOutput out;
     out.begin = lo;
+    if (cfg.record_paths) {
+      // Upper bound (start + walk_length per walker), capped so huge PPR
+      // caps don't balloon transient chunk buffers.
+      out.paths.reserve(std::min<uint64_t>(
+          (hi - lo) * (uint64_t{cfg.walk_length} + 1), uint64_t{1} << 20));
+      out.lengths.reserve(hi - lo);
+    }
     std::vector<uint32_t> local_visits;
     if (cfg.count_visits) {
       local_visits.assign(num_vertices, 0);
@@ -117,15 +140,17 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
         out.lengths.push_back(len);
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    result.total_steps += steps;
-    result.finished_walkers += finished;
+    total_steps.fetch_add(steps, std::memory_order_relaxed);
+    finished_walkers.fetch_add(finished, std::memory_order_relaxed);
     if (cfg.count_visits) {
       for (graph::VertexId v = 0; v < num_vertices; ++v) {
-        result.visit_counts[v] += local_visits[v];
+        if (local_visits[v] != 0) {
+          visit_acc[v].fetch_add(local_visits[v], std::memory_order_relaxed);
+        }
       }
     }
     if (cfg.record_paths) {
+      std::lock_guard<std::mutex> lock(chunk_mutex);
       chunks.push_back(std::move(out));
     }
   };
@@ -134,6 +159,15 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
     pool->ParallelForChunked(0, num_walkers, run_range, 256);
   } else {
     run_range(0, num_walkers);
+  }
+
+  result.total_steps = total_steps.load(std::memory_order_relaxed);
+  result.finished_walkers = finished_walkers.load(std::memory_order_relaxed);
+  if (cfg.count_visits) {
+    result.visit_counts.resize(num_vertices);
+    for (graph::VertexId v = 0; v < num_vertices; ++v) {
+      result.visit_counts[v] = visit_acc[v].load(std::memory_order_relaxed);
+    }
   }
 
   if (cfg.record_paths) {
@@ -155,6 +189,16 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
     }
   }
   return result;
+}
+
+// Store-generic entry point: walkers start one-per-vertex (or cfg-sized)
+// over the store's vertex space. Works with any WalkStore backend.
+template <typename Store, typename Stepper>
+  requires SamplingStore<Store>
+WalkResult RunWalks(const Store& store, const WalkConfig& cfg,
+                    const Stepper& stepper, util::ThreadPool* pool = nullptr) {
+  return RunWalks(static_cast<graph::VertexId>(store.NumVertices()), cfg,
+                  stepper, pool);
 }
 
 }  // namespace bingo::walk

@@ -22,22 +22,33 @@
 // The index may contain stale entries (a repaired walk's old suffix);
 // candidates are verified against the actual walk before repair, and the
 // index is rebuilt once the stale fraction crosses a threshold.
+//
+// The corpus is store-generic (src/walk/store.h): any backend that can
+// sample, batch-apply updates, and answer HasEdge can maintain a corpus.
+// `IncrementalWalkCorpus` aliases the BingoStore instantiation.
 
 #ifndef BINGO_SRC_WALK_INCREMENTAL_H_
 #define BINGO_SRC_WALK_INCREMENTAL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
-#include "src/core/bingo_store.h"
 #include "src/graph/types.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
+#include "src/walk/store.h"
+
+namespace bingo::core {
+class BingoStore;
+}  // namespace bingo::core
 
 namespace bingo::walk {
 
-class IncrementalWalkCorpus {
+template <typename Store>
+class IncrementalWalkCorpusT {
  public:
   struct Config {
     uint64_t num_walks = 0;     // 0 = one per vertex
@@ -56,16 +67,15 @@ class IncrementalWalkCorpus {
     bool index_rebuilt = false;
   };
 
-  IncrementalWalkCorpus(const core::BingoStore& store, Config config);
+  IncrementalWalkCorpusT(const Store& store, Config config);
 
   // (Re)generates every walk from the store's current state and rebuilds
   // the index.
-  void Generate(const core::BingoStore& store, util::ThreadPool* pool = nullptr);
+  void Generate(const Store& store, util::ThreadPool* pool = nullptr);
 
   // Applies `updates` to the store (batched, §5.2), then repairs every walk
   // that visits an updated source vertex.
-  RepairStats ApplyUpdates(core::BingoStore& store,
-                           const graph::UpdateList& updates,
+  RepairStats ApplyUpdates(Store& store, const graph::UpdateList& updates,
                            util::ThreadPool* pool = nullptr);
 
   uint64_t NumWalks() const { return walks_.size(); }
@@ -76,12 +86,12 @@ class IncrementalWalkCorpus {
 
   // Verifies that every transition of every walk is a live edge of the
   // store's graph. Returns the first violation or empty.
-  std::string CheckWalksValid(const core::BingoStore& store) const;
+  std::string CheckWalksValid(const Store& store) const;
 
   std::size_t MemoryBytes() const;
 
  private:
-  void ExtendWalk(const core::BingoStore& store, uint64_t walk_id,
+  void ExtendWalk(const Store& store, uint64_t walk_id,
                   std::size_t from_position, util::Rng& rng);
   void IndexWalkSuffix(uint64_t walk_id, std::size_t from_position);
   void RebuildIndex();
@@ -95,6 +105,201 @@ class IncrementalWalkCorpus {
   uint64_t stale_index_entries_ = 0;
   uint64_t repair_epoch_ = 0;
 };
+
+using IncrementalWalkCorpus = IncrementalWalkCorpusT<core::BingoStore>;
+
+// The BingoStore instantiation is compiled once in incremental.cc.
+extern template class IncrementalWalkCorpusT<core::BingoStore>;
+
+// ------------------------------------------------------- implementations --
+
+template <typename Store>
+IncrementalWalkCorpusT<Store>::IncrementalWalkCorpusT(const Store& store,
+                                                      Config config)
+    : config_(config) {
+  if (config_.num_walks == 0) {
+    config_.num_walks = store.NumVertices();
+  }
+  walks_.resize(config_.num_walks);
+  index_.resize(store.NumVertices());
+}
+
+template <typename Store>
+void IncrementalWalkCorpusT<Store>::ExtendWalk(const Store& store,
+                                               uint64_t walk_id,
+                                               std::size_t from_position,
+                                               util::Rng& rng) {
+  std::vector<graph::VertexId>& walk = walks_[walk_id];
+  walk.resize(from_position + 1);
+  graph::VertexId cur = walk[from_position];
+  while (walk.size() <= config_.walk_length) {
+    const graph::VertexId next = store.SampleNeighbor(cur, rng);
+    if (next == graph::kInvalidVertex) {
+      break;
+    }
+    walk.push_back(next);
+    cur = next;
+  }
+}
+
+template <typename Store>
+void IncrementalWalkCorpusT<Store>::IndexWalkSuffix(uint64_t walk_id,
+                                                    std::size_t from_position) {
+  const std::vector<graph::VertexId>& walk = walks_[walk_id];
+  // Index each visited vertex once per walk (consecutive duplicates and
+  // revisits add no information for the affected-walk query).
+  for (std::size_t i = from_position; i < walk.size(); ++i) {
+    auto& bucket = index_[walk[i]];
+    if (bucket.empty() || bucket.back() != static_cast<uint32_t>(walk_id)) {
+      bucket.push_back(static_cast<uint32_t>(walk_id));
+      ++live_index_entries_;
+    }
+  }
+}
+
+template <typename Store>
+void IncrementalWalkCorpusT<Store>::RebuildIndex() {
+  for (auto& bucket : index_) {
+    bucket.clear();
+  }
+  live_index_entries_ = 0;
+  stale_index_entries_ = 0;
+  for (uint64_t w = 0; w < walks_.size(); ++w) {
+    IndexWalkSuffix(w, 0);
+  }
+}
+
+template <typename Store>
+void IncrementalWalkCorpusT<Store>::Generate(const Store& store,
+                                             util::ThreadPool* pool) {
+  const graph::VertexId n = store.NumVertices();
+  if (n == 0) {  // no start vertices: every walk is empty
+    for (auto& walk : walks_) {
+      walk.clear();
+    }
+    RebuildIndex();
+    return;
+  }
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) {
+      util::Rng rng = util::Rng::ForStream(config_.seed, w);
+      walks_[w].clear();
+      walks_[w].push_back(static_cast<graph::VertexId>(w % n));
+      ExtendWalk(store, w, 0, rng);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, walks_.size(), run_range, 256);
+  } else {
+    run_range(0, walks_.size());
+  }
+  RebuildIndex();
+}
+
+template <typename Store>
+typename IncrementalWalkCorpusT<Store>::RepairStats
+IncrementalWalkCorpusT<Store>::ApplyUpdates(Store& store,
+                                            const graph::UpdateList& updates,
+                                            util::ThreadPool* pool) {
+  RepairStats stats;
+  stats.updates_applied = updates.size();
+  ++repair_epoch_;
+
+  // 1. Ingest the batch (O(K) per touched group, one rebuild per vertex).
+  store.ApplyBatch(updates, pool);
+
+  // 2. Updated source vertices = the distributions that changed.
+  std::unordered_set<graph::VertexId> touched;
+  touched.reserve(updates.size());
+  for (const graph::Update& u : updates) {
+    touched.insert(u.src);
+  }
+
+  // 3. Candidate walks from the index; dedup across touched vertices.
+  std::unordered_set<uint32_t> candidates;
+  for (const graph::VertexId v : touched) {
+    if (v < index_.size()) {
+      candidates.insert(index_[v].begin(), index_[v].end());
+    }
+  }
+  stats.candidate_walks = candidates.size();
+
+  // 4. Verify and repair: resample from the first visit of any touched
+  //    vertex. Candidates whose recorded visit was repaired away are stale
+  //    index hits and are skipped. Repairs run serially: the per-walk work
+  //    is O(walk_length) with O(1) resampling, and the shared index
+  //    bookkeeping would otherwise need locking.
+  std::vector<uint32_t> to_repair(candidates.begin(), candidates.end());
+  std::sort(to_repair.begin(), to_repair.end());  // deterministic order
+  for (const uint32_t w : to_repair) {
+    std::vector<graph::VertexId>& walk = walks_[w];
+    std::size_t first = walk.size();
+    for (std::size_t p = 0; p < walk.size(); ++p) {
+      if (touched.count(walk[p])) {
+        first = p;
+        break;
+      }
+    }
+    if (first == walk.size()) {
+      continue;  // stale index entry
+    }
+    util::Rng rng = util::Rng::ForStream(config_.seed ^ (repair_epoch_ << 32), w);
+    const std::size_t old_suffix = walk.size() - first;
+    ExtendWalk(store, w, first, rng);
+    stale_index_entries_ += old_suffix;
+    ++stats.walks_repaired;
+    stats.steps_resampled += walk.size() - first - 1;
+    IndexWalkSuffix(w, first);
+  }
+
+  // 5. Compact the index once stale entries dominate.
+  if (live_index_entries_ > 0 &&
+      static_cast<double>(stale_index_entries_) >
+          config_.index_rebuild_threshold *
+              static_cast<double>(live_index_entries_)) {
+    RebuildIndex();
+    stats.index_rebuilt = true;
+  }
+  return stats;
+}
+
+template <typename Store>
+uint64_t IncrementalWalkCorpusT<Store>::TotalSteps() const {
+  uint64_t steps = 0;
+  for (const auto& walk : walks_) {
+    steps += walk.empty() ? 0 : walk.size() - 1;
+  }
+  return steps;
+}
+
+template <typename Store>
+std::string IncrementalWalkCorpusT<Store>::CheckWalksValid(
+    const Store& store) const {
+  for (uint64_t w = 0; w < walks_.size(); ++w) {
+    const auto& walk = walks_[w];
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      if (!store.HasEdge(walk[i - 1], walk[i])) {
+        return "walk " + std::to_string(w) + " transition " +
+               std::to_string(walk[i - 1]) + "->" + std::to_string(walk[i]) +
+               " is not a live edge";
+      }
+    }
+  }
+  return {};
+}
+
+template <typename Store>
+std::size_t IncrementalWalkCorpusT<Store>::MemoryBytes() const {
+  std::size_t total = walks_.capacity() * sizeof(walks_[0]) +
+                      index_.capacity() * sizeof(index_[0]);
+  for (const auto& walk : walks_) {
+    total += walk.capacity() * sizeof(graph::VertexId);
+  }
+  for (const auto& bucket : index_) {
+    total += bucket.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
 
 }  // namespace bingo::walk
 

@@ -2,7 +2,12 @@
 
 #include <atomic>
 
+#include "src/walk/store.h"
+
 namespace bingo::walk {
+
+static_assert(WalkStore<PartitionedBingoStore> &&
+              AdjacencyStore<PartitionedBingoStore>);
 
 PartitionedBingoStore::PartitionedBingoStore(const graph::WeightedEdgeList& edges,
                                              graph::VertexId num_vertices,
@@ -49,10 +54,10 @@ core::BatchResult PartitionedBingoStore::ApplyBatch(
   return core::BatchResult{inserted.load(), deleted.load(), skipped.load()};
 }
 
-std::size_t PartitionedBingoStore::MemoryBytes() const {
-  std::size_t total = 0;
+core::StoreMemoryStats PartitionedBingoStore::MemoryStats() const {
+  core::StoreMemoryStats total;
   for (const auto& shard : shards_) {
-    total += shard->MemoryBytes();
+    total += shard->MemoryStats();
   }
   return total;
 }

@@ -42,6 +42,22 @@ class PartitionedBingoStore {
     return shards_[ShardOf(v)]->SampleNeighbor(v, rng);
   }
 
+  // Adjacency probes route to the shard owning the source's out-edges, so
+  // the sharded store answers them exactly like the whole-graph store.
+  bool HasEdge(graph::VertexId src, graph::VertexId dst) const {
+    return shards_[ShardOf(src)]->HasEdge(src, dst);
+  }
+  std::span<const graph::Edge> NeighborsOf(graph::VertexId v) const {
+    return shards_[ShardOf(v)]->NeighborsOf(v);
+  }
+  uint64_t NumEdges() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->NumEdges();
+    }
+    return total;
+  }
+
   void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias) {
     shards_[ShardOf(src)]->StreamingInsert(src, dst, bias);
   }
@@ -56,7 +72,8 @@ class PartitionedBingoStore {
 
   const core::BingoStore& Shard(int s) const { return *shards_[s]; }
 
-  std::size_t MemoryBytes() const;
+  core::StoreMemoryStats MemoryStats() const;
+  std::size_t MemoryBytes() const { return MemoryStats().TotalBytes(); }
   std::string CheckInvariants() const;
 
  private:

@@ -1,0 +1,325 @@
+// WalkService: an epoch-versioned concurrent front-end over any store.
+//
+// The paper's headline property is O(1) biased sampling that stays fast
+// while the graph mutates; this subsystem supplies the serving-side
+// concurrency story: many walk queries run concurrently with batched
+// updates, and no query ever observes a half-rebuilt vertex sampler.
+//
+// Design — left/right replication with snapshot epochs:
+//
+//   * The service owns TWO replicas of the store, built identically.
+//     Queries Acquire() the front replica; ApplyBatch mutates the back
+//     replica, publishes it (epoch++), then replays the same batch on the
+//     old front so the pair converges. A replica is only mutated after its
+//     readers have drained, so snapshots are immutable for their lifetime.
+//   * Readers never wait for an in-flight store mutation: Acquire is one
+//     brief critical section on the front mutex (shared with the writer's
+//     O(1) pointer flip, never held across a store mutation) plus a
+//     reader-count increment; the walk itself runs lock-free on the frozen
+//     replica.
+//   * Snapshot::Consistent() exposes a seqlock-style validation: the
+//     replica's version counter is even and unchanged since Acquire, i.e.
+//     the writer respected the drain protocol. Tests assert it after every
+//     concurrent query.
+//
+// Update latency is 2x a store ApplyBatch (each batch is applied to both
+// replicas) — the cost of never blocking readers. Memory is 2x one store.
+// This mirrors snapshot semantics of core/snapshot.h (sampling structures
+// are a pure function of the edge multiset, Theorem 4.1): both replicas are
+// rebuilt from the same edges and replay the same update stream, so they
+// stay bit-identical without copying derived state between them.
+//
+// Caveat: a thread must not call ApplyBatch — nor CheckInvariants or
+// MemoryStats, which take the writer lock — while holding one of its own
+// live Snapshots: the writer waits for that reader to drain and would
+// deadlock (directly, or via the lock a concurrent writer already holds).
+
+#ifndef BINGO_SRC_WALK_SERVICE_H_
+#define BINGO_SRC_WALK_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/core/bingo_store.h"
+#include "src/core/store_types.h"
+#include "src/graph/types.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
+#include "src/walk/store.h"
+
+namespace bingo::walk {
+
+struct ServiceStats {
+  uint64_t epoch = 0;            // snapshots published since construction
+  uint64_t queries_served = 0;   // snapshots handed out
+  uint64_t batches_applied = 0;
+  uint64_t updates_applied = 0;  // individual update requests ingested
+  uint64_t drain_spins = 0;      // writer yields spent waiting for readers
+};
+
+template <WalkStore Store>
+class WalkServiceT {
+ public:
+  // `factory` is invoked twice; each call must produce an identical store
+  // (the store is a pure function of its inputs — Theorem 4.1).
+  explicit WalkServiceT(const std::function<std::unique_ptr<Store>()>& factory,
+                        util::ThreadPool* update_pool = nullptr)
+      : update_pool_(update_pool) {
+    replicas_[0].store = factory();
+    replicas_[1].store = factory();
+  }
+
+  WalkServiceT(const WalkServiceT&) = delete;
+  WalkServiceT& operator=(const WalkServiceT&) = delete;
+
+  // An immutable view of one published epoch. Movable, not copyable; the
+  // replica it pins cannot be mutated until it is destroyed.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&& other) noexcept
+        : store_(other.store_),
+          readers_(other.readers_),
+          version_(other.version_),
+          version_at_acquire_(other.version_at_acquire_),
+          epoch_(other.epoch_) {
+      other.readers_ = nullptr;
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    Snapshot& operator=(Snapshot&&) = delete;
+    ~Snapshot() {
+      if (readers_ != nullptr) {
+        // Release: our reads of the store happen-before the writer's
+        // mutation (it acquires the counter before touching the replica).
+        readers_->fetch_sub(1, std::memory_order_release);
+      }
+    }
+
+    const Store& store() const { return *store_; }
+    uint64_t epoch() const { return epoch_; }
+
+    // True while the pinned replica has not been mutated since Acquire.
+    // Under the service protocol this holds for the snapshot's whole
+    // lifetime; a false return means the writer violated the drain.
+    bool Consistent() const {
+      const uint64_t v = version_->load(std::memory_order_acquire);
+      return v == version_at_acquire_ && (v % 2) == 0;
+    }
+
+   private:
+    friend class WalkServiceT;
+    Snapshot(const Store* store, std::atomic<int64_t>* readers,
+             const std::atomic<uint64_t>* version, uint64_t version_at_acquire,
+             uint64_t epoch)
+        : store_(store),
+          readers_(readers),
+          version_(version),
+          version_at_acquire_(version_at_acquire),
+          epoch_(epoch) {}
+
+    const Store* store_;
+    std::atomic<int64_t>* readers_;
+    const std::atomic<uint64_t>* version_;
+    uint64_t version_at_acquire_;
+    uint64_t epoch_;
+  };
+
+  Snapshot Acquire() const {
+    std::lock_guard<std::mutex> lock(front_mutex_);
+    const Replica& r = replicas_[front_];
+    r.readers.fetch_add(1, std::memory_order_relaxed);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    return Snapshot(r.store.get(), &r.readers, &r.version,
+                    r.version.load(std::memory_order_relaxed),
+                    epoch_.load(std::memory_order_relaxed));
+  }
+
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Runs `fn(const Store&)` on a frozen snapshot and returns its result.
+  template <typename Fn>
+  auto Query(Fn&& fn) const {
+    const Snapshot snap = Acquire();
+    return std::forward<Fn>(fn)(snap.store());
+  }
+
+  // Convenience walk queries (one snapshot per call).
+  WalkResult DeepWalk(const WalkConfig& cfg,
+                      util::ThreadPool* pool = nullptr) const {
+    return Query([&](const Store& s) { return RunDeepWalk(s, cfg, pool); });
+  }
+  WalkResult Ppr(const WalkConfig& cfg, double stop_probability = 1.0 / 80.0,
+                 util::ThreadPool* pool = nullptr) const {
+    return Query(
+        [&](const Store& s) { return RunPpr(s, cfg, stop_probability, pool); });
+  }
+  WalkResult Node2vec(const WalkConfig& cfg, const Node2vecParams& params = {},
+                      util::ThreadPool* pool = nullptr) const
+    requires AdjacencyStore<Store>
+  {
+    return Query(
+        [&](const Store& s) { return RunNode2vec(s, cfg, params, pool); });
+  }
+
+  // Applies one update batch: back replica first, publish (epoch++), then
+  // replay on the old front. Writers are serialized; readers never wait.
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates) {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    int back;
+    {
+      std::lock_guard<std::mutex> lock(front_mutex_);
+      back = 1 - front_;
+    }
+    const core::BatchResult result = MutateReplica(replicas_[back], updates);
+    {
+      std::lock_guard<std::mutex> lock(front_mutex_);
+      front_ = back;
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const core::BatchResult replay = MutateReplica(replicas_[1 - back], updates);
+    if (!(replay == result)) {
+      // Replaying the identical batch on an identical replica must produce
+      // the identical outcome; anything else means the pair diverged.
+      replicas_diverged_.store(true, std::memory_order_relaxed);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    updates_count_.fetch_add(updates.size(), std::memory_order_relaxed);
+    return result;
+  }
+
+  ServiceStats Stats() const {
+    ServiceStats stats;
+    stats.epoch = Epoch();
+    stats.queries_served = queries_.load(std::memory_order_relaxed);
+    stats.batches_applied = batches_.load(std::memory_order_relaxed);
+    stats.updates_applied = updates_count_.load(std::memory_order_relaxed);
+    stats.drain_spins = drain_spins_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  core::StoreMemoryStats MemoryStats() const {
+    std::lock_guard<std::mutex> lock(update_mutex_);
+    core::StoreMemoryStats total = replicas_[0].store->MemoryStats();
+    total += replicas_[1].store->MemoryStats();
+    return total;
+  }
+
+  // Audits both replicas and their agreement. Takes the writer lock, so it
+  // must not race updates; queries may continue.
+  std::string CheckInvariants() const {
+    std::lock_guard<std::mutex> lock(update_mutex_);
+    for (int i = 0; i < 2; ++i) {
+      const std::string err = replicas_[i].store->CheckInvariants();
+      if (!err.empty()) {
+        return "replica " + std::to_string(i) + ": " + err;
+      }
+    }
+    if (replicas_diverged_.load(std::memory_order_relaxed)) {
+      return "replicas diverged: a batch replayed with a different outcome";
+    }
+    if (replicas_[0].store->NumVertices() != replicas_[1].store->NumVertices()) {
+      return "replica vertex counts diverged";
+    }
+    if constexpr (requires { replicas_[0].store->NumEdges(); }) {
+      if (replicas_[0].store->NumEdges() != replicas_[1].store->NumEdges()) {
+        return "replica edge counts diverged";
+      }
+    }
+    return {};
+  }
+
+ private:
+  struct Replica {
+    std::unique_ptr<Store> store;
+    // Snapshots currently pinning this replica.
+    mutable std::atomic<int64_t> readers{0};
+    // Seqlock-style: odd while the writer mutates, bumped twice per batch.
+    std::atomic<uint64_t> version{0};
+  };
+
+  core::BatchResult MutateReplica(Replica& r, const graph::UpdateList& updates) {
+    // Drain: the release-decrement in ~Snapshot pairs with this acquire
+    // load, ordering every reader access before our writes.
+    while (r.readers.load(std::memory_order_acquire) != 0) {
+      drain_spins_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    r.version.fetch_add(1, std::memory_order_release);  // odd: mutating
+    const core::BatchResult result = r.store->ApplyBatch(updates, update_pool_);
+    r.version.fetch_add(1, std::memory_order_release);  // even: stable
+    return result;
+  }
+
+  Replica replicas_[2];
+  mutable std::mutex front_mutex_;  // guards front_ flips and Acquire
+  int front_ = 0;
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex update_mutex_;  // serializes writers
+  util::ThreadPool* update_pool_;
+  mutable std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> updates_count_{0};
+  std::atomic<uint64_t> drain_spins_{0};
+  std::atomic<bool> replicas_diverged_{false};
+};
+
+// The BingoStore instantiation is compiled once in service.cc.
+extern template class WalkServiceT<core::BingoStore>;
+
+using WalkService = WalkServiceT<core::BingoStore>;
+
+// Builds a BingoStore-backed service over `edges` (both replicas built with
+// `build_pool`; batches applied with `update_pool`).
+std::unique_ptr<WalkService> MakeWalkService(
+    const graph::WeightedEdgeList& edges, graph::VertexId num_vertices,
+    core::BingoConfig config = {}, util::ThreadPool* build_pool = nullptr,
+    util::ThreadPool* update_pool = nullptr);
+
+// ------------------------------------------------------- stress driving --
+//
+// Shared by tests/walk_service_test.cc and `bingo_cli serve-bench`: N query
+// threads issue walk queries against snapshots while the calling thread
+// streams update batches through ApplyBatch.
+
+struct ServiceStressOptions {
+  int query_threads = 4;
+  uint64_t batch_size = 1000;       // updates per ApplyBatch
+  uint64_t walkers_per_query = 256;
+  uint32_t walk_length = 10;
+  uint64_t seed = 42;
+};
+
+struct ServiceStressReport {
+  uint64_t queries = 0;
+  uint64_t walk_steps = 0;               // neighbor samples served
+  uint64_t inconsistent_snapshots = 0;   // protocol violations (must be 0)
+  uint64_t min_epoch_observed = 0;
+  uint64_t max_epoch_observed = 0;
+  uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  double update_seconds_total = 0.0;
+  double update_seconds_max = 0.0;
+
+  double SamplesPerSecond() const {
+    return wall_seconds > 0.0 ? static_cast<double>(walk_steps) / wall_seconds
+                              : 0.0;
+  }
+  double MeanUpdateSeconds() const {
+    return batches > 0 ? update_seconds_total / static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+ServiceStressReport RunWalkServiceStress(WalkService& service,
+                                         const graph::UpdateList& updates,
+                                         const ServiceStressOptions& options);
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_SERVICE_H_

@@ -1,0 +1,253 @@
+// Cross-backend walk equivalence through the store-generic engine.
+//
+// The engine assigns every walker its own RNG stream, so a workload's
+// output is a pure function of (seed, store). That gives two testable
+// guarantees:
+//
+//   1. Bit-identity across backends that share sampler semantics:
+//      PartitionedBingoStore builds the same per-vertex sampler over the
+//      same adjacency as a whole-graph BingoStore, so DeepWalk, node2vec,
+//      and PPR must produce byte-equal WalkResults at any shard count —
+//      before and after applying the same update batch.
+//
+//   2. Per-backend reproducibility: on every backend (Bingo, alias, ITS,
+//      reservoir, partitioned), each workload is bit-identical across
+//      repeated runs and across thread counts.
+//
+// Backends with different sampling algorithms (alias tables vs. CDF search
+// vs. radix rejection) map the same RNG stream to different — identically
+// distributed — neighbor choices, so across *those* the test asserts
+// distributional agreement (chi-square on hub transitions) rather than
+// byte equality.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
+#include "src/walk/baseline_stores.h"
+#include "src/walk/partitioned.h"
+#include "src/walk/store.h"
+
+namespace bingo::walk {
+namespace {
+
+using core::BingoStore;
+using graph::VertexId;
+
+constexpr VertexId kNumVertices = 256;
+
+graph::WeightedEdgeList TestGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(8, 2500, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(kNumVertices, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return graph::ToWeightedEdges(csr, biases);
+}
+
+graph::UpdateList MixedUpdates(const graph::WeightedEdgeList& edges,
+                               uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  graph::UpdateList updates;
+  updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 3 == 0 && !edges.empty()) {
+      const auto& e = edges[rng.NextBounded(edges.size())];
+      updates.push_back({graph::Update::Kind::kDelete, e.src, e.dst, 0.0});
+    } else {
+      const auto src = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+      const auto dst = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+      updates.push_back(
+          {graph::Update::Kind::kInsert, src, dst, 1.0 + rng.NextUnit() * 7.0});
+    }
+  }
+  return updates;
+}
+
+void ExpectResultsEqual(const WalkResult& a, const WalkResult& b) {
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.finished_walkers, b.finished_walkers);
+  EXPECT_EQ(a.path_offsets, b.path_offsets);
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.visit_counts, b.visit_counts);
+}
+
+// Runs all three workloads on one backend with fixed seeds.
+template <AdjacencyStore Store>
+std::vector<WalkResult> AllWorkloads(const Store& store,
+                                     util::ThreadPool* pool) {
+  WalkConfig cfg;
+  cfg.walk_length = 20;
+  cfg.record_paths = true;
+  std::vector<WalkResult> results;
+  results.push_back(RunDeepWalk(store, cfg, pool));
+  results.push_back(RunNode2vec(store, cfg, Node2vecParams{}, pool));
+  WalkConfig ppr_cfg;
+  ppr_cfg.walk_length = 20;
+  results.push_back(RunPpr(store, ppr_cfg, 1.0 / 20.0, pool));
+  return results;
+}
+
+// ------------------------------------- Bingo vs partitioned bit-identity --
+
+TEST(CrossBackendTest, PartitionedMatchesWholeGraphBitExactly) {
+  const auto edges = TestGraph(21);
+  BingoStore whole(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  const auto reference = AllWorkloads(whole, nullptr);
+
+  for (const int shards : {1, 2, 4, 8}) {
+    PartitionedBingoStore partitioned(edges, kNumVertices, shards);
+    const auto results = AllWorkloads(partitioned, nullptr);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " workload=" +
+                   std::to_string(i));
+      ExpectResultsEqual(reference[i], results[i]);
+    }
+  }
+}
+
+TEST(CrossBackendTest, PartitionedMatchesWholeGraphAfterUpdates) {
+  const auto edges = TestGraph(22);
+  const auto updates = MixedUpdates(edges, 7, 600);
+
+  BingoStore whole(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  PartitionedBingoStore partitioned(edges, kNumVertices, 3);
+
+  const auto whole_result = whole.ApplyBatch(updates);
+  const auto part_result = partitioned.ApplyBatch(updates);
+  EXPECT_EQ(whole_result, part_result);
+  EXPECT_TRUE(whole.CheckInvariants().empty()) << whole.CheckInvariants();
+  EXPECT_TRUE(partitioned.CheckInvariants().empty())
+      << partitioned.CheckInvariants();
+
+  const auto a = AllWorkloads(whole, nullptr);
+  const auto b = AllWorkloads(partitioned, nullptr);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("workload=" + std::to_string(i));
+    ExpectResultsEqual(a[i], b[i]);
+  }
+}
+
+// --------------------------------------- per-backend walk reproducibility --
+
+template <AdjacencyStore Store>
+void ExpectBackendDeterministic(const Store& store) {
+  util::ThreadPool pool(4);
+  const auto serial = AllWorkloads(store, nullptr);
+  const auto repeat = AllWorkloads(store, nullptr);
+  const auto parallel = AllWorkloads(store, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("workload=" + std::to_string(i));
+    ExpectResultsEqual(serial[i], repeat[i]);
+    ExpectResultsEqual(serial[i], parallel[i]);
+  }
+}
+
+TEST(CrossBackendTest, EveryBackendIsDeterministicAcrossThreadCounts) {
+  const auto edges = TestGraph(23);
+  {
+    BingoStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    ExpectBackendDeterministic(store);
+  }
+  {
+    AliasStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    ExpectBackendDeterministic(store);
+  }
+  {
+    ItsStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    ExpectBackendDeterministic(store);
+  }
+  {
+    ReservoirStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    ExpectBackendDeterministic(store);
+  }
+  {
+    PartitionedBingoStore store(edges, kNumVertices, 4);
+    ExpectBackendDeterministic(store);
+  }
+}
+
+// ------------------------------------ cross-algorithm distribution parity --
+
+// DeepWalk transition frequencies out of the hub must match the hub's bias
+// distribution on every backend (the backends differ in sampling algorithm
+// but must draw the same distribution).
+TEST(CrossBackendTest, WalkTransitionsAgreeAcrossSamplingAlgorithms) {
+  const auto edges = TestGraph(24);
+  BingoStore probe(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  VertexId hub = 0;
+  for (VertexId v = 0; v < kNumVertices; ++v) {
+    if (probe.Graph().Degree(v) > probe.Graph().Degree(hub)) {
+      hub = v;
+    }
+  }
+  const auto adj = probe.Graph().Neighbors(hub);
+  double bias_total = 0;
+  for (const auto& e : adj) {
+    bias_total += e.bias;
+  }
+  std::vector<double> expected;
+  for (const auto& e : adj) {
+    expected.push_back(e.bias / bias_total);
+  }
+
+  const auto hub_histogram = [&](const auto& store) {
+    WalkConfig cfg;
+    cfg.walk_length = 40;
+    cfg.num_walkers = 4096;
+    cfg.record_paths = true;
+    const WalkResult result = RunDeepWalk(store, cfg, nullptr);
+    std::map<VertexId, uint64_t> transitions;
+    for (std::size_t w = 0; w < cfg.num_walkers; ++w) {
+      for (uint64_t i = result.path_offsets[w];
+           i + 1 < result.path_offsets[w + 1]; ++i) {
+        if (result.paths[i] == hub) {
+          ++transitions[result.paths[i + 1]];
+        }
+      }
+    }
+    std::vector<uint64_t> counts;
+    for (const auto& e : adj) {
+      const auto it = transitions.find(e.dst);
+      counts.push_back(it == transitions.end() ? 0 : it->second);
+    }
+    return counts;
+  };
+
+  BingoStore bingo(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  AliasStore alias(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  ItsStore its(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  ReservoirStore reservoir(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  PartitionedBingoStore partitioned(edges, kNumVertices, 4);
+
+  int backend = 0;
+  for (const auto& counts :
+       {hub_histogram(bingo), hub_histogram(alias), hub_histogram(its),
+        hub_histogram(reservoir), hub_histogram(partitioned)}) {
+    SCOPED_TRACE("backend=" + std::to_string(backend++));
+    EXPECT_TRUE(util::ChiSquareTestPasses(counts, expected, 1e-4));
+  }
+}
+
+// -------------------------------------------------- concept conformance --
+
+static_assert(WalkStore<BingoStore> && AdjacencyStore<BingoStore>);
+static_assert(WalkStore<AliasStore> && AdjacencyStore<AliasStore>);
+static_assert(WalkStore<ItsStore> && AdjacencyStore<ItsStore>);
+static_assert(WalkStore<ReservoirStore> && AdjacencyStore<ReservoirStore>);
+static_assert(WalkStore<PartitionedBingoStore> &&
+              AdjacencyStore<PartitionedBingoStore>);
+
+}  // namespace
+}  // namespace bingo::walk

@@ -104,6 +104,21 @@ TEST(EngineTest, VisitCountsMatchStepsPlusStarts) {
   EXPECT_EQ(total_visits, result.total_steps + 256);
 }
 
+TEST(EngineTest, ZeroVertexGraphProducesEmptyResult) {
+  BingoStore store(graph::DynamicGraph(0));
+  WalkConfig cfg;
+  cfg.num_walkers = 5;  // walkers requested but nowhere to start
+  cfg.walk_length = 10;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  const auto result = RunDeepWalk(store, cfg, nullptr);
+  EXPECT_EQ(result.total_steps, 0u);
+  EXPECT_EQ(result.finished_walkers, 0u);
+  EXPECT_TRUE(result.paths.empty());
+  ASSERT_EQ(result.path_offsets.size(), 6u);
+  EXPECT_EQ(result.path_offsets.back(), 0u);
+}
+
 TEST(EngineTest, NumWalkersOverridesDefault) {
   const auto edges = SmallWeightedGraph(5);
   BingoStore store(MakeGraph(edges));
@@ -176,8 +191,7 @@ TEST(Node2vecTest, StepperDistributionMatchesSecondOrderProbabilities) {
   params.p = 0.5;
   params.q = 2.0;
   const double f_max = std::max({1.0 / params.p, 1.0, 1.0 / params.q});
-  internal::Node2vecStepper<BingoStore> stepper{store, store.Graph(), params,
-                                                f_max};
+  internal::Node2vecStepper<BingoStore> stepper{store, params, f_max};
   util::Rng rng(77);
   std::vector<uint64_t> counts(4, 0);
   constexpr int kSamples = 200000;
@@ -225,8 +239,7 @@ TEST(Node2vecTest, SmallPEncouragesBacktracking) {
 TEST(Node2vecTest, FirstHopIsFirstOrder) {
   graph::WeightedEdgeList edges = {{0, 1, 1.0}};
   BingoStore store(MakeGraph(edges, 2));
-  internal::Node2vecStepper<BingoStore> stepper{store, store.Graph(),
-                                                Node2vecParams{}, 2.0};
+  internal::Node2vecStepper<BingoStore> stepper{store, Node2vecParams{}, 2.0};
   util::Rng rng(1);
   EXPECT_EQ(stepper.Next(0, graph::kInvalidVertex, rng), 1u);
 }

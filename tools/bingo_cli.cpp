@@ -1,23 +1,37 @@
 // bingo_cli — command-line driver for the Bingo engine.
 //
 // Subcommands:
-//   generate  --scale N --edges M [--bias degree|uniform|gauss|powerlaw]
-//             [--undirected] --out FILE[.bin]
+//   generate    --scale N --edges M [--bias degree|uniform|gauss|powerlaw]
+//               [--undirected] --out FILE[.bin]
 //       Generate an R-MAT weighted edge list and save it.
 //
-//   walk      --graph FILE --app deepwalk|node2vec|ppr|simple
-//             [--length L] [--walkers W] [--p P] [--q Q] [--seed S]
-//             [--paths OUT.txt]
-//       Load a graph, build the Bingo store, run the application, report
-//       steps/second (and optionally dump the paths).
+//   walk        --graph FILE --app deepwalk|node2vec|ppr|simple
+//               [--store bingo|alias|its|reservoir|partitioned] [--shards S]
+//               [--length L] [--walkers W] [--p P] [--q Q] [--seed S]
+//               [--paths OUT.txt]
+//       Load a graph, build the chosen sampler store, run the application
+//       through the store-generic engine, report steps/second (and
+//       optionally dump the paths). Same seed + same store semantics =>
+//       identical paths (e.g. bingo vs partitioned at any shard count).
 //
-//   stats     --graph FILE
+//   stats       --graph FILE
 //       Load a graph and print structural + store statistics (degrees,
 //       group-kind census, memory breakdown).
+//
+//   serve-bench --graph FILE [--threads N] [--batches B] [--batch-size K]
+//               [--walkers W] [--length L] [--seed S]
+//               [--kind mixed|insert|delete]
+//       Drive the concurrent WalkService: N query threads issue walk
+//       queries against snapshot epochs while one writer streams B update
+//       batches. Reports samples/sec, update latency, and snapshot
+//       consistency. --walkers is walkers *per query* (0 = 1024), unlike
+//       walk where 0 means one walker per vertex.
 //
 // Examples:
 //   bingo_cli generate --scale 16 --edges 1000000 --out g.bin
 //   bingo_cli walk --graph g.bin --app deepwalk --length 80
+//   bingo_cli walk --graph g.bin --app ppr --store partitioned --shards 4
+//   bingo_cli serve-bench --graph g.bin --threads 8 --batches 20
 //   bingo_cli stats --graph g.bin
 
 #include <cstdio>
@@ -37,8 +51,14 @@ struct Args {
   std::string out_path;
   std::string app = "deepwalk";
   std::string bias = "degree";
+  std::string store = "bingo";
+  std::string kind = "mixed";
   int scale = 14;
+  int shards = 4;
+  int threads = 4;
+  int batches = 10;
   uint64_t edges = 200000;
+  uint64_t batch_size = 10000;
   uint32_t length = 80;
   uint64_t walkers = 0;
   double p = 0.5;
@@ -48,15 +68,44 @@ struct Args {
   std::string paths_out;
 };
 
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: bingo_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate    --scale N --edges M --out FILE[.bin]\n"
+      "              [--bias degree|uniform|gauss|powerlaw] [--undirected]\n"
+      "  walk        --graph FILE [--app deepwalk|node2vec|ppr|simple]\n"
+      "              [--store bingo|alias|its|reservoir|partitioned]\n"
+      "              [--shards S] [--length L] [--walkers W] [--p P] [--q Q]\n"
+      "              [--seed S] [--paths OUT.txt]\n"
+      "  stats       --graph FILE\n"
+      "  serve-bench --graph FILE [--threads N] [--batches B]\n"
+      "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
+      "              [--kind mixed|insert|delete]\n"
+      "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
+      "               where 0 = one walker per vertex)\n"
+      "\n"
+      "see the header comment of tools/bingo_cli.cpp for details\n");
+}
+
 bool Parse(int argc, char** argv, Args& args) {
   if (argc < 2) {
     return false;
   }
   args.command = argv[1];
+  bool missing_value = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    // Every flag except --undirected takes a value; the next token must
+    // exist and not itself be a flag.
     const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : "";
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        missing_value = true;
+        return "";
+      }
+      return argv[++i];
     };
     if (flag == "--graph") {
       args.graph_path = next();
@@ -66,18 +115,43 @@ bool Parse(int argc, char** argv, Args& args) {
       args.app = next();
     } else if (flag == "--bias") {
       args.bias = next();
+    } else if (flag == "--store") {
+      args.store = next();
+    } else if (flag == "--kind") {
+      args.kind = next();
     } else if (flag == "--scale") {
       args.scale = std::atoi(next());
+    } else if (flag == "--shards") {
+      args.shards = std::atoi(next());
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(next());
+    } else if (flag == "--batches") {
+      args.batches = std::atoi(next());
+    } else if (flag == "--batch-size") {
+      args.batch_size = std::atoll(next());
     } else if (flag == "--edges") {
       args.edges = std::atoll(next());
     } else if (flag == "--length") {
-      args.length = static_cast<uint32_t>(std::atoi(next()));
+      const int value = std::atoi(next());
+      if (!missing_value && value <= 0) {  // a missing value errors below
+        std::fprintf(stderr, "--length must be a positive integer\n");
+        return false;
+      }
+      args.length = static_cast<uint32_t>(value);
     } else if (flag == "--walkers") {
-      args.walkers = std::atoll(next());
-    } else if (flag == "--p") {
-      args.p = std::atof(next());
-    } else if (flag == "--q") {
-      args.q = std::atof(next());
+      const long long value = std::atoll(next());
+      if (!missing_value && value < 0) {
+        std::fprintf(stderr, "--walkers must be >= 0 (0 = one per vertex)\n");
+        return false;
+      }
+      args.walkers = static_cast<uint64_t>(value);
+    } else if (flag == "--p" || flag == "--q") {
+      const double value = std::atof(next());
+      if (!missing_value && !(value > 0.0)) {  // p, q scale 1/p, 1/q
+        std::fprintf(stderr, "%s must be > 0\n", flag.c_str());
+        return false;
+      }
+      (flag == "--p" ? args.p : args.q) = value;
     } else if (flag == "--seed") {
       args.seed = std::atoll(next());
     } else if (flag == "--undirected") {
@@ -88,6 +162,18 @@ bool Parse(int argc, char** argv, Args& args) {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
+    if (missing_value) {
+      std::fprintf(stderr, "missing value for flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidatePositive(const char* name, long long value) {
+  if (value <= 0) {
+    std::fprintf(stderr, "%s must be positive (got %lld)\n", name, value);
+    return false;
   }
   return true;
 }
@@ -97,6 +183,14 @@ bool IsBinaryPath(const std::string& path) {
 }
 
 int Generate(const Args& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  if (!ValidatePositive("--scale", args.scale) ||
+      !ValidatePositive("--edges", static_cast<long long>(args.edges))) {
+    return 2;
+  }
   util::Rng rng(args.seed);
   auto pairs = graph::GenerateRmat(args.scale, args.edges, rng);
   if (args.undirected) {
@@ -112,8 +206,11 @@ int Generate(const Args& args) {
     params.distribution = graph::BiasDistribution::kGauss;
   } else if (args.bias == "powerlaw") {
     params.distribution = graph::BiasDistribution::kPowerLaw;
-  } else {
+  } else if (args.bias == "degree") {
     params.distribution = graph::BiasDistribution::kDegree;
+  } else {
+    std::fprintf(stderr, "unknown bias distribution: %s\n", args.bias.c_str());
+    return 2;
   }
   util::Rng bias_rng(args.seed + 1);
   const auto biases = graph::GenerateBiases(csr, params, bias_rng);
@@ -130,25 +227,28 @@ int Generate(const Args& args) {
   return 0;
 }
 
-bool LoadEdges(const std::string& path, graph::WeightedEdgeList& edges) {
-  return IsBinaryPath(path) ? graph::LoadWeightedEdgesBinary(path, edges)
-                            : graph::LoadWeightedEdgesText(path, edges);
+bool LoadGraphArg(const Args& args, graph::WeightedEdgeList& edges) {
+  if (args.graph_path.empty()) {
+    std::fprintf(stderr, "%s: --graph is required\n", args.command.c_str());
+    return false;
+  }
+  const bool ok = IsBinaryPath(args.graph_path)
+                      ? graph::LoadWeightedEdgesBinary(args.graph_path, edges)
+                      : graph::LoadWeightedEdgesText(args.graph_path, edges);
+  if (!ok) {
+    std::fprintf(stderr, "failed to load %s\n", args.graph_path.c_str());
+    return false;
+  }
+  if (edges.empty()) {
+    std::fprintf(stderr, "%s contains no edges\n", args.graph_path.c_str());
+    return false;
+  }
+  return true;
 }
 
-int Walk(const Args& args) {
-  graph::WeightedEdgeList edges;
-  if (!LoadEdges(args.graph_path, edges)) {
-    std::fprintf(stderr, "failed to load %s\n", args.graph_path.c_str());
-    return 1;
-  }
-  const graph::VertexId n = graph::ImpliedVertexCount(edges);
-  util::Timer build_timer;
-  core::BingoStore store(graph::DynamicGraph::FromEdges(n, edges),
-                         core::BingoConfig{}, &util::ThreadPool::Global());
-  std::printf("built store over %u vertices / %zu edges in %.2fs (%.1f MiB)\n",
-              n, edges.size(), build_timer.Seconds(),
-              store.MemoryBytes() / 1024.0 / 1024.0);
-
+// Runs the selected application on any AdjacencyStore backend.
+template <walk::AdjacencyStore Store>
+int RunWalkApp(const Args& args, const Store& store) {
   walk::WalkConfig cfg;
   cfg.walk_length = args.length;
   cfg.num_walkers = args.walkers;
@@ -167,11 +267,12 @@ int Walk(const Args& args) {
                           &util::ThreadPool::Global());
   } else if (args.app == "simple") {
     result = walk::RunSimpleSampling(store, cfg, &util::ThreadPool::Global());
-  } else {
+  } else {  // "deepwalk": Walk() validated the app name before building
     result = walk::RunDeepWalk(store, cfg, &util::ThreadPool::Global());
   }
   const double seconds = walk_timer.Seconds();
-  std::printf("%s: %llu steps in %.2fs (%.2fM steps/s)\n", args.app.c_str(),
+  std::printf("%s[%s]: %llu steps in %.2fs (%.2fM steps/s)\n",
+              args.app.c_str(), args.store.c_str(),
               static_cast<unsigned long long>(result.total_steps), seconds,
               result.total_steps / seconds / 1e6);
 
@@ -189,11 +290,78 @@ int Walk(const Args& args) {
   return 0;
 }
 
+int Walk(const Args& args) {
+  // Reject bad names before paying for the graph load or store build.
+  if (args.app != "deepwalk" && args.app != "node2vec" && args.app != "ppr" &&
+      args.app != "simple") {
+    std::fprintf(stderr, "unknown app: %s\n", args.app.c_str());
+    return 2;
+  }
+  if (args.store != "bingo" && args.store != "alias" && args.store != "its" &&
+      args.store != "reservoir" && args.store != "partitioned") {
+    std::fprintf(stderr, "unknown store: %s\n", args.store.c_str());
+    return 2;
+  }
+  if (args.store == "partitioned" && !ValidatePositive("--shards", args.shards)) {
+    return 2;
+  }
+  graph::WeightedEdgeList edges;
+  if (!LoadGraphArg(args, edges)) {
+    return args.graph_path.empty() ? 2 : 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  util::ThreadPool* pool = &util::ThreadPool::Global();
+
+  // One build/report/run path for every backend; `make_store` returns the
+  // freshly built store (copy-elided).
+  const auto build_and_run = [&](const std::string& label,
+                                 const auto& make_store) {
+    util::Timer build_timer;
+    const auto store = make_store();
+    std::printf(
+        "built %s store over %u vertices / %zu edges in %.2fs (%.1f MiB)\n",
+        label.c_str(), n, edges.size(), build_timer.Seconds(),
+        store.MemoryBytes() / 1024.0 / 1024.0);
+    return RunWalkApp(args, store);
+  };
+
+  if (args.store == "bingo") {
+    return build_and_run(args.store, [&] {
+      return core::BingoStore(graph::DynamicGraph::FromEdges(n, edges), {},
+                              pool);
+    });
+  }
+  if (args.store == "alias") {
+    return build_and_run(args.store, [&] {
+      return walk::AliasStore(graph::DynamicGraph::FromEdges(n, edges), pool);
+    });
+  }
+  if (args.store == "its") {
+    return build_and_run(args.store, [&] {
+      return walk::ItsStore(graph::DynamicGraph::FromEdges(n, edges), pool);
+    });
+  }
+  if (args.store == "reservoir") {
+    return build_and_run(args.store, [&] {
+      return walk::ReservoirStore(graph::DynamicGraph::FromEdges(n, edges),
+                                  pool);
+    });
+  }
+  if (args.store == "partitioned") {
+    return build_and_run(
+        "partitioned(" + std::to_string(args.shards) + " shards)",
+        [&] { return walk::PartitionedBingoStore(edges, n, args.shards, {},
+                                                 pool); });
+  }
+  // Unreachable while the upfront name check and this chain stay in sync.
+  std::fprintf(stderr, "unknown store: %s\n", args.store.c_str());
+  return 2;
+}
+
 int Stats(const Args& args) {
   graph::WeightedEdgeList edges;
-  if (!LoadEdges(args.graph_path, edges)) {
-    std::fprintf(stderr, "failed to load %s\n", args.graph_path.c_str());
-    return 1;
+  if (!LoadGraphArg(args, edges)) {
+    return args.graph_path.empty() ? 2 : 1;
   }
   const graph::VertexId n = graph::ImpliedVertexCount(edges);
   core::BingoStore store(graph::DynamicGraph::FromEdges(n, edges),
@@ -230,14 +398,100 @@ int Stats(const Args& args) {
   return 0;
 }
 
+int ServeBench(const Args& args) {
+  if (args.store != "bingo") {
+    std::fprintf(stderr,
+                 "serve-bench currently supports only --store bingo (got %s)\n",
+                 args.store.c_str());
+    return 2;
+  }
+  if (args.app != "deepwalk") {
+    std::fprintf(stderr,
+                 "serve-bench queries are deepwalk only (got --app %s)\n",
+                 args.app.c_str());
+    return 2;
+  }
+  if (!ValidatePositive("--threads", args.threads) ||
+      !ValidatePositive("--batches", args.batches) ||
+      !ValidatePositive("--batch-size",
+                        static_cast<long long>(args.batch_size))) {
+    return 2;  // fail fast, before paying for the graph load
+  }
+  graph::UpdateWorkloadParams params;
+  params.batch_size = args.batch_size;
+  params.num_batches = args.batches;
+  if (args.kind == "insert") {
+    params.kind = graph::UpdateKind::kInsertion;
+  } else if (args.kind == "delete") {
+    params.kind = graph::UpdateKind::kDeletion;
+  } else if (args.kind == "mixed") {
+    params.kind = graph::UpdateKind::kMixed;
+  } else {
+    std::fprintf(stderr, "unknown update kind: %s\n", args.kind.c_str());
+    return 2;
+  }
+  graph::WeightedEdgeList all_edges;
+  if (!LoadGraphArg(args, all_edges)) {
+    return args.graph_path.empty() ? 2 : 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(all_edges);
+  util::Rng workload_rng(args.seed);
+  const auto workload = graph::BuildUpdateWorkload(all_edges, params,
+                                                   workload_rng);
+
+  // The global pool builds the replicas and then parallelizes each batch's
+  // replica rebuilds; the stress query threads deliberately run poolless,
+  // so the writer has the pool to itself.
+  util::Timer build_timer;
+  auto service = walk::MakeWalkService(workload.initial_edges, n, {},
+                                       &util::ThreadPool::Global(),
+                                       &util::ThreadPool::Global());
+  std::printf(
+      "serve-bench: %u vertices, %zu initial edges, 2 replicas built in "
+      "%.2fs (%.1f MiB)\n",
+      n, workload.initial_edges.size(), build_timer.Seconds(),
+      service->MemoryStats().TotalBytes() / 1024.0 / 1024.0);
+  std::printf("%d query threads vs 1 update thread, %d x %llu %s updates\n",
+              args.threads, args.batches,
+              static_cast<unsigned long long>(args.batch_size),
+              args.kind.c_str());
+
+  walk::ServiceStressOptions options;
+  options.query_threads = args.threads;
+  options.batch_size = args.batch_size;
+  options.walkers_per_query = args.walkers == 0 ? 1024 : args.walkers;
+  options.walk_length = args.length;
+  options.seed = args.seed;
+  const auto report =
+      walk::RunWalkServiceStress(*service, workload.updates, options);
+
+  std::printf("\nqueries:          %llu (%.1f/s)\n",
+              static_cast<unsigned long long>(report.queries),
+              report.queries / report.wall_seconds);
+  std::printf("samples served:   %llu (%.2fM samples/s)\n",
+              static_cast<unsigned long long>(report.walk_steps),
+              report.SamplesPerSecond() / 1e6);
+  std::printf("update latency:   mean %.2fms, max %.2fms (%llu batches)\n",
+              report.MeanUpdateSeconds() * 1e3,
+              report.update_seconds_max * 1e3,
+              static_cast<unsigned long long>(report.batches));
+  std::printf("epochs observed:  [%llu, %llu]\n",
+              static_cast<unsigned long long>(report.min_epoch_observed),
+              static_cast<unsigned long long>(report.max_epoch_observed));
+  std::printf("consistency:      %llu violations\n",
+              static_cast<unsigned long long>(report.inconsistent_snapshots));
+  const std::string invariants = service->CheckInvariants();
+  std::printf("invariants:       %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, args)) {
-    std::fprintf(stderr,
-                 "usage: bingo_cli generate|walk|stats [flags]\n"
-                 "see the header comment of tools/bingo_cli.cpp\n");
+    PrintUsage();
     return 2;
   }
   if (args.command == "generate") {
@@ -249,6 +503,15 @@ int main(int argc, char** argv) {
   if (args.command == "stats") {
     return Stats(args);
   }
+  if (args.command == "serve-bench") {
+    return ServeBench(args);
+  }
+  if (args.command == "--help" || args.command == "-h" ||
+      args.command == "help") {
+    PrintUsage();
+    return 0;
+  }
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  PrintUsage();
   return 2;
 }
