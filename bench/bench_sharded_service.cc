@@ -1,0 +1,152 @@
+// Sharded-service scaling sweep: per-batch update latency vs. shard count.
+//
+// The unsharded WalkService pays 2x a whole-store ApplyBatch per update
+// batch regardless of what the batch touches. The sharded service pays 2x
+// the touched shards' slice batches, so on a shard-local workload (every
+// update's source lands on one shard) the per-batch cost should FALL as
+// the shard count grows: the touched shard holds ~1/N of the store, and
+// untouched shards do no work at all. A uniform workload shows the other
+// regime — every batch touches every shard, and cross-shard parallelism
+// plus smaller per-shard rebuild sets carry the win instead.
+//
+// Two workloads per shard count {1, 2, 4, 8}:
+//   local    every update's source maps to shard 0 (mod num_shards), the
+//            single-shard-resident workload of the PR acceptance criterion;
+//   uniform  the §6.1 mixed stream as-is, sources spread over all shards.
+//
+// Also reports p50/p99 submit-to-applied latency through the coalescing
+// UpdateBatcher at the largest shard count.
+//
+// Environment knobs: BINGO_BENCH_SCALE / ROUNDS / BATCH (bench/common.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/graph/update_stream.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/batcher.h"
+#include "src/walk/sharded_service.h"
+
+namespace bingo {
+namespace {
+
+struct SweepRow {
+  int shards;
+  double p50_ms;
+  double p99_ms;
+  double mean_ms;
+  double max_ms;
+};
+
+// Remaps update sources onto shard 0 of an N-shard service (the residues
+// v % N == 0). The stream stays the same size, but as N grows it
+// concentrates on the 1/N of the vertex population shard 0 owns, so each
+// batch coalesces more updates per touched vertex — the store's one
+// rebuild per touched vertex per batch (§5.2) then amortizes harder, and
+// the other N-1 shards do no update work at all.
+graph::UpdateList MakeShardLocal(const graph::UpdateList& updates,
+                                 int num_shards) {
+  graph::UpdateList local = updates;
+  for (graph::Update& u : local) {
+    u.src -= u.src % num_shards;  // nearest shard-0 resident below src
+  }
+  return local;
+}
+
+SweepRow RunSweepCell(const bench::PreparedWorkload& workload,
+                      const graph::UpdateList& updates, int num_shards,
+                      util::ThreadPool& pool) {
+  auto service = walk::MakeShardedWalkService(
+      workload.initial_edges, workload.num_vertices, num_shards, {}, &pool,
+      &pool);
+  walk::ShardedStressOptions options;
+  options.query_threads = 0;  // pure update-latency measurement
+  options.batch_size = bench::BenchBatch();
+  const auto report =
+      walk::RunShardedServiceStress(*service, updates, options);
+  return {num_shards, report.UpdateSecondsQuantile(0.50) * 1e3,
+          report.UpdateSecondsQuantile(0.99) * 1e3,
+          report.MeanUpdateSeconds() * 1e3, report.MaxUpdateSeconds() * 1e3};
+}
+
+void PrintRows(const char* workload_name, const std::vector<SweepRow>& rows) {
+  std::printf("%-10s %8s %12s %12s %12s %12s\n", workload_name, "shards",
+              "p50 (ms)", "p99 (ms)", "mean (ms)", "max (ms)");
+  for (const SweepRow& row : rows) {
+    std::printf("%-10s %8d %12.3f %12.3f %12.3f %12.3f\n", "", row.shards,
+                row.p50_ms, row.p99_ms, row.mean_ms, row.max_ms);
+  }
+  bench::PrintRule(70);
+}
+
+}  // namespace
+}  // namespace bingo
+
+int main() {
+  using namespace bingo;
+  bench::TuneAllocator();
+
+  // One mid-sized stand-in is enough for the scaling curve.
+  const bench::Dataset dataset = bench::StandardDatasets()[1];  // GO
+  const int rounds = std::max(8, bench::BenchRounds() * 3);
+  const auto workload =
+      bench::PrepareWorkload(dataset, graph::UpdateKind::kMixed, {}, 42,
+                             bench::BenchBatch(), rounds);
+  graph::UpdateList stream;
+  for (const auto& batch : workload.batches) {
+    stream.insert(stream.end(), batch.begin(), batch.end());
+  }
+  util::ThreadPool pool;
+
+  std::printf(
+      "bench_sharded_service: %s stand-in, %u vertices, %zu initial edges, "
+      "%d batches x %llu updates\n\n",
+      dataset.abbr, workload.num_vertices, workload.initial_edges.size(),
+      rounds, static_cast<unsigned long long>(bench::BenchBatch()));
+
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  // Single-shard-resident workload: latency must fall with shard count.
+  std::vector<SweepRow> local_rows;
+  for (int shards : shard_counts) {
+    const auto local = MakeShardLocal(stream, shards);
+    local_rows.push_back(RunSweepCell(workload, local, shards, pool));
+  }
+  PrintRows("local", local_rows);
+
+  std::vector<SweepRow> uniform_rows;
+  for (int shards : shard_counts) {
+    uniform_rows.push_back(RunSweepCell(workload, stream, shards, pool));
+  }
+  PrintRows("uniform", uniform_rows);
+
+  // Batcher overhead at the largest shard count: single-edge submits,
+  // coalesced per shard, flushed per window.
+  {
+    auto service = walk::MakeShardedWalkService(
+        workload.initial_edges, workload.num_vertices, shard_counts.back(), {},
+        &pool, &pool);
+    walk::ShardedStressOptions options;
+    options.query_threads = 0;
+    options.batch_size = bench::BenchBatch();
+    options.use_batcher = true;
+    const auto report = walk::RunShardedServiceStress(*service, stream, options);
+    std::printf(
+        "batcher    %8d %12.3f %12.3f %12.3f %12.3f  (submit-to-applied)\n",
+        shard_counts.back(), report.UpdateSecondsQuantile(0.50) * 1e3,
+        report.UpdateSecondsQuantile(0.99) * 1e3,
+        report.MeanUpdateSeconds() * 1e3, report.MaxUpdateSeconds() * 1e3);
+  }
+
+  // The acceptance check in machine-readable form: mean local-workload
+  // latency at the max shard count vs unsharded.
+  const double speedup =
+      local_rows.front().mean_ms / std::max(1e-9, local_rows.back().mean_ms);
+  std::printf("\nlocal-workload mean latency: 1 shard %.3fms -> %d shards "
+              "%.3fms (%.2fx)\n",
+              local_rows.front().mean_ms, shard_counts.back(),
+              local_rows.back().mean_ms, speedup);
+  return 0;
+}

@@ -32,10 +32,12 @@
 #include "src/walk/analytics.h"
 #include "src/walk/apps.h"
 #include "src/walk/baseline_stores.h"
+#include "src/walk/batcher.h"
 #include "src/walk/engine.h"
 #include "src/walk/incremental.h"
 #include "src/walk/partitioned.h"
 #include "src/walk/service.h"
+#include "src/walk/sharded_service.h"
 #include "src/walk/store.h"
 
 #endif  // BINGO_SRC_BINGO_H_

@@ -43,6 +43,13 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn,
       std::size_t grain = 1);
 
+  // Fire-and-forget task submission (the batcher's writer tasks). The caller
+  // owns completion tracking; tasks still queued at destruction run before
+  // the workers exit. A posted task must not block waiting for another
+  // posted task to *start* — workers are a fixed set, and this pool does not
+  // steal work while a task blocks.
+  void Post(std::function<void()> task) { Enqueue(std::move(task)); }
+
   // Global pool shared by the library (walk engine, batched updates).
   static ThreadPool& Global();
 

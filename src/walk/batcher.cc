@@ -1,0 +1,197 @@
+#include "src/walk/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bingo::walk {
+
+UpdateBatcher::UpdateBatcher(ShardedWalkService& service, BatcherOptions options,
+                             util::ThreadPool* pool)
+    : service_(service), options_(options) {
+  if (pool == nullptr) {
+    // Private writer pool: one thread per shard is enough to keep every
+    // shard's drain independent; cap it so huge shard counts stay sane.
+    owned_pool_ = std::make_unique<util::ThreadPool>(
+        std::min<std::size_t>(static_cast<std::size_t>(service_.NumShards()), 4));
+    pool = owned_pool_.get();
+  }
+  pool_ = pool;
+  queues_.reserve(service_.NumShards());
+  for (int s = 0; s < service_.NumShards(); ++s) {
+    queues_.push_back(std::make_unique<ShardQueue>());
+  }
+  if (options_.auto_flush) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+UpdateBatcher::~UpdateBatcher() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mutex_);
+      stopping_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  // Drain the leftovers. After Flush returns no writer task of ours is
+  // queued or running (every posted task holds an active_drainers_ ref from
+  // post to retire), so members — and an owned pool — can die safely.
+  Flush();
+}
+
+void UpdateBatcher::ScheduleDrain(int shard, uint64_t BatcherStats::*reason) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(stats_.*reason);
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++active_drainers_;
+  }
+  pool_->Post([this, shard] { DrainLoop(shard); });
+}
+
+void UpdateBatcher::Submit(const graph::Update& update) {
+  const int s = service_.ShardOf(update.src);
+  ShardQueue& q = *queues_[s];
+  // Count the update before the drainer can see it: queue_depth is
+  // decremented by the drain that swaps it out, and counting afterwards
+  // could underflow the depth if that drain wins the race.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  bool start_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.pending.empty()) {
+      q.oldest.Reset();  // staleness clock starts at the first queued update
+    }
+    q.pending.push_back(update);
+    if (!q.drain_active && q.pending.size() >= options_.max_batch_updates) {
+      q.drain_active = true;
+      start_drain = true;
+    }
+  }
+  if (start_drain) {
+    ScheduleDrain(s, &BatcherStats::size_flushes);
+  }
+}
+
+void UpdateBatcher::SubmitAll(const graph::UpdateList& updates) {
+  for (const graph::Update& u : updates) {
+    Submit(u);
+  }
+}
+
+void UpdateBatcher::DrainLoop(int s) {
+  ShardQueue& q = *queues_[s];
+  for (;;) {
+    graph::UpdateList batch;
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.pending.empty()) {
+        q.drain_active = false;
+        break;
+      }
+      batch.swap(q.pending);
+    }
+    util::Timer timer;
+    const core::BatchResult result = service_.ApplyShardBatch(s, batch);
+    const double seconds = timer.Seconds();
+    queue_depth_.fetch_sub(static_cast<int64_t>(batch.size()),
+                           std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.flushed_updates += batch.size();
+      stats_.flush_seconds_total += seconds;
+      stats_.flush_seconds_max = std::max(stats_.flush_seconds_max, seconds);
+      stats_.applied += result;
+    }
+  }
+  // Retire. Notifying under the mutex makes it safe for a Flush caller to
+  // destroy the batcher as soon as its wait returns.
+  std::lock_guard<std::mutex> lock(idle_mutex_);
+  --active_drainers_;
+  idle_cv_.notify_all();
+}
+
+void UpdateBatcher::Flush() {
+  for (;;) {
+    // Kick a drainer for every shard with pending work and none in flight.
+    for (int s = 0; s < service_.NumShards(); ++s) {
+      ShardQueue& q = *queues_[s];
+      bool start_drain = false;
+      {
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.drain_active && !q.pending.empty()) {
+          q.drain_active = true;
+          start_drain = true;
+        }
+      }
+      if (start_drain) {
+        ScheduleDrain(s, &BatcherStats::manual_flushes);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(idle_mutex_);
+      idle_cv_.wait(lock, [this] { return active_drainers_ == 0; });
+    }
+    // A drainer may have retired just as new work landed (or a racing
+    // Submit slipped in between its empty-check and our wait); re-scan and
+    // go again until a fully idle pass.
+    bool all_empty = true;
+    for (const auto& queue : queues_) {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      if (!queue->pending.empty() || queue->drain_active) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) {
+      return;
+    }
+  }
+}
+
+BatcherStats UpdateBatcher::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  BatcherStats stats = stats_;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.queue_depth = static_cast<std::size_t>(
+      std::max<int64_t>(0, queue_depth_.load(std::memory_order_relaxed)));
+  return stats;
+}
+
+void UpdateBatcher::FlusherLoop() {
+  // Sweep at half the staleness bound so a queued update waits at most
+  // ~1.5x max_delay_seconds before its drain starts.
+  const auto interval = std::chrono::duration<double>(
+      std::max(options_.max_delay_seconds / 2.0, 1e-4));
+  std::unique_lock<std::mutex> lock(flusher_mutex_);
+  while (!stopping_) {
+    flusher_cv_.wait_for(lock, interval);
+    if (stopping_) {
+      return;
+    }
+    lock.unlock();
+    for (int s = 0; s < service_.NumShards(); ++s) {
+      ShardQueue& q = *queues_[s];
+      bool start_drain = false;
+      {
+        std::lock_guard<std::mutex> qlock(q.mutex);
+        if (!q.drain_active && !q.pending.empty() &&
+            q.oldest.Seconds() >= options_.max_delay_seconds) {
+          q.drain_active = true;
+          start_drain = true;
+        }
+      }
+      if (start_drain) {
+        ScheduleDrain(s, &BatcherStats::time_flushes);
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace bingo::walk

@@ -1,0 +1,150 @@
+// UpdateBatcher: async coalescing front-end for the sharded service.
+//
+// Streaming producers hand the service one edge at a time, but the store's
+// batched-update path amortizes one sampler rebuild per touched vertex per
+// batch (§5.2) — applying single-edge updates individually forfeits that.
+// The batcher sits in front of ShardedWalkService and coalesces Submit()ed
+// updates into size/time-bounded per-shard batches:
+//
+//   * Submit routes the update to its shard's queue (ShardOf(src), the same
+//     routing the service itself uses) under that shard's queue mutex.
+//   * A shard whose queue reaches `max_batch_updates` gets a writer task
+//     posted to the thread pool. One writer task is in flight per shard at
+//     a time; it repeatedly swaps the queue out and applies it through
+//     ApplyShardBatch until the queue is empty, so per-shard update order
+//     is preserved and bursts coalesce into large batches automatically.
+//   * A background flusher thread sweeps queues whose oldest update has
+//     waited `max_delay_seconds`, bounding staleness under trickle load.
+//   * Flush() drains everything synchronously: every update Submit()ed
+//     before the call is applied when it returns.
+//
+// Ordering: per-shard FIFO (one drainer per shard). Updates to different
+// shards may apply in any order — the same independence the sharded
+// service itself exposes. Do not share the writer pool with threads that
+// run walk queries while a flush is pending: writer tasks spin waiting for
+// that shard's readers to drain, and on a fixed-size pool they can starve
+// the walk chunks those readers are waiting on. By default the batcher
+// owns a small private pool, which is always safe.
+
+#ifndef BINGO_SRC_WALK_BATCHER_H_
+#define BINGO_SRC_WALK_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/store_types.h"
+#include "src/graph/types.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/sharded_service.h"
+
+namespace bingo::walk {
+
+struct BatcherOptions {
+  std::size_t max_batch_updates = 1024;  // size trigger, per shard
+  double max_delay_seconds = 0.002;      // staleness bound under trickle load
+  bool auto_flush = true;                // run the background flusher thread
+};
+
+struct BatcherStats {
+  uint64_t submitted = 0;        // updates accepted by Submit
+  uint64_t flushed_updates = 0;  // updates applied to the service
+  uint64_t batches = 0;          // ApplyShardBatch calls issued
+  uint64_t size_flushes = 0;     // drains triggered by max_batch_updates
+  uint64_t time_flushes = 0;     // drains triggered by max_delay_seconds
+  uint64_t manual_flushes = 0;   // drains triggered by Flush()
+  std::size_t queue_depth = 0;   // updates queued or draining right now
+  double flush_seconds_total = 0.0;  // time inside ApplyShardBatch
+  double flush_seconds_max = 0.0;    // slowest single batch
+  core::BatchResult applied;         // accounting across all drained batches
+
+  // Mean updates per applied batch; >1 means coalescing is working.
+  double CoalesceRatio() const {
+    return batches > 0
+               ? static_cast<double>(flushed_updates) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+class UpdateBatcher {
+ public:
+  // The batcher does not own `service`; it must outlive the batcher. With
+  // `pool == nullptr` the batcher owns a private writer pool (safe
+  // default); a caller-provided pool must not be shared with walk-query
+  // threads (see the header comment).
+  explicit UpdateBatcher(ShardedWalkService& service, BatcherOptions options = {},
+                         util::ThreadPool* pool = nullptr);
+
+  // Drains everything still queued, then stops the writer machinery.
+  ~UpdateBatcher();
+
+  UpdateBatcher(const UpdateBatcher&) = delete;
+  UpdateBatcher& operator=(const UpdateBatcher&) = delete;
+
+  // Queues one update; returns immediately. Thread-safe.
+  void Submit(const graph::Update& update);
+
+  // Convenience: queue a whole list (each update routed independently).
+  void SubmitAll(const graph::UpdateList& updates);
+
+  // Applies every update Submit()ed before this call. Safe from any thread
+  // that holds no live service Snapshot (drains wait for readers).
+  void Flush();
+
+  BatcherStats Stats() const;
+
+ private:
+  struct ShardQueue {
+    std::mutex mutex;
+    graph::UpdateList pending;
+    util::Timer oldest;        // age of the oldest pending update
+    bool drain_active = false; // one writer task in flight per shard
+  };
+
+  // Posts a writer task for `shard` and charges the trigger to `reason`.
+  // The caller must have set the shard's drain_active flag (it owns the
+  // sole right to start this shard's drainer).
+  void ScheduleDrain(int shard, uint64_t BatcherStats::*reason);
+
+  // The writer task: drains shard `s` until its queue stays empty.
+  void DrainLoop(int s);
+
+  void FlusherLoop();
+
+  ShardedWalkService& service_;
+  const BatcherOptions options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;  // owned_pool_.get() or caller's
+
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+
+  // Submit-side counters are lock-free so concurrent submitters to
+  // disjoint shards never serialize on a global lock; the mutex guards
+  // only the drain-side aggregates.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<int64_t> queue_depth_{0};
+  mutable std::mutex stats_mutex_;
+  BatcherStats stats_;
+
+  // Signaled whenever a drainer retires; Flush waits on it. A writer task
+  // holds one active_drainers_ ref from post to retire, so zero means no
+  // batcher code is running or queued on the pool.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  int active_drainers_ = 0;
+
+  // Background flusher (time trigger).
+  std::mutex flusher_mutex_;
+  std::condition_variable flusher_cv_;
+  bool stopping_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_BATCHER_H_

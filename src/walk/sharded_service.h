@@ -1,0 +1,350 @@
+// ShardedWalkService: per-shard replica pairs with independent epochs.
+//
+// WalkService (walk/service.h) pays 2x a whole-store ApplyBatch per update
+// batch — update latency scales with the full store even when the batch
+// touches a handful of vertices. This subsystem shards the service the same
+// way PartitionedBingoStore shards the store: vertex v's out-edges (and its
+// sampler) live on shard v % num_shards, and each shard is an independent
+// WalkServiceT replica pair with its own epoch, writer lock, and drain
+// protocol. A batch touching one shard pays 2x *that shard's* ApplyBatch;
+// batches touching disjoint shards apply fully in parallel, and queries
+// against untouched shards never wait at all.
+//
+// Queries Acquire() a multi-shard Snapshot: one per-shard snapshot each,
+// composed into a view that models the store concepts (SamplingStore, and
+// AdjacencyStore when the backend does), so the store-generic walk engine
+// runs on it unchanged. Each per-shard snapshot is immutable for its
+// lifetime (the inner service guarantees it); the composite is therefore
+// per-shard consistent. It is NOT a global serialization point: two shards
+// may be pinned at epochs published by different batches. At any quiescent
+// point (no in-flight writer) the composite equals one whole-graph store —
+// tests/sharded_fuzz_test.cc pins walks to the unsharded store bit for bit.
+//
+// Update latency model: unsharded, every batch costs 2 x ApplyBatch(whole
+// store). Sharded, a batch B costs max over touched shards s of
+// 2 x ApplyBatch(shard s slice of B) when routed in parallel — for a
+// single-shard-resident workload that is 2 x (1/N)-store work, and
+// bench/bench_sharded_service.cc measures exactly this curve.
+//
+// The caveat of walk/service.h carries over per shard: a thread must not
+// apply updates to a shard — nor call CheckInvariants/MemoryStats — while
+// holding a live Snapshot of its own (every Snapshot pins all shards).
+
+#ifndef BINGO_SRC_WALK_SHARDED_SERVICE_H_
+#define BINGO_SRC_WALK_SHARDED_SERVICE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/core/store_types.h"
+#include "src/graph/types.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
+#include "src/walk/service.h"
+#include "src/walk/store.h"
+
+namespace bingo::walk {
+
+struct ShardedServiceStats {
+  int num_shards = 0;
+  uint64_t epoch = 0;            // sum of shard epochs (batches x shards hit)
+  uint64_t min_shard_epoch = 0;  // spread shows routing skew
+  uint64_t max_shard_epoch = 0;
+  uint64_t queries_served = 0;   // composite snapshots handed out
+  uint64_t batches_applied = 0;  // per-shard batches (one multi-shard
+                                 // ApplyBatch counts once per shard hit)
+  uint64_t updates_applied = 0;
+  uint64_t drain_spins = 0;
+};
+
+template <WalkStore Store>
+class ShardedWalkServiceT {
+ public:
+  using ShardService = WalkServiceT<Store>;
+
+  // `factory(shard)` is invoked twice per shard and must produce identical
+  // stores for a given shard: each holds the out-edges of the vertices with
+  // v % num_shards == shard, over the full vertex-id space.
+  ShardedWalkServiceT(
+      int num_shards,
+      const std::function<std::unique_ptr<Store>(int shard)>& factory,
+      util::ThreadPool* update_pool = nullptr)
+      : route_pool_(update_pool) {
+    assert(num_shards > 0);
+    shards_.reserve(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      // Shard replicas rebuild sequentially: the pool's parallel dimension
+      // is across shards (ApplyBatch routes slices onto it), and nesting
+      // ParallelFor inside pool tasks can starve this fixed-size pool.
+      shards_.push_back(std::make_unique<ShardService>(
+          [&factory, s] { return factory(s); }, /*update_pool=*/nullptr));
+    }
+  }
+
+  ShardedWalkServiceT(const ShardedWalkServiceT&) = delete;
+  ShardedWalkServiceT& operator=(const ShardedWalkServiceT&) = delete;
+
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  int ShardOf(graph::VertexId v) const {
+    return static_cast<int>(v % shards_.size());
+  }
+
+  // A composite of one pinned snapshot per shard, modeling the store
+  // concepts so the engine and apps walk it like any backend.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    Snapshot& operator=(Snapshot&&) = delete;
+
+    graph::VertexId NumVertices() const {
+      return static_cast<graph::VertexId>(shards_[0].store().NumVertices());
+    }
+    graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+      return ShardFor(v).SampleNeighbor(v, rng);
+    }
+    bool HasEdge(graph::VertexId src, graph::VertexId dst) const
+      requires AdjacencyStore<Store>
+    {
+      return ShardFor(src).HasEdge(src, dst);
+    }
+    std::span<const graph::Edge> NeighborsOf(graph::VertexId v) const
+      requires AdjacencyStore<Store>
+    {
+      return ShardFor(v).NeighborsOf(v);
+    }
+
+    // Sum of pinned shard epochs; advances by one per shard a batch hit.
+    uint64_t epoch() const {
+      uint64_t total = 0;
+      for (const auto& snap : shards_) {
+        total += snap.epoch();
+      }
+      return total;
+    }
+
+    // True while no pinned shard replica has been mutated since Acquire.
+    bool Consistent() const {
+      for (const auto& snap : shards_) {
+        if (!snap.Consistent()) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    const Store& shard_store(int s) const {
+      return shards_[static_cast<std::size_t>(s)].store();
+    }
+
+   private:
+    friend class ShardedWalkServiceT;
+    explicit Snapshot(std::vector<typename ShardService::Snapshot> shards)
+        : shards_(std::move(shards)) {}
+
+    const Store& ShardFor(graph::VertexId v) const {
+      return shards_[v % shards_.size()].store();
+    }
+
+    std::vector<typename ShardService::Snapshot> shards_;
+  };
+
+  Snapshot Acquire() const {
+    std::vector<typename ShardService::Snapshot> snaps;
+    snaps.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      snaps.push_back(shard->Acquire());
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    return Snapshot(std::move(snaps));
+  }
+
+  // Runs `fn(const Snapshot&)` on a freshly acquired composite snapshot.
+  template <typename Fn>
+  auto Query(Fn&& fn) const {
+    const Snapshot snap = Acquire();
+    return std::forward<Fn>(fn)(snap);
+  }
+
+  WalkResult DeepWalk(const WalkConfig& cfg,
+                      util::ThreadPool* pool = nullptr) const {
+    return Query([&](const Snapshot& s) { return RunDeepWalk(s, cfg, pool); });
+  }
+  WalkResult Ppr(const WalkConfig& cfg, double stop_probability = 1.0 / 80.0,
+                 util::ThreadPool* pool = nullptr) const {
+    return Query(
+        [&](const Snapshot& s) { return RunPpr(s, cfg, stop_probability, pool); });
+  }
+  WalkResult Node2vec(const WalkConfig& cfg, const Node2vecParams& params = {},
+                      util::ThreadPool* pool = nullptr) const
+    requires AdjacencyStore<Store>
+  {
+    return Query(
+        [&](const Snapshot& s) { return RunNode2vec(s, cfg, params, pool); });
+  }
+
+  // Routes `updates` by source vertex and applies each shard's slice as one
+  // batch through that shard's replica-pair protocol; slices run in
+  // parallel on `pool` (falls back to the construction-time update pool,
+  // then to sequential). Call from a non-pool thread only: slices ride the
+  // pool's fixed workers. Accounting is exact: slices partition the batch
+  // by vertex, and a store batch is applied insert->delete->rebuild per
+  // vertex, so the summed BatchResult equals an unsharded store's.
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates,
+                               util::ThreadPool* pool = nullptr) {
+    std::vector<graph::UpdateList> per_shard(shards_.size());
+    for (const graph::Update& u : updates) {
+      per_shard[ShardOf(u.src)].push_back(u);
+    }
+    if (pool == nullptr) {
+      pool = route_pool_;
+    }
+    std::atomic<uint64_t> inserted{0};
+    std::atomic<uint64_t> deleted{0};
+    std::atomic<uint64_t> skipped{0};
+    const auto run_shard = [&](std::size_t s) {
+      if (per_shard[s].empty()) {
+        return;  // untouched shard: no epoch bump, no replica work
+      }
+      const core::BatchResult r = shards_[s]->ApplyBatch(per_shard[s]);
+      inserted.fetch_add(r.inserted, std::memory_order_relaxed);
+      deleted.fetch_add(r.deleted, std::memory_order_relaxed);
+      skipped.fetch_add(r.skipped_deletes, std::memory_order_relaxed);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, shards_.size(), run_shard);
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        run_shard(s);
+      }
+    }
+    return core::BatchResult{inserted.load(), deleted.load(), skipped.load()};
+  }
+
+  // Applies a pre-routed slice (every update's source must map to `shard`)
+  // through that shard's protocol. Thread-safe across shards — this is the
+  // batcher's drain entry point; concurrent calls for distinct shards
+  // proceed fully in parallel.
+  core::BatchResult ApplyShardBatch(int shard,
+                                    const graph::UpdateList& updates) {
+    return shards_[static_cast<std::size_t>(shard)]->ApplyBatch(updates);
+  }
+
+  // Sum of shard epochs.
+  uint64_t Epoch() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->Epoch();
+    }
+    return total;
+  }
+
+  ShardedServiceStats Stats() const {
+    ShardedServiceStats stats;
+    stats.num_shards = NumShards();
+    stats.min_shard_epoch = UINT64_MAX;
+    for (const auto& shard : shards_) {
+      const ServiceStats s = shard->Stats();
+      stats.epoch += s.epoch;
+      stats.min_shard_epoch = std::min(stats.min_shard_epoch, s.epoch);
+      stats.max_shard_epoch = std::max(stats.max_shard_epoch, s.epoch);
+      stats.batches_applied += s.batches_applied;
+      stats.updates_applied += s.updates_applied;
+      stats.drain_spins += s.drain_spins;
+    }
+    stats.queries_served = queries_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  core::StoreMemoryStats MemoryStats() const {
+    core::StoreMemoryStats total;
+    for (const auto& shard : shards_) {
+      total += shard->MemoryStats();
+    }
+    return total;
+  }
+
+  std::string CheckInvariants() const {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::string err = shards_[s]->CheckInvariants();
+      if (!err.empty()) {
+        return "shard " + std::to_string(s) + ": " + err;
+      }
+    }
+    return {};
+  }
+
+  ShardService& Shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
+
+ private:
+  std::vector<std::unique_ptr<ShardService>> shards_;
+  util::ThreadPool* route_pool_;
+  mutable std::atomic<uint64_t> queries_{0};
+};
+
+// The BingoStore instantiation is compiled once in sharded_service.cc.
+extern template class ShardedWalkServiceT<core::BingoStore>;
+
+using ShardedWalkService = ShardedWalkServiceT<core::BingoStore>;
+
+// Builds a BingoStore-backed sharded service over `edges`: shard s holds
+// the out-edges of vertices with v % num_shards == s (2 replicas each).
+// `build_pool` parallelizes replica construction; `update_pool` becomes the
+// default cross-shard routing pool for ApplyBatch.
+std::unique_ptr<ShardedWalkService> MakeShardedWalkService(
+    const graph::WeightedEdgeList& edges, graph::VertexId num_vertices,
+    int num_shards, core::BingoConfig config = {},
+    util::ThreadPool* build_pool = nullptr,
+    util::ThreadPool* update_pool = nullptr);
+
+// ------------------------------------------------------- stress driving --
+//
+// Shared by `bingo_cli serve-bench --store sharded` and
+// bench/bench_sharded_service.cc: N query threads walk composite snapshots
+// while the calling thread streams update batches, either directly through
+// ApplyBatch or coalesced through an UpdateBatcher (see walk/batcher.h).
+
+struct ShardedStressOptions {
+  int query_threads = 4;
+  uint64_t batch_size = 1000;  // updates per ApplyBatch / per flush window
+  uint64_t walkers_per_query = 256;
+  uint32_t walk_length = 10;
+  uint64_t seed = 42;
+  bool use_batcher = false;  // submit single edges + flush, vs direct batches
+};
+
+struct ShardedStressReport {
+  uint64_t queries = 0;
+  uint64_t walk_steps = 0;
+  uint64_t inconsistent_snapshots = 0;  // protocol violations (must be 0)
+  uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> batch_seconds;  // per-batch update latency, in order
+
+  double SamplesPerSecond() const {
+    return wall_seconds > 0.0 ? static_cast<double>(walk_steps) / wall_seconds
+                              : 0.0;
+  }
+  double MeanUpdateSeconds() const;
+  double MaxUpdateSeconds() const;
+  // Latency percentile over the recorded batches (q in [0, 1]).
+  double UpdateSecondsQuantile(double q) const;
+};
+
+ShardedStressReport RunShardedServiceStress(ShardedWalkService& service,
+                                            const graph::UpdateList& updates,
+                                            const ShardedStressOptions& options);
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_SHARDED_SERVICE_H_

@@ -1,0 +1,196 @@
+// Statistical sampling validation: chi-square goodness-of-fit of
+// SampleNeighbor frequencies against the exact edge-weight distribution,
+// on every shipped backend, before and after update batches.
+//
+// Bit-identity tests (cross_backend_test, sharded_fuzz_test) prove two
+// backends agree with each other; they are structurally blind to a bias
+// bug both sides share (e.g. a sampler that ignores weights entirely still
+// produces identical paths everywhere). This harness checks each backend
+// against ground truth instead: the store's own adjacency multiset defines
+// the target distribution P(dst | v) = sum of biases of (v -> dst) edges /
+// total out-weight, and the empirical sampling frequencies must fit it.
+// All draws use fixed seeds, so the test is deterministic — alpha controls
+// the one-time risk of pinning an unlucky seed, not run-to-run flakiness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/walk/baseline_stores.h"
+#include "src/walk/partitioned.h"
+#include "src/walk/sharded_service.h"
+
+namespace bingo::walk {
+namespace {
+
+using graph::VertexId;
+
+constexpr VertexId kNumVertices = 64;
+constexpr uint64_t kSamplesPerVertex = 20000;
+constexpr int kVerticesToTest = 5;
+
+graph::WeightedEdgeList TestGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(6, 700, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(kNumVertices, pairs);
+  // Spread the weights so a bias bug shifts frequencies detectably.
+  graph::BiasParams params;
+  params.distribution = graph::BiasDistribution::kUniform;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return graph::ToWeightedEdges(csr, biases);
+}
+
+graph::UpdateList MixedUpdates(uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  graph::UpdateList updates;
+  updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+    const auto dst = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+    if (i % 3 == 0) {
+      updates.push_back({graph::Update::Kind::kDelete, src, dst, 0.0});
+    } else {
+      updates.push_back(
+          {graph::Update::Kind::kInsert, src, dst, 1.0 + rng.NextUnit() * 9.0});
+    }
+  }
+  return updates;
+}
+
+// Checks the sampling frequencies of `store`'s busiest vertices against the
+// exact distribution implied by its adjacency. `adjacency_of` and
+// `sample_of` abstract over the store surface so the service snapshot view
+// plugs in next to plain stores.
+template <typename AdjacencyFn, typename SampleFn>
+void ExpectSamplingMatchesWeights(VertexId num_vertices,
+                                  const AdjacencyFn& adjacency_of,
+                                  const SampleFn& sample_of,
+                                  const std::string& label, uint64_t seed) {
+  // Deterministic pick: the kVerticesToTest highest out-degree vertices.
+  std::vector<VertexId> order(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    order[v] = v;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return adjacency_of(a).size() > adjacency_of(b).size();
+  });
+
+  int tested = 0;
+  for (VertexId v : order) {
+    const std::span<const graph::Edge> adj = adjacency_of(v);
+    if (adj.size() < 3) {
+      break;  // sorted by degree: nothing interesting left
+    }
+    // Aggregate parallel edges: P(dst) is the summed bias share.
+    std::map<VertexId, double> weight_of;
+    double total = 0.0;
+    for (const graph::Edge& e : adj) {
+      weight_of[e.dst] += e.bias;
+      total += e.bias;
+    }
+    ASSERT_GT(total, 0.0) << label << " vertex " << v;
+    std::vector<VertexId> cells;
+    std::vector<double> expected;
+    for (const auto& [dst, weight] : weight_of) {
+      cells.push_back(dst);
+      expected.push_back(weight / total);
+    }
+
+    std::vector<uint64_t> observed(cells.size(), 0);
+    util::Rng rng(seed ^ (uint64_t{v} << 20));
+    for (uint64_t s = 0; s < kSamplesPerVertex; ++s) {
+      const VertexId drawn = sample_of(v, rng);
+      const auto it = std::lower_bound(cells.begin(), cells.end(), drawn);
+      ASSERT_TRUE(it != cells.end() && *it == drawn)
+          << label << ": vertex " << v << " sampled non-neighbor " << drawn;
+      ++observed[static_cast<std::size_t>(it - cells.begin())];
+    }
+    EXPECT_TRUE(util::ChiSquareTestPasses(observed, expected))
+        << label << ": sampling frequencies of vertex " << v
+        << " reject the edge-weight distribution (chi2="
+        << util::ChiSquareStatistic(observed, expected) << ", cells="
+        << cells.size() << ")";
+    if (++tested == kVerticesToTest) {
+      break;
+    }
+  }
+  EXPECT_GE(tested, 3) << label << ": graph too sparse to test";
+}
+
+// Store backends share one driver: check, apply a batch, check again.
+template <typename Store>
+void RunStoreDistributionCheck(Store& store, const std::string& label) {
+  const auto adjacency = [&](VertexId v) { return store.NeighborsOf(v); };
+  const auto sample = [&](VertexId v, util::Rng& rng) {
+    return store.SampleNeighbor(v, rng);
+  };
+  ExpectSamplingMatchesWeights(kNumVertices, adjacency, sample,
+                               label + " (initial)", 0xd15731bu);
+  store.ApplyBatch(MixedUpdates(77, 600), nullptr);
+  ExpectSamplingMatchesWeights(kNumVertices, adjacency, sample,
+                               label + " (after updates)", 0xd15732bu);
+}
+
+TEST(DistributionTest, BingoStore) {
+  core::BingoStore store(
+      graph::DynamicGraph::FromEdges(kNumVertices, TestGraph(91)));
+  RunStoreDistributionCheck(store, "bingo");
+}
+
+TEST(DistributionTest, AliasStore) {
+  AliasStore store(graph::DynamicGraph::FromEdges(kNumVertices, TestGraph(92)));
+  RunStoreDistributionCheck(store, "alias");
+}
+
+TEST(DistributionTest, ItsStore) {
+  ItsStore store(graph::DynamicGraph::FromEdges(kNumVertices, TestGraph(93)));
+  RunStoreDistributionCheck(store, "its");
+}
+
+TEST(DistributionTest, ReservoirStore) {
+  ReservoirStore store(
+      graph::DynamicGraph::FromEdges(kNumVertices, TestGraph(94)));
+  RunStoreDistributionCheck(store, "reservoir");
+}
+
+TEST(DistributionTest, PartitionedBingoStore) {
+  PartitionedBingoStore store(TestGraph(95), kNumVertices, 4);
+  RunStoreDistributionCheck(store, "partitioned");
+}
+
+// The sharded service samples through its composite snapshot view; a fresh
+// snapshot is acquired per phase, exactly as a serving client would.
+TEST(DistributionTest, ShardedWalkServiceSnapshot) {
+  const auto edges = TestGraph(96);
+  const auto service = MakeShardedWalkService(edges, kNumVertices, 4);
+
+  const auto check = [&](const std::string& label, uint64_t seed) {
+    const auto snap = service->Acquire();
+    ASSERT_TRUE(snap.Consistent());
+    const auto adjacency = [&](VertexId v) { return snap.NeighborsOf(v); };
+    const auto sample = [&](VertexId v, util::Rng& rng) {
+      return snap.SampleNeighbor(v, rng);
+    };
+    ExpectSamplingMatchesWeights(kNumVertices, adjacency, sample, label, seed);
+    ASSERT_TRUE(snap.Consistent());
+  };
+
+  check("sharded-service (initial)", 0xd15733bu);
+  service->ApplyBatch(MixedUpdates(78, 600));
+  check("sharded-service (after updates)", 0xd15734bu);
+  EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace bingo::walk

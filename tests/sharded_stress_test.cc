@@ -1,0 +1,208 @@
+// Concurrency stress for the batcher + sharded service: many submitter
+// threads race single-edge Submit()s against walk queries across shards,
+// with Snapshot::Consistent() asserted after every query. The CI TSan job
+// runs this binary — it is the data-race canary for the per-shard epoch
+// protocol and the batcher's drain machinery.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "src/walk/apps.h"
+#include "src/walk/batcher.h"
+#include "src/walk/sharded_service.h"
+
+namespace bingo::walk {
+namespace {
+
+using graph::VertexId;
+
+constexpr VertexId kNumVertices = 256;
+
+graph::WeightedEdgeList TestGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  auto pairs = graph::GenerateRmat(8, 2500, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(kNumVertices, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return graph::ToWeightedEdges(csr, biases);
+}
+
+graph::Update RandomUpdate(util::Rng& rng) {
+  const auto src = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+  const auto dst = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+  if (rng.NextBool(1.0 / 3.0)) {
+    return {graph::Update::Kind::kDelete, src, dst, 0.0};
+  }
+  return {graph::Update::Kind::kInsert, src, dst, 1.0 + rng.NextUnit() * 4.0};
+}
+
+TEST(ShardedStressTest, SubmittersRaceQueriesAcrossShards) {
+  constexpr int kShards = 4;
+  constexpr int kSubmitters = 4;
+  constexpr int kQueryThreads = 3;
+  constexpr int kUpdatesPerSubmitter = 2500;
+
+  const auto edges = TestGraph(71);
+  const auto service = MakeShardedWalkService(edges, kNumVertices, kShards);
+
+  BatcherOptions options;
+  options.max_batch_updates = 64;   // frequent size-triggered drains
+  options.max_delay_seconds = 10.0; // time trigger can't fire: the first
+                                    // drain of a shard must be size-driven
+                                    // even under sanitizer slowdown
+  UpdateBatcher batcher(*service, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> inconsistent{0};
+  std::atomic<uint64_t> queries{0};
+
+  std::vector<std::thread> query_threads;
+  query_threads.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    query_threads.emplace_back([&, t] {
+      uint64_t iteration = 0;
+      while (!stop.load(std::memory_order_acquire) || iteration == 0) {
+        WalkConfig cfg;
+        cfg.num_walkers = 64;
+        cfg.walk_length = 8;
+        cfg.seed = 100 + static_cast<uint64_t>(t) * 7919 + iteration;
+        const auto snap = service->Acquire();
+        RunDeepWalk(snap, cfg, nullptr);
+        if (!snap.Consistent()) {
+          inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        ++iteration;
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kUpdatesPerSubmitter; ++i) {
+        batcher.Submit(RandomUpdate(rng));
+      }
+    });
+  }
+  for (std::thread& s : submitters) {
+    s.join();
+  }
+
+  // One direct multi-shard batch racing the batcher's drains: the per-shard
+  // writer locks serialize them, and queries must stay consistent through
+  // both paths.
+  util::Rng rng(4242);
+  graph::UpdateList direct;
+  for (int i = 0; i < 500; ++i) {
+    direct.push_back(RandomUpdate(rng));
+  }
+  const core::BatchResult direct_result = service->ApplyBatch(direct);
+  EXPECT_EQ(direct_result.inserted + direct_result.deleted +
+                direct_result.skipped_deletes,
+            direct.size());
+
+  batcher.Flush();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& q : query_threads) {
+    q.join();
+  }
+
+  EXPECT_EQ(inconsistent.load(), 0u);
+  EXPECT_GE(queries.load(), static_cast<uint64_t>(kQueryThreads));
+
+  const BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kSubmitters) * kUpdatesPerSubmitter);
+  EXPECT_EQ(stats.flushed_updates, stats.submitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.applied.inserted + stats.applied.deleted +
+                stats.applied.skipped_deletes,
+            stats.submitted);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.size_flushes, 0u);  // 64-update trigger must have fired
+
+  EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
+  const auto service_stats = service->Stats();
+  EXPECT_EQ(service_stats.updates_applied, stats.submitted + direct.size());
+}
+
+// The time trigger, in isolation: a trickle far below the size threshold
+// must still be applied within the staleness bound by the background
+// flusher — no Flush() call, no size trigger.
+TEST(ShardedStressTest, TimeTriggerDrainsTrickle) {
+  const auto edges = TestGraph(73);
+  const auto service = MakeShardedWalkService(edges, kNumVertices, 4);
+
+  BatcherOptions options;
+  options.max_batch_updates = 1000;  // never reached
+  options.max_delay_seconds = 0.005;
+  UpdateBatcher batcher(*service, options);
+
+  util::Rng rng(5150);
+  constexpr uint64_t kTrickle = 10;
+  for (uint64_t i = 0; i < kTrickle; ++i) {
+    batcher.Submit(RandomUpdate(rng));
+  }
+  // The flusher is the only possible trigger; give it ample time even on a
+  // loaded sanitizer runner.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (batcher.Stats().flushed_updates < kTrickle &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.flushed_updates, kTrickle);
+  EXPECT_GE(stats.time_flushes, 1u);
+  EXPECT_EQ(stats.size_flushes, 0u);
+  EXPECT_EQ(stats.manual_flushes, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
+}
+
+// The shared stress harness itself (used by serve-bench and the bench
+// sweep), in batcher mode: every window's updates are applied when the
+// flush returns, and snapshots stay consistent throughout.
+TEST(ShardedStressTest, StressHarnessBatcherMode) {
+  const auto edges = TestGraph(72);
+  const auto service = MakeShardedWalkService(edges, kNumVertices, 4);
+
+  util::Rng rng(9);
+  graph::UpdateList updates;
+  for (int i = 0; i < 3000; ++i) {
+    updates.push_back(RandomUpdate(rng));
+  }
+
+  ShardedStressOptions options;
+  options.query_threads = 3;
+  options.batch_size = 500;
+  options.walkers_per_query = 128;
+  options.walk_length = 8;
+  options.use_batcher = true;
+  const auto report = RunShardedServiceStress(*service, updates, options);
+
+  EXPECT_EQ(report.inconsistent_snapshots, 0u);
+  EXPECT_EQ(report.batches, 6u);
+  EXPECT_EQ(report.batch_seconds.size(), 6u);
+  EXPECT_GT(report.walk_steps, 0u);
+  EXPECT_GE(report.UpdateSecondsQuantile(0.99),
+            report.UpdateSecondsQuantile(0.50));
+  EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
+  EXPECT_EQ(service->Stats().updates_applied, updates.size());
+}
+
+}  // namespace
+}  // namespace bingo::walk

@@ -18,14 +18,18 @@
 //       Load a graph and print structural + store statistics (degrees,
 //       group-kind census, memory breakdown).
 //
-//   serve-bench --graph FILE [--threads N] [--batches B] [--batch-size K]
+//   serve-bench --graph FILE [--store bingo|sharded] [--shards S]
+//               [--batcher] [--threads N] [--batches B] [--batch-size K]
 //               [--walkers W] [--length L] [--seed S]
 //               [--kind mixed|insert|delete]
-//       Drive the concurrent WalkService: N query threads issue walk
+//       Drive the concurrent serving front-end: N query threads issue walk
 //       queries against snapshot epochs while one writer streams B update
 //       batches. Reports samples/sec, update latency, and snapshot
-//       consistency. --walkers is walkers *per query* (0 = 1024), unlike
-//       walk where 0 means one walker per vertex.
+//       consistency. --store sharded uses the per-shard replica pairs
+//       (ShardedWalkService) and reports p50/p99 per-batch update latency;
+//       --batcher routes updates one edge at a time through the coalescing
+//       UpdateBatcher instead of pre-formed batches. --walkers is walkers
+//       *per query* (0 = 1024), unlike walk where 0 means one per vertex.
 //
 // Examples:
 //   bingo_cli generate --scale 16 --edges 1000000 --out g.bin
@@ -65,6 +69,7 @@ struct Args {
   double q = 2.0;
   uint64_t seed = 42;
   bool undirected = false;
+  bool batcher = false;
   std::string paths_out;
 };
 
@@ -81,7 +86,8 @@ void PrintUsage() {
       "              [--shards S] [--length L] [--walkers W] [--p P] [--q Q]\n"
       "              [--seed S] [--paths OUT.txt]\n"
       "  stats       --graph FILE\n"
-      "  serve-bench --graph FILE [--threads N] [--batches B]\n"
+      "  serve-bench --graph FILE [--store bingo|sharded] [--shards S]\n"
+      "              [--batcher] [--threads N] [--batches B]\n"
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
@@ -156,6 +162,8 @@ bool Parse(int argc, char** argv, Args& args) {
       args.seed = std::atoll(next());
     } else if (flag == "--undirected") {
       args.undirected = true;
+    } else if (flag == "--batcher") {
+      args.batcher = true;
     } else if (flag == "--paths") {
       args.paths_out = next();
     } else {
@@ -398,11 +406,77 @@ int Stats(const Args& args) {
   return 0;
 }
 
+// The sharded serving path: per-shard replica pairs, optional coalescing
+// batcher front-end, p50/p99 per-batch update latency.
+int ServeBenchSharded(const Args& args, const graph::VertexId n,
+                      const graph::UpdateWorkload& workload) {
+  util::Timer build_timer;
+  auto service = walk::MakeShardedWalkService(
+      workload.initial_edges, n, args.shards, {}, &util::ThreadPool::Global(),
+      &util::ThreadPool::Global());
+  std::printf(
+      "serve-bench[sharded]: %u vertices, %zu initial edges, %d shards x 2 "
+      "replicas built in %.2fs (%.1f MiB)\n",
+      n, workload.initial_edges.size(), args.shards, build_timer.Seconds(),
+      service->MemoryStats().TotalBytes() / 1024.0 / 1024.0);
+  std::printf(
+      "%d query threads vs 1 update thread, %d x %llu %s updates (%s)\n",
+      args.threads, args.batches,
+      static_cast<unsigned long long>(args.batch_size), args.kind.c_str(),
+      args.batcher ? "single-edge submits through the batcher"
+                   : "direct multi-shard batches");
+
+  walk::ShardedStressOptions options;
+  options.query_threads = args.threads;
+  options.batch_size = args.batch_size;
+  options.walkers_per_query = args.walkers == 0 ? 1024 : args.walkers;
+  options.walk_length = args.length;
+  options.seed = args.seed;
+  options.use_batcher = args.batcher;
+  const auto report =
+      walk::RunShardedServiceStress(*service, workload.updates, options);
+
+  std::printf("\nqueries:          %llu (%.1f/s)\n",
+              static_cast<unsigned long long>(report.queries),
+              report.queries / report.wall_seconds);
+  std::printf("samples served:   %llu (%.2fM samples/s)\n",
+              static_cast<unsigned long long>(report.walk_steps),
+              report.SamplesPerSecond() / 1e6);
+  std::printf(
+      "update latency:   p50 %.2fms, p99 %.2fms, mean %.2fms, max %.2fms "
+      "(%llu batches)\n",
+      report.UpdateSecondsQuantile(0.50) * 1e3,
+      report.UpdateSecondsQuantile(0.99) * 1e3,
+      report.MeanUpdateSeconds() * 1e3, report.MaxUpdateSeconds() * 1e3,
+      static_cast<unsigned long long>(report.batches));
+  const auto stats = service->Stats();
+  std::printf("shard epochs:     sum %llu, min %llu, max %llu (%d shards)\n",
+              static_cast<unsigned long long>(stats.epoch),
+              static_cast<unsigned long long>(stats.min_shard_epoch),
+              static_cast<unsigned long long>(stats.max_shard_epoch),
+              stats.num_shards);
+  std::printf("consistency:      %llu violations\n",
+              static_cast<unsigned long long>(report.inconsistent_snapshots));
+  const std::string invariants = service->CheckInvariants();
+  std::printf("invariants:       %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
+}
+
 int ServeBench(const Args& args) {
-  if (args.store != "bingo") {
-    std::fprintf(stderr,
-                 "serve-bench currently supports only --store bingo (got %s)\n",
-                 args.store.c_str());
+  if (args.store != "bingo" && args.store != "sharded") {
+    std::fprintf(
+        stderr,
+        "serve-bench supports --store bingo or --store sharded (got %s)\n",
+        args.store.c_str());
+    return 2;
+  }
+  if (args.store == "sharded" &&
+      !ValidatePositive("--shards", args.shards)) {
+    return 2;
+  }
+  if (args.batcher && args.store != "sharded") {
+    std::fprintf(stderr, "--batcher requires --store sharded\n");
     return 2;
   }
   if (args.app != "deepwalk") {
@@ -438,6 +512,9 @@ int ServeBench(const Args& args) {
   util::Rng workload_rng(args.seed);
   const auto workload = graph::BuildUpdateWorkload(all_edges, params,
                                                    workload_rng);
+  if (args.store == "sharded") {
+    return ServeBenchSharded(args, n, workload);
+  }
 
   // The global pool builds the replicas and then parallelizes each batch's
   // replica rebuilds; the stress query threads deliberately run poolless,
