@@ -15,18 +15,24 @@
 //   uniform  the §6.1 mixed stream as-is, sources spread over all shards.
 //
 // Also reports p50/p99 submit-to-applied latency through the coalescing
-// UpdateBatcher at the largest shard count.
+// UpdateBatcher at the largest shard count, and a walker-transfer superstep
+// sweep (`--app deepwalk|node2vec|ppr`, default all three) reporting
+// cross-shard walker migrations per step at each shard count.
 //
 // Environment knobs: BINGO_BENCH_SCALE / ROUNDS / BATCH (bench/common.h).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "src/graph/update_stream.h"
 #include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 #include "src/walk/batcher.h"
+#include "src/walk/partitioned.h"
 #include "src/walk/sharded_service.h"
 
 namespace bingo {
@@ -71,6 +77,44 @@ SweepRow RunSweepCell(const bench::PreparedWorkload& workload,
           report.MeanUpdateSeconds() * 1e3, report.MaxUpdateSeconds() * 1e3};
 }
 
+// Walker-transfer superstep sweep: run the chosen app through
+// RunPartitionedWalks at each shard count and report the communication the
+// multi-device design would pay — cross-shard walker migrations per step.
+void RunSuperstepSweep(const bench::PreparedWorkload& workload,
+                       const std::string& app,
+                       const std::vector<int>& shard_counts,
+                       util::ThreadPool& pool) {
+  std::printf("%-10s %8s %12s %12s %12s %12s\n", app.c_str(), "shards",
+              "steps", "Msteps/s", "migr/step", "supersteps");
+  for (const int shards : shard_counts) {
+    walk::PartitionedBingoStore store(workload.initial_edges,
+                                      workload.num_vertices, shards, {},
+                                      &pool);
+    walk::WalkConfig cfg;
+    cfg.walk_length = 40;
+    util::Timer timer;
+    walk::PartitionedWalkResult result;
+    if (app == "node2vec") {
+      result = walk::RunPartitionedNode2vec(store, cfg, {}, &pool);
+    } else if (app == "ppr") {
+      result = walk::RunPartitionedPpr(store, cfg, 1.0 / cfg.walk_length,
+                                       &pool);
+    } else {
+      result = walk::RunPartitionedDeepWalk(store, cfg, &pool);
+    }
+    const double seconds = timer.Seconds();
+    std::printf("%-10s %8d %12llu %12.2f %12.3f %12llu\n", "", shards,
+                static_cast<unsigned long long>(result.total_steps),
+                result.total_steps / seconds / 1e6,
+                result.total_steps == 0
+                    ? 0.0
+                    : static_cast<double>(result.walker_migrations) /
+                          static_cast<double>(result.total_steps),
+                static_cast<unsigned long long>(result.supersteps));
+  }
+  bench::PrintRule(70);
+}
+
 void PrintRows(const char* workload_name, const std::vector<SweepRow>& rows) {
   std::printf("%-10s %8s %12s %12s %12s %12s\n", workload_name, "shards",
               "p50 (ms)", "p99 (ms)", "mean (ms)", "max (ms)");
@@ -84,9 +128,27 @@ void PrintRows(const char* workload_name, const std::vector<SweepRow>& rows) {
 }  // namespace
 }  // namespace bingo
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bingo;
   bench::TuneAllocator();
+
+  // --app deepwalk|node2vec|ppr restricts the superstep sweep to one
+  // application; by default it sweeps all three.
+  std::vector<std::string> superstep_apps = {"deepwalk", "node2vec", "ppr"};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc) {
+      const std::string app = argv[++i];
+      if (app != "deepwalk" && app != "node2vec" && app != "ppr") {
+        std::fprintf(stderr, "unknown --app: %s\n", app.c_str());
+        return 2;
+      }
+      superstep_apps = {app};
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sharded_service [--app deepwalk|node2vec|ppr]\n");
+      return 2;
+    }
+  }
 
   // One mid-sized stand-in is enough for the scaling curve.
   const bench::Dataset dataset = bench::StandardDatasets()[1];  // GO
@@ -138,6 +200,13 @@ int main() {
         shard_counts.back(), report.UpdateSecondsQuantile(0.50) * 1e3,
         report.UpdateSecondsQuantile(0.99) * 1e3,
         report.MeanUpdateSeconds() * 1e3, report.MaxUpdateSeconds() * 1e3);
+  }
+
+  // Walker-transfer walk path: the same graph, walked by the superstep
+  // driver at each shard count.
+  std::printf("\n");
+  for (const std::string& app : superstep_apps) {
+    RunSuperstepSweep(workload, app, shard_counts, pool);
   }
 
   // The acceptance check in machine-readable form: mean local-workload

@@ -9,7 +9,6 @@
 #ifndef BINGO_SRC_WALK_ANALYTICS_H_
 #define BINGO_SRC_WALK_ANALYTICS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -74,61 +73,34 @@ std::vector<double> PersonalizedPageRank(const Store& store,
                                          graph::VertexId source,
                                          const PprQueryConfig& config,
                                          util::ThreadPool* pool) {
-  struct SourcePprStepper {
-    const Store& store;
-    double stop_probability;
-    graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
-                         util::Rng& rng) const {
-      return store.SampleNeighbor(cur, rng);
-    }
-    bool Terminate(util::Rng& rng) const {
-      return rng.NextBool(stop_probability);
-    }
-  };
-  // All walkers start at `source`: run the generic engine with one walker
-  // per stream but remap starts by walking a single-vertex id space and
-  // translating. Simpler: drive the walks directly here. Merging follows
-  // the engine's lock-free pattern: chunk-local counts flushed through
-  // relaxed atomics (additions commute, so the result is deterministic).
-  std::vector<std::atomic<uint32_t>> visit_acc(store.NumVertices());
-  const auto run_range = [&](std::size_t lo, std::size_t hi) {
-    std::vector<uint32_t> local(store.NumVertices(), 0);
-    SourcePprStepper stepper{store, config.stop_probability};
-    for (std::size_t w = lo; w < hi; ++w) {
-      util::Rng rng = util::Rng::ForStream(config.seed, w);
-      graph::VertexId cur = source;
-      ++local[cur];
-      for (uint32_t step = 0; step < config.max_length; ++step) {
-        const graph::VertexId next = stepper.Next(cur, graph::kInvalidVertex, rng);
-        if (next == graph::kInvalidVertex) {
-          break;
-        }
-        cur = next;
-        ++local[cur];
-        if (stepper.Terminate(rng)) {
-          break;
-        }
-      }
-    }
-    for (std::size_t v = 0; v < local.size(); ++v) {
-      if (local[v] != 0) {
-        visit_acc[v].fetch_add(local[v], std::memory_order_relaxed);
-      }
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelForChunked(0, config.num_walkers, run_range, 512);
-  } else {
-    run_range(0, config.num_walkers);
+  if (config.num_walkers == 0) {
+    // Zero walkers means an empty query here, unlike WalkConfig's
+    // one-per-vertex default.
+    return std::vector<double>(store.NumVertices(), 0.0);
   }
+  // All walkers start at `source`: the engine's start-vertex override runs
+  // the query on the same driver and lock-free merge path as whole-graph
+  // workloads, so the walk loop (and its per-walker RNG streams) lives in
+  // exactly one place — engine.h.
+  WalkConfig cfg;
+  cfg.num_walkers = config.num_walkers;
+  cfg.walk_length = config.max_length;
+  cfg.seed = config.seed;
+  cfg.count_visits = true;
+  cfg.start_vertex = source;
+  internal::PprStepper<Store> stepper{store, config.stop_probability};
+  const WalkResult result = RunWalks(store, cfg, stepper, pool);
+
   uint64_t total = 0;
-  for (const auto& c : visit_acc) {
-    total += c.load(std::memory_order_relaxed);
+  for (const uint32_t c : result.visit_counts) {
+    total += c;
   }
-  std::vector<double> scores(visit_acc.size(), 0.0);
+  // Always one score per vertex, even when the engine ran no walks (e.g. an
+  // out-of-range source leaves visit_counts empty).
+  std::vector<double> scores(store.NumVertices(), 0.0);
   if (total > 0) {
-    for (std::size_t v = 0; v < visit_acc.size(); ++v) {
-      scores[v] = static_cast<double>(visit_acc[v].load(std::memory_order_relaxed)) /
+    for (std::size_t v = 0; v < result.visit_counts.size(); ++v) {
+      scores[v] = static_cast<double>(result.visit_counts[v]) /
                   static_cast<double>(total);
     }
   }
@@ -180,9 +152,10 @@ std::vector<graph::VertexId> RandomWalkDomination(const Store& store,
   const WalkResult corpus =
       RunWalks(store, cfg, internal::FirstOrderStepper<Store>{store}, pool);
 
-  const std::size_t num_walks = cfg.num_walkers == 0
-                                    ? store.NumVertices()
-                                    : cfg.num_walkers;
+  // Derived from the corpus itself, so it can't desync from however the
+  // engine resolved the walker count.
+  const std::size_t num_walks =
+      corpus.path_offsets.empty() ? 0 : corpus.path_offsets.size() - 1;
   // vertex -> walks it appears on.
   std::vector<std::vector<uint32_t>> covers(store.NumVertices());
   for (std::size_t w = 0; w < num_walks; ++w) {

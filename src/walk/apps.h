@@ -21,6 +21,8 @@
 #define BINGO_SRC_WALK_APPS_H_
 
 #include <algorithm>
+#include <limits>
+#include <span>
 
 #include "src/walk/engine.h"
 #include "src/walk/store.h"
@@ -64,6 +66,17 @@ struct Node2vecStepper {
   // (e.g. p and q both huge on a vertex whose only neighbor is prev).
   static constexpr int kMaxTrials = 128;
 
+  // f(prev, candidate) in {1/p, 1, 1/q} by distance (Eq 1).
+  double BiasFactor(graph::VertexId prev, graph::VertexId candidate) const {
+    if (candidate == prev) {
+      return 1.0 / params.p;  // distance 0
+    }
+    if (store.HasEdge(prev, candidate)) {
+      return 1.0;  // distance 1
+    }
+    return 1.0 / params.q;  // distance 2
+  }
+
   graph::VertexId Next(graph::VertexId cur, graph::VertexId prev,
                        util::Rng& rng) const {
     if (prev == graph::kInvalidVertex) {
@@ -74,20 +87,37 @@ struct Node2vecStepper {
       if (candidate == graph::kInvalidVertex) {
         return graph::kInvalidVertex;
       }
-      double f;
-      if (candidate == prev) {
-        f = 1.0 / params.p;  // distance 0
-      } else if (store.HasEdge(prev, candidate)) {
-        f = 1.0;  // distance 1
-      } else {
-        f = 1.0 / params.q;  // distance 2
-      }
-      if (rng.NextUnit() * f_max < f) {
+      if (rng.NextUnit() * f_max < BiasFactor(prev, candidate)) {
         return candidate;
       }
     }
-    return graph::kInvalidVertex;
+    // All trials rejected (acceptance probability can be arbitrarily small
+    // when p and q are huge). Killing the walker here would bias the corpus
+    // toward truncated walks; instead pay one exact f-weighted draw over the
+    // adjacency — the distribution the rejection loop was approximating.
+    return ExactDraw(cur, prev, rng);
   }
+
+  graph::VertexId ExactDraw(graph::VertexId cur, graph::VertexId prev,
+                            util::Rng& rng) const {
+    const std::span<const graph::Edge> adj = store.NeighborsOf(cur);
+    double total = 0.0;
+    for (const graph::Edge& e : adj) {
+      total += e.bias * BiasFactor(prev, e.dst);
+    }
+    if (!(total > 0.0)) {
+      return graph::kInvalidVertex;  // no out-edges (or zero-weight ones)
+    }
+    double draw = rng.NextUnit() * total;
+    for (const graph::Edge& e : adj) {
+      draw -= e.bias * BiasFactor(prev, e.dst);
+      if (draw < 0.0) {
+        return e.dst;
+      }
+    }
+    return adj.back().dst;  // float round-off: clamp to the last cell
+  }
+
   bool Terminate(util::Rng& /*rng*/) const { return false; }
 };
 
@@ -114,13 +144,31 @@ WalkResult RunDeepWalk(const Store& store, const WalkConfig& cfg,
   return RunWalks(store, cfg, stepper, pool);
 }
 
+// The rejection bound f_max = max f(·,·); shared by both execution models'
+// node2vec entry points so their steppers can't drift apart.
+inline double Node2vecFMax(const Node2vecParams& params) {
+  return std::max({1.0 / params.p, 1.0, 1.0 / params.q});
+}
+
 template <AdjacencyStore Store>
 WalkResult RunNode2vec(const Store& store, const WalkConfig& cfg,
                        const Node2vecParams& params = {},
                        util::ThreadPool* pool = nullptr) {
-  const double f_max = std::max({1.0 / params.p, 1.0, 1.0 / params.q});
-  internal::Node2vecStepper<Store> stepper{store, params, f_max};
+  internal::Node2vecStepper<Store> stepper{store, params,
+                                           Node2vecFMax(params)};
   return RunWalks(store, cfg, stepper, pool);
+}
+
+// The paper parameterizes PPR by stop probability (expected length 1/p);
+// the 16x cap only guards the geometric tail. Saturates rather than wraps:
+// a caller-supplied length near 2^32 must not collapse the cap to ~0. Both
+// execution models (RunPpr, RunPartitionedPpr) share this so they stay
+// bit-identical.
+inline uint32_t PprCappedWalkLength(uint32_t walk_length) {
+  const uint32_t base = std::max<uint32_t>(walk_length, 1);
+  return base > std::numeric_limits<uint32_t>::max() / 16
+             ? std::numeric_limits<uint32_t>::max()
+             : base * 16;
 }
 
 template <SamplingStore Store>
@@ -128,9 +176,7 @@ WalkResult RunPpr(const Store& store, WalkConfig cfg,
                   double stop_probability = 1.0 / 80.0,
                   util::ThreadPool* pool = nullptr) {
   cfg.count_visits = true;
-  // The paper parameterizes PPR by stop probability (expected length 1/p);
-  // the cap only guards the geometric tail.
-  cfg.walk_length = std::max<uint32_t>(cfg.walk_length, 1) * 16;
+  cfg.walk_length = PprCappedWalkLength(cfg.walk_length);
   internal::PprStepper<Store> stepper{store, stop_probability};
   return RunWalks(store, cfg, stepper, pool);
 }

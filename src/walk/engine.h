@@ -43,6 +43,10 @@ struct WalkConfig {
   uint64_t seed = 42;
   bool record_paths = false;   // collect full paths (embedding corpora)
   bool count_visits = false;   // per-vertex visit frequencies (PPR)
+  // When set, every walker starts here instead of at (walker id mod
+  // num_vertices) — single-source queries (personalized PageRank) run on
+  // the same engine and merge path as whole-graph workloads.
+  graph::VertexId start_vertex = graph::kInvalidVertex;
 };
 
 struct WalkResult {
@@ -65,8 +69,10 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
   if (cfg.record_paths) {
     result.path_offsets.assign(num_walkers + 1, 0);
   }
-  if (num_vertices == 0 || num_walkers == 0) {
-    return result;  // nowhere to start a walker
+  if (num_vertices == 0 || num_walkers == 0 ||
+      (cfg.start_vertex != graph::kInvalidVertex &&
+       cfg.start_vertex >= num_vertices)) {
+    return result;  // nowhere (or nowhere valid) to start a walker
   }
 
   std::atomic<uint64_t> total_steps{0};
@@ -102,7 +108,10 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
     }
     for (std::size_t w = lo; w < hi; ++w) {
       util::Rng rng = util::Rng::ForStream(cfg.seed, w);
-      graph::VertexId cur = static_cast<graph::VertexId>(w % num_vertices);
+      graph::VertexId cur =
+          cfg.start_vertex != graph::kInvalidVertex
+              ? cfg.start_vertex
+              : static_cast<graph::VertexId>(w % num_vertices);
       graph::VertexId prev = graph::kInvalidVertex;
       uint64_t len = 0;
       if (cfg.record_paths) {

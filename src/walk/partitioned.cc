@@ -72,89 +72,6 @@ std::string PartitionedBingoStore::CheckInvariants() const {
   return {};
 }
 
-PartitionedWalkResult RunPartitionedDeepWalk(const PartitionedBingoStore& store,
-                                             const WalkConfig& cfg,
-                                             util::ThreadPool* pool) {
-  struct Walker {
-    uint64_t id;
-    graph::VertexId cur;
-    uint32_t steps;
-  };
-  const uint64_t num_walkers =
-      cfg.num_walkers == 0 ? store.NumVertices() : cfg.num_walkers;
-  const int num_shards = store.NumShards();
-
-  std::vector<std::vector<Walker>> queues(num_shards);
-  for (uint64_t w = 0; w < num_walkers; ++w) {
-    const graph::VertexId start =
-        static_cast<graph::VertexId>(w % store.NumVertices());
-    queues[store.ShardOf(start)].push_back(Walker{w, start, 0});
-  }
-
-  PartitionedWalkResult result;
-  std::vector<std::vector<std::vector<Walker>>> outboxes(
-      num_shards, std::vector<std::vector<Walker>>(num_shards));
-
-  bool any_live = true;
-  while (any_live) {
-    ++result.supersteps;
-    std::atomic<uint64_t> steps{0};
-    const auto run_shard = [&](std::size_t s) {
-      uint64_t local_steps = 0;
-      for (Walker walker : queues[s]) {
-        // Per-walker stream keyed by (walker id, step) keeps the walk
-        // deterministic under any shard count.
-        util::Rng rng = util::Rng::ForStream(
-            cfg.seed ^ (uint64_t{walker.steps} << 40), walker.id);
-        const graph::VertexId next = store.SampleNeighbor(walker.cur, rng);
-        if (next == graph::kInvalidVertex) {
-          continue;  // dead end: walker retires
-        }
-        ++local_steps;
-        walker.cur = next;
-        ++walker.steps;
-        if (walker.steps < cfg.walk_length) {
-          outboxes[s][store.ShardOf(next)].push_back(walker);
-        }
-      }
-      queues[s].clear();
-      steps.fetch_add(local_steps, std::memory_order_relaxed);
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(0, static_cast<std::size_t>(num_shards), run_shard);
-    } else {
-      for (int s = 0; s < num_shards; ++s) {
-        run_shard(static_cast<std::size_t>(s));
-      }
-    }
-    result.total_steps += steps.load();
-
-    // Exchange phase: deliver outboxes (the walker transfer).
-    any_live = false;
-    for (int from = 0; from < num_shards; ++from) {
-      for (int to = 0; to < num_shards; ++to) {
-        auto& box = outboxes[from][to];
-        if (box.empty()) {
-          continue;
-        }
-        if (from != to) {
-          result.walker_migrations += box.size();
-        }
-        queues[to].insert(queues[to].end(), box.begin(), box.end());
-        box.clear();
-        any_live = true;
-      }
-    }
-    any_live = any_live || [&] {
-      for (const auto& q : queues) {
-        if (!q.empty()) {
-          return true;
-        }
-      }
-      return false;
-    }();
-  }
-  return result;
-}
+static_assert(ShardRoutedStore<PartitionedBingoStore>);
 
 }  // namespace bingo::walk

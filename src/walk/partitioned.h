@@ -10,7 +10,10 @@
 #ifndef BINGO_SRC_WALK_PARTITIONED_H_
 #define BINGO_SRC_WALK_PARTITIONED_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,7 +22,9 @@
 #include "src/graph/types.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
+#include "src/walk/apps.h"
 #include "src/walk/engine.h"
+#include "src/walk/store.h"
 
 namespace bingo::walk {
 
@@ -81,18 +86,230 @@ class PartitionedBingoStore {
   std::vector<std::unique_ptr<core::BingoStore>> shards_;
 };
 
-struct PartitionedWalkResult {
-  uint64_t total_steps = 0;
+// A store the superstep driver can route walkers over: sampling plus 1-D
+// vertex-to-shard ownership. PartitionedBingoStore models this; so can any
+// future multi-device front-end.
+template <typename S>
+concept ShardRoutedStore =
+    SamplingStore<S> && requires(const S& cs, graph::VertexId v) {
+      { cs.NumShards() } -> std::convertible_to<int>;
+      { cs.ShardOf(v) } -> std::convertible_to<int>;
+    };
+
+// The engine's full WalkResult accounting (steps, finishers, paths, visit
+// counts — parity by construction), plus the walker-transfer communication
+// counters.
+struct PartitionedWalkResult : WalkResult {
   uint64_t walker_migrations = 0;  // cross-shard transfers (communication)
   uint64_t supersteps = 0;
 };
 
-// First-order walks over the partitioned store using the walker-transfer
-// execution model: every superstep advances each live walker one hop on its
-// owning shard, then routes it to the shard of its new vertex.
-PartitionedWalkResult RunPartitionedDeepWalk(const PartitionedBingoStore& store,
+// Store- and stepper-generic walker-transfer driver: every superstep
+// advances each live walker one hop on its owning shard, then routes it to
+// the shard of its new vertex. Walkers carry (cur, prev, len) — second-order
+// steppers work across shard hops because adjacency probes route to the
+// source's owning shard — and one persistent RNG stream each
+// (ForStream(seed, id), state carried in the walker record), so distinct
+// walkers can never collide onto one variate sequence and results are
+// identical for any shard count, any thread count, and bit-identical to the
+// shared-memory engine driving the same stepper over a store with the same
+// sampler semantics.
+template <ShardRoutedStore Store, typename Stepper>
+PartitionedWalkResult RunPartitionedWalks(const Store& store,
+                                          const WalkConfig& cfg,
+                                          const Stepper& stepper,
+                                          util::ThreadPool* pool = nullptr) {
+  struct Walker {
+    uint64_t id;
+    graph::VertexId cur;
+    graph::VertexId prev;
+    uint32_t len;
+    util::Rng rng;
+  };
+  const graph::VertexId num_vertices =
+      static_cast<graph::VertexId>(store.NumVertices());
+  const uint64_t num_walkers =
+      cfg.num_walkers == 0 ? num_vertices : cfg.num_walkers;
+  const int num_shards = store.NumShards();
+
+  PartitionedWalkResult result;
+  if (cfg.record_paths) {
+    result.path_offsets.assign(num_walkers + 1, 0);
+  }
+  if (num_vertices == 0 || num_walkers == 0 ||
+      (cfg.start_vertex != graph::kInvalidVertex &&
+       cfg.start_vertex >= num_vertices)) {
+    return result;  // same guard as the engine: no valid start, no walks
+  }
+  if (cfg.count_visits) {
+    result.visit_counts.assign(num_vertices, 0);
+  }
+
+  // Per-walker path buffers, indexed by walker id. A walker lives on exactly
+  // one shard queue per superstep, so its buffer has a single writer.
+  std::vector<std::vector<graph::VertexId>> walker_paths(
+      cfg.record_paths ? num_walkers : 0);
+  // Per-shard visit accumulators merged after the run (additions commute).
+  std::vector<std::vector<uint32_t>> shard_visits(
+      cfg.count_visits ? num_shards : 0);
+  for (auto& visits : shard_visits) {
+    visits.assign(num_vertices, 0);
+  }
+
+  std::vector<std::vector<Walker>> queues(num_shards);
+  for (uint64_t w = 0; w < num_walkers; ++w) {
+    const graph::VertexId start =
+        cfg.start_vertex != graph::kInvalidVertex
+            ? cfg.start_vertex
+            : static_cast<graph::VertexId>(w % num_vertices);
+    if (cfg.record_paths) {
+      walker_paths[w].push_back(start);
+    }
+    if (cfg.count_visits) {
+      ++shard_visits[store.ShardOf(start)][start];
+    }
+    if (cfg.walk_length > 0) {
+      queues[store.ShardOf(start)].push_back(
+          Walker{w, start, graph::kInvalidVertex, 0,
+                 util::Rng::ForStream(cfg.seed, w)});
+    }
+  }
+
+  std::vector<std::vector<std::vector<Walker>>> outboxes(
+      num_shards, std::vector<std::vector<Walker>>(num_shards));
+  std::atomic<uint64_t> total_steps{0};
+  std::atomic<uint64_t> finished_walkers{0};
+
+  bool any_live = false;
+  for (const auto& q : queues) {
+    any_live = any_live || !q.empty();
+  }
+  while (any_live) {
+    ++result.supersteps;
+    const auto run_shard = [&](std::size_t s) {
+      uint64_t local_steps = 0;
+      uint64_t local_finished = 0;
+      for (Walker walker : queues[s]) {
+        const graph::VertexId next =
+            stepper.Next(walker.cur, walker.prev, walker.rng);
+        if (next == graph::kInvalidVertex) {
+          local_finished += walker.len > 0 ? 1 : 0;
+          continue;  // dead end (or rejection-exhausted): walker retires
+        }
+        ++local_steps;
+        walker.prev = walker.cur;
+        walker.cur = next;
+        ++walker.len;
+        if (cfg.record_paths) {
+          walker_paths[walker.id].push_back(next);
+        }
+        if (cfg.count_visits) {
+          ++shard_visits[s][next];
+        }
+        // Same variate order as the engine: one Terminate draw after every
+        // successful step, including the final one.
+        const bool terminate = stepper.Terminate(walker.rng);
+        if (terminate || walker.len >= cfg.walk_length) {
+          ++local_finished;
+          continue;
+        }
+        outboxes[s][store.ShardOf(next)].push_back(walker);
+      }
+      queues[s].clear();
+      total_steps.fetch_add(local_steps, std::memory_order_relaxed);
+      finished_walkers.fetch_add(local_finished, std::memory_order_relaxed);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, static_cast<std::size_t>(num_shards), run_shard);
+    } else {
+      for (int s = 0; s < num_shards; ++s) {
+        run_shard(static_cast<std::size_t>(s));
+      }
+    }
+
+    // Exchange phase: deliver outboxes (the walker transfer).
+    any_live = false;
+    for (int from = 0; from < num_shards; ++from) {
+      for (int to = 0; to < num_shards; ++to) {
+        auto& box = outboxes[from][to];
+        if (box.empty()) {
+          continue;
+        }
+        if (from != to) {
+          result.walker_migrations += box.size();
+        }
+        queues[to].insert(queues[to].end(),
+                          std::make_move_iterator(box.begin()),
+                          std::make_move_iterator(box.end()));
+        box.clear();
+        any_live = true;
+      }
+    }
+  }
+  result.total_steps = total_steps.load(std::memory_order_relaxed);
+  result.finished_walkers = finished_walkers.load(std::memory_order_relaxed);
+
+  if (cfg.count_visits) {
+    for (const auto& visits : shard_visits) {
+      for (graph::VertexId v = 0; v < num_vertices; ++v) {
+        result.visit_counts[v] += visits[v];
+      }
+    }
+  }
+  if (cfg.record_paths) {
+    for (uint64_t w = 0; w < num_walkers; ++w) {
+      result.path_offsets[w + 1] =
+          result.path_offsets[w] + walker_paths[w].size();
+    }
+    result.paths.reserve(result.path_offsets.back());
+    for (uint64_t w = 0; w < num_walkers; ++w) {
+      result.paths.insert(result.paths.end(), walker_paths[w].begin(),
+                          walker_paths[w].end());
+    }
+  }
+  return result;
+}
+
+// Application entry points on the walker-transfer path, mirroring
+// RunDeepWalk / RunNode2vec / RunPpr / RunSimpleSampling in apps.h: the
+// same steppers drive both execution models.
+template <ShardRoutedStore Store>
+PartitionedWalkResult RunPartitionedDeepWalk(const Store& store,
                                              const WalkConfig& cfg,
-                                             util::ThreadPool* pool = nullptr);
+                                             util::ThreadPool* pool = nullptr) {
+  internal::FirstOrderStepper<Store> stepper{store};
+  return RunPartitionedWalks(store, cfg, stepper, pool);
+}
+
+template <ShardRoutedStore Store>
+  requires AdjacencyStore<Store>
+PartitionedWalkResult RunPartitionedNode2vec(const Store& store,
+                                             const WalkConfig& cfg,
+                                             const Node2vecParams& params = {},
+                                             util::ThreadPool* pool = nullptr) {
+  internal::Node2vecStepper<Store> stepper{store, params,
+                                           Node2vecFMax(params)};
+  return RunPartitionedWalks(store, cfg, stepper, pool);
+}
+
+template <ShardRoutedStore Store>
+PartitionedWalkResult RunPartitionedPpr(const Store& store, WalkConfig cfg,
+                                        double stop_probability = 1.0 / 80.0,
+                                        util::ThreadPool* pool = nullptr) {
+  cfg.count_visits = true;
+  cfg.walk_length = PprCappedWalkLength(cfg.walk_length);
+  internal::PprStepper<Store> stepper{store, stop_probability};
+  return RunPartitionedWalks(store, cfg, stepper, pool);
+}
+
+template <ShardRoutedStore Store>
+  requires AdjacencyStore<Store>
+PartitionedWalkResult RunPartitionedSimpleSampling(
+    const Store& store, const WalkConfig& cfg,
+    util::ThreadPool* pool = nullptr) {
+  internal::UniformStepper<Store> stepper{store};
+  return RunPartitionedWalks(store, cfg, stepper, pool);
+}
 
 }  // namespace bingo::walk
 

@@ -78,6 +78,20 @@ TEST(PprQueryTest, ParallelMatchesSerialTotals) {
   }
 }
 
+// Unlike WalkConfig (0 = one walker per vertex), a zero-walker PPR query
+// means "no walks": all-zero scores, no work.
+TEST(PprQueryTest, ZeroWalkersYieldsZeroScores) {
+  graph::WeightedEdgeList edges = {{0, 1, 1.0}, {1, 0, 1.0}};
+  BingoStore store(graph::DynamicGraph::FromEdges(4, edges));
+  PprQueryConfig config;
+  config.num_walkers = 0;
+  const auto scores = PersonalizedPageRank(store, 0, config);
+  ASSERT_EQ(scores.size(), 4u);
+  for (const double s : scores) {
+    EXPECT_EQ(s, 0.0);
+  }
+}
+
 TEST(TopKTest, OrdersAndExcludes) {
   const std::vector<double> scores = {0.1, 0.5, 0.0, 0.3, 0.5};
   const auto top = TopK(scores, 3, /*exclude=*/1);
@@ -145,6 +159,15 @@ TEST(DominationTest, HubCoversStarGraph) {
   EXPECT_EQ(seeds[0], 0u);  // hub first
   // The hub alone covers every walk; the greedy loop stops early.
   EXPECT_EQ(seeds.size(), 1u);
+}
+
+// num_walks is derived from the corpus itself (path_offsets), so a
+// zero-vertex store — whose corpus has no walks — must yield no seeds
+// rather than desync against a stale walker-count computation.
+TEST(DominationTest, EmptyGraphYieldsNoSeeds) {
+  BingoStore store(graph::DynamicGraph(0));
+  const auto seeds = RandomWalkDomination(store, 4, /*walk_length=*/4);
+  EXPECT_TRUE(seeds.empty());
 }
 
 TEST(DominationTest, SeedsAreDistinctAndCoverageGrows) {

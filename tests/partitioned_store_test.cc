@@ -102,9 +102,10 @@ TEST(PartitionedStoreTest, ApplyBatchMatchesSingleStore) {
 
 // ------------------------------------------- walker-transfer accounting --
 
-// Replays the exact per-(step, walker) RNG streams the partitioned driver
-// uses and counts expected steps and cross-shard hops; the driver's
-// accounting must match exactly.
+// Replays the exact per-walker persistent RNG streams the partitioned
+// driver uses (one ForStream(seed, id) stream per walker, carried across
+// supersteps) and counts expected steps, finishers, and cross-shard hops;
+// the driver's accounting must match exactly.
 TEST(PartitionedStoreTest, WalkerMigrationAccountingIsExact) {
   const auto edges = TestGraph(42);
   const int shards = 4;
@@ -114,26 +115,30 @@ TEST(PartitionedStoreTest, WalkerMigrationAccountingIsExact) {
   const auto result = RunPartitionedDeepWalk(store, cfg, nullptr);
 
   uint64_t expected_steps = 0;
+  uint64_t expected_finished = 0;
   uint64_t expected_migrations = 0;
   for (uint64_t w = 0; w < kNumVertices; ++w) {
+    util::Rng rng = util::Rng::ForStream(cfg.seed, w);
     VertexId cur = static_cast<VertexId>(w % kNumVertices);
-    for (uint32_t step = 0; step < cfg.walk_length; ++step) {
-      util::Rng rng =
-          util::Rng::ForStream(cfg.seed ^ (uint64_t{step} << 40), w);
+    uint32_t step = 0;
+    for (; step < cfg.walk_length; ++step) {
       const VertexId next = store.SampleNeighbor(cur, rng);
       if (next == graph::kInvalidVertex) {
         break;
       }
       ++expected_steps;
       // A migration is a walker delivered to a different shard with steps
-      // remaining.
-      if (step + 1 < cfg.walk_length && store.ShardOf(next) != store.ShardOf(cur)) {
+      // remaining (the deepwalk stepper never self-terminates).
+      if (step + 1 < cfg.walk_length &&
+          store.ShardOf(next) != store.ShardOf(cur)) {
         ++expected_migrations;
       }
       cur = next;
     }
+    expected_finished += step > 0 ? 1 : 0;
   }
   EXPECT_EQ(result.total_steps, expected_steps);
+  EXPECT_EQ(result.finished_walkers, expected_finished);
   EXPECT_EQ(result.walker_migrations, expected_migrations);
 }
 

@@ -23,6 +23,7 @@
 #include "src/util/rng.h"
 #include "src/walk/apps.h"
 #include "src/walk/batcher.h"
+#include "src/walk/partitioned.h"
 #include "src/walk/sharded_service.h"
 
 namespace bingo::walk {
@@ -104,6 +105,52 @@ void ExpectIdenticalWalks(const ShardedWalkService& service,
   ASSERT_TRUE(snap.Consistent());
 }
 
+// Walker-transfer superstep driver vs the shared-memory engine on the same
+// updated graph state: bit-identical walks (the steppers consume identical
+// per-walker streams), plus PartitionedWalkResult accounting invariants —
+// migrations bounded by steps (and zero at one shard), supersteps bounded by
+// the walk length, finished walkers bounded by the walker count.
+void ExpectSuperstepMatchesEngine(const PartitionedBingoStore& part,
+                                  const BingoStore& reference, int num_shards,
+                                  uint64_t seed, int round) {
+  WalkConfig cfg;
+  cfg.num_walkers = 64;
+  cfg.walk_length = 12;
+  cfg.seed = seed ^ (static_cast<uint64_t>(round) << 32) ^ 0x5fbe57e9ULL;
+  cfg.record_paths = true;
+
+  const WalkResult engine = RunDeepWalk(reference, cfg);
+  const PartitionedWalkResult super = RunPartitionedDeepWalk(part, cfg);
+  ASSERT_EQ(super.total_steps, engine.total_steps)
+      << "seed=" << seed << " round=" << round;
+  ASSERT_EQ(super.finished_walkers, engine.finished_walkers);
+  ASSERT_EQ(super.path_offsets, engine.path_offsets);
+  ASSERT_EQ(super.paths, engine.paths);
+  ASSERT_LE(super.finished_walkers, cfg.num_walkers);
+  ASSERT_LE(super.walker_migrations, super.total_steps);
+  ASSERT_LE(super.supersteps, uint64_t{cfg.walk_length});
+  if (num_shards == 1) {
+    ASSERT_EQ(super.walker_migrations, 0u);
+  }
+
+  // Second-order and terminating steppers ride the same superstep driver.
+  if (round % 3 == 0) {
+    cfg.num_walkers = 32;
+    const WalkResult engine_n2v = RunNode2vec(reference, cfg, {});
+    const PartitionedWalkResult super_n2v = RunPartitionedNode2vec(part, cfg, {});
+    ASSERT_EQ(super_n2v.paths, engine_n2v.paths)
+        << "superstep node2vec seed=" << seed << " round=" << round;
+
+    cfg.record_paths = false;
+    const WalkResult engine_ppr = RunPpr(reference, cfg, 1.0 / 20.0);
+    const PartitionedWalkResult super_ppr =
+        RunPartitionedPpr(part, cfg, 1.0 / 20.0);
+    ASSERT_EQ(super_ppr.visit_counts, engine_ppr.visit_counts)
+        << "superstep ppr seed=" << seed << " round=" << round;
+    ASSERT_EQ(super_ppr.finished_walkers, engine_ppr.finished_walkers);
+  }
+}
+
 // Replays one seeded interleaving through ShardedWalkService::ApplyBatch.
 void RunDirectInterleaving(int num_shards, uint64_t seed) {
   SCOPED_TRACE("shards=" + std::to_string(num_shards) +
@@ -112,6 +159,7 @@ void RunDirectInterleaving(int num_shards, uint64_t seed) {
   const auto service =
       MakeShardedWalkService(g.edges, g.num_vertices, num_shards);
   BingoStore reference(graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  PartitionedBingoStore partitioned(g.edges, g.num_vertices, num_shards);
 
   util::Rng rng(seed);
   const int rounds = 5 + static_cast<int>(rng.NextBounded(4));
@@ -122,10 +170,14 @@ void RunDirectInterleaving(int num_shards, uint64_t seed) {
     const core::BatchResult plain_result = reference.ApplyBatch(batch);
     ASSERT_EQ(sharded_result, plain_result)
         << "accounting diverged at round " << round;
+    ASSERT_EQ(partitioned.ApplyBatch(batch), plain_result)
+        << "partitioned accounting diverged at round " << round;
     ASSERT_EQ(sharded_result.inserted + sharded_result.deleted +
                   sharded_result.skipped_deletes,
               batch.size());
     ExpectIdenticalWalks(*service, reference, seed, round);
+    ExpectSuperstepMatchesEngine(partitioned, reference, num_shards, seed,
+                                 round);
   }
   EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
   EXPECT_TRUE(reference.CheckInvariants().empty());

@@ -236,6 +236,54 @@ TEST(Node2vecTest, SmallPEncouragesBacktracking) {
   EXPECT_GT(count_backtracks(0.1), count_backtracks(10.0) * 1.5);
 }
 
+// Pathological (huge p, q): per-trial acceptance probability is ~1e-9, so
+// all kMaxTrials rejection trials exhaust on essentially every draw. The
+// stepper must fall back to an exact f-weighted draw over the adjacency
+// instead of silently killing the walker (the old behavior, which biased
+// corpora toward truncated walks).
+TEST(Node2vecTest, RejectionExhaustionFallsBackToExactDraw) {
+  // cur = 0 with neighbors {1, 2, 3, 4}; prev = 4 (edge 4 -> 0 exists, and
+  // 4 is not adjacent to 1/2/3): candidates 1/2/3 are at distance 2
+  // (f = 1/q), candidate 4 is prev (f = 1/p).
+  graph::WeightedEdgeList edges = {
+      {0, 1, 2.0}, {0, 2, 3.0}, {0, 3, 5.0}, {0, 4, 1.0}, {4, 0, 1.0}};
+  BingoStore store(MakeGraph(edges, 8));
+  Node2vecParams params;
+  params.p = 1e9;
+  params.q = 1e9;
+  const double f_max = std::max({1.0 / params.p, 1.0, 1.0 / params.q});
+  ASSERT_EQ(f_max, 1.0);
+  internal::Node2vecStepper<BingoStore> stepper{store, params, f_max};
+  util::Rng rng(123);
+  std::vector<uint64_t> counts(5, 0);
+  constexpr int kSamples = 100000;
+  for (int s = 0; s < kSamples; ++s) {
+    const VertexId next = stepper.Next(0, 4, rng);
+    ASSERT_NE(next, graph::kInvalidVertex);  // regression: walker survives
+    ++counts[next];
+  }
+  // Exact second-order distribution: weight * f, with the common 1e-9
+  // factor cancelling -> {2, 3, 5, 1} / 11 over {1, 2, 3, 4}.
+  std::vector<double> expected = {0.0, 2.0 / 11, 3.0 / 11, 5.0 / 11,
+                                  1.0 / 11};
+  EXPECT_TRUE(util::ChiSquareTestPasses(counts, expected, 1e-4));
+}
+
+TEST(Node2vecTest, ExhaustedWalkerOnDeadEndStillRetires) {
+  // cur = 1's only neighbor is prev = 0 with p huge: every trial rejects,
+  // and the exact fallback draws the only neighbor (never kInvalidVertex).
+  graph::WeightedEdgeList edges = {{0, 1, 1.0}, {1, 0, 1.0}};
+  BingoStore store(MakeGraph(edges, 2));
+  Node2vecParams params;
+  params.p = 1e12;
+  params.q = 1.0;
+  internal::Node2vecStepper<BingoStore> stepper{store, params, 1.0};
+  util::Rng rng(9);
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_EQ(stepper.Next(1, 0, rng), 0u);
+  }
+}
+
 TEST(Node2vecTest, FirstHopIsFirstOrder) {
   graph::WeightedEdgeList edges = {{0, 1, 1.0}};
   BingoStore store(MakeGraph(edges, 2));
@@ -271,6 +319,58 @@ TEST(PprTest, VisitCountsConcentrateAroundHubs) {
   std::vector<uint32_t> sorted = result.visit_counts;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_GT(sorted.back(), sorted[sorted.size() / 2] * 3);
+}
+
+// The 16x geometric-tail cap must saturate, not wrap: walk_length = 2^29
+// would overflow to a cap of 0 steps (2^29 * 16 = 2^33 = 0 mod 2^32) and
+// silently produce an empty PPR result.
+TEST(PprTest, HugeWalkLengthSaturatesInsteadOfWrapping) {
+  graph::WeightedEdgeList edges = {{0, 1, 1.0}, {1, 0, 1.0}};
+  BingoStore store(MakeGraph(edges, 2));
+  WalkConfig cfg;
+  cfg.num_walkers = 64;
+  cfg.walk_length = uint32_t{1} << 29;
+  const auto result = RunPpr(store, cfg, 0.5, nullptr);
+  EXPECT_GT(result.total_steps, 0u);  // stop probability ends walks, not cap
+}
+
+// ------------------------------------------------------ start-vertex mode --
+
+TEST(EngineTest, StartVertexOverrideStartsEveryWalkerThere) {
+  const auto edges = SmallWeightedGraph(15);
+  BingoStore store(MakeGraph(edges));
+  WalkConfig cfg;
+  cfg.num_walkers = 50;
+  cfg.walk_length = 8;
+  cfg.record_paths = true;
+  cfg.start_vertex = 7;
+  const auto result = RunDeepWalk(store, cfg, nullptr);
+  ASSERT_EQ(result.path_offsets.size(), 51u);
+  for (std::size_t w = 0; w < 50; ++w) {
+    EXPECT_EQ(result.paths[result.path_offsets[w]], 7u) << "walker " << w;
+  }
+}
+
+// An out-of-range start vertex yields an empty (but well-formed) result on
+// both execution models rather than out-of-bounds visit/path writes.
+TEST(EngineTest, OutOfRangeStartVertexProducesEmptyResult) {
+  const auto edges = SmallWeightedGraph(16);
+  BingoStore store(MakeGraph(edges));
+  WalkConfig cfg;
+  cfg.num_walkers = 5;
+  cfg.walk_length = 8;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  cfg.start_vertex = 100000;
+  const auto engine = RunDeepWalk(store, cfg, nullptr);
+  EXPECT_EQ(engine.total_steps, 0u);
+  EXPECT_TRUE(engine.paths.empty());
+  EXPECT_TRUE(engine.visit_counts.empty());
+
+  PartitionedBingoStore partitioned(edges, 256, 4);
+  const auto superstep = RunPartitionedDeepWalk(partitioned, cfg, nullptr);
+  EXPECT_EQ(superstep.total_steps, 0u);
+  EXPECT_TRUE(superstep.paths.empty());
 }
 
 // ----------------------------------------------------------- simple walks --

@@ -7,12 +7,17 @@
 //
 //   walk        --graph FILE --app deepwalk|node2vec|ppr|simple
 //               [--store bingo|alias|its|reservoir|partitioned] [--shards S]
-//               [--length L] [--walkers W] [--p P] [--q Q] [--seed S]
-//               [--paths OUT.txt]
+//               [--driver engine|superstep] [--length L] [--walkers W]
+//               [--p P] [--q Q] [--seed S] [--paths OUT.txt]
 //       Load a graph, build the chosen sampler store, run the application
 //       through the store-generic engine, report steps/second (and
 //       optionally dump the paths). Same seed + same store semantics =>
 //       identical paths (e.g. bingo vs partitioned at any shard count).
+//       --driver superstep (requires --store partitioned) runs the same
+//       stepper on the walker-transfer superstep driver instead of the
+//       shared-memory engine and additionally reports supersteps and
+//       cross-shard walker migrations per step — same per-walker RNG
+//       streams, so the paths stay identical to the engine's.
 //
 //   stats       --graph FILE
 //       Load a graph and print structural + store statistics (degrees,
@@ -42,6 +47,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/bingo.h"
 
@@ -56,6 +62,7 @@ struct Args {
   std::string app = "deepwalk";
   std::string bias = "degree";
   std::string store = "bingo";
+  std::string driver = "engine";
   std::string kind = "mixed";
   int scale = 14;
   int shards = 4;
@@ -83,8 +90,11 @@ void PrintUsage() {
       "              [--bias degree|uniform|gauss|powerlaw] [--undirected]\n"
       "  walk        --graph FILE [--app deepwalk|node2vec|ppr|simple]\n"
       "              [--store bingo|alias|its|reservoir|partitioned]\n"
-      "              [--shards S] [--length L] [--walkers W] [--p P] [--q Q]\n"
+      "              [--shards S] [--driver engine|superstep]\n"
+      "              [--length L] [--walkers W] [--p P] [--q Q]\n"
       "              [--seed S] [--paths OUT.txt]\n"
+      "              (--driver superstep runs the walker-transfer driver on\n"
+      "               the partitioned store and reports migrations/step)\n"
       "  stats       --graph FILE\n"
       "  serve-bench --graph FILE [--store bingo|sharded] [--shards S]\n"
       "              [--batcher] [--threads N] [--batches B]\n"
@@ -123,6 +133,8 @@ bool Parse(int argc, char** argv, Args& args) {
       args.bias = next();
     } else if (flag == "--store") {
       args.store = next();
+    } else if (flag == "--driver") {
+      args.driver = next();
     } else if (flag == "--kind") {
       args.kind = next();
     } else if (flag == "--scale") {
@@ -254,6 +266,19 @@ bool LoadGraphArg(const Args& args, graph::WeightedEdgeList& edges) {
   return true;
 }
 
+// Flattened-corpus dump shared by both walk drivers: one line per walker.
+void WritePaths(const std::string& path,
+                const std::vector<uint64_t>& path_offsets,
+                const std::vector<graph::VertexId>& paths) {
+  std::ofstream out(path);
+  for (std::size_t w = 0; w + 1 < path_offsets.size(); ++w) {
+    for (uint64_t i = path_offsets[w]; i < path_offsets[w + 1]; ++i) {
+      out << paths[i] << (i + 1 == path_offsets[w + 1] ? '\n' : ' ');
+    }
+  }
+  std::printf("paths written to %s\n", path.c_str());
+}
+
 // Runs the selected application on any AdjacencyStore backend.
 template <walk::AdjacencyStore Store>
 int RunWalkApp(const Args& args, const Store& store) {
@@ -285,15 +310,55 @@ int RunWalkApp(const Args& args, const Store& store) {
               result.total_steps / seconds / 1e6);
 
   if (!args.paths_out.empty()) {
-    std::ofstream out(args.paths_out);
-    for (std::size_t w = 0; w + 1 < result.path_offsets.size(); ++w) {
-      for (uint64_t i = result.path_offsets[w]; i < result.path_offsets[w + 1];
-           ++i) {
-        out << result.paths[i]
-            << (i + 1 == result.path_offsets[w + 1] ? '\n' : ' ');
-      }
-    }
-    std::printf("paths written to %s\n", args.paths_out.c_str());
+    WritePaths(args.paths_out, result.path_offsets, result.paths);
+  }
+  return 0;
+}
+
+// The walker-transfer execution model: same steppers, same per-walker RNG
+// streams, but walkers hop between per-shard queues superstep by superstep.
+// Reports the communication volume (cross-shard migrations per step) the
+// multi-device design would pay.
+int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store) {
+  walk::WalkConfig cfg;
+  cfg.walk_length = args.length;
+  cfg.num_walkers = args.walkers;
+  cfg.seed = args.seed;
+  cfg.record_paths = !args.paths_out.empty();
+  util::ThreadPool* pool = &util::ThreadPool::Global();
+
+  util::Timer walk_timer;
+  walk::PartitionedWalkResult result;
+  if (args.app == "node2vec") {
+    walk::Node2vecParams params;
+    params.p = args.p;
+    params.q = args.q;
+    result = walk::RunPartitionedNode2vec(store, cfg, params, pool);
+  } else if (args.app == "ppr") {
+    result = walk::RunPartitionedPpr(store, cfg, 1.0 / args.length, pool);
+  } else if (args.app == "simple") {
+    result = walk::RunPartitionedSimpleSampling(store, cfg, pool);
+  } else {  // "deepwalk": Walk() validated the app name before building
+    result = walk::RunPartitionedDeepWalk(store, cfg, pool);
+  }
+  const double seconds = walk_timer.Seconds();
+  std::printf("%s[superstep x%d]: %llu steps in %.2fs (%.2fM steps/s)\n",
+              args.app.c_str(), store.NumShards(),
+              static_cast<unsigned long long>(result.total_steps), seconds,
+              result.total_steps / seconds / 1e6);
+  std::printf(
+      "supersteps %llu, finished walkers %llu, migrations %llu "
+      "(%.3f per step)\n",
+      static_cast<unsigned long long>(result.supersteps),
+      static_cast<unsigned long long>(result.finished_walkers),
+      static_cast<unsigned long long>(result.walker_migrations),
+      result.total_steps == 0
+          ? 0.0
+          : static_cast<double>(result.walker_migrations) /
+                static_cast<double>(result.total_steps));
+
+  if (!args.paths_out.empty()) {
+    WritePaths(args.paths_out, result.path_offsets, result.paths);
   }
   return 0;
 }
@@ -308,6 +373,14 @@ int Walk(const Args& args) {
   if (args.store != "bingo" && args.store != "alias" && args.store != "its" &&
       args.store != "reservoir" && args.store != "partitioned") {
     std::fprintf(stderr, "unknown store: %s\n", args.store.c_str());
+    return 2;
+  }
+  if (args.driver != "engine" && args.driver != "superstep") {
+    std::fprintf(stderr, "unknown driver: %s\n", args.driver.c_str());
+    return 2;
+  }
+  if (args.driver == "superstep" && args.store != "partitioned") {
+    std::fprintf(stderr, "--driver superstep requires --store partitioned\n");
     return 2;
   }
   if (args.store == "partitioned" && !ValidatePositive("--shards", args.shards)) {
@@ -356,6 +429,16 @@ int Walk(const Args& args) {
     });
   }
   if (args.store == "partitioned") {
+    if (args.driver == "superstep") {
+      util::Timer build_timer;
+      const walk::PartitionedBingoStore store(edges, n, args.shards, {}, pool);
+      std::printf(
+          "built partitioned(%d shards) store over %u vertices / %zu edges "
+          "in %.2fs (%.1f MiB)\n",
+          args.shards, n, edges.size(), build_timer.Seconds(),
+          store.MemoryBytes() / 1024.0 / 1024.0);
+      return RunSuperstepApp(args, store);
+    }
     return build_and_run(
         "partitioned(" + std::to_string(args.shards) + " shards)",
         [&] { return walk::PartitionedBingoStore(edges, n, args.shards, {},
