@@ -15,15 +15,19 @@
 //   uniform  the §6.1 mixed stream as-is, sources spread over all shards.
 //
 // Also reports p50/p99 submit-to-applied latency through the coalescing
-// UpdateBatcher at the largest shard count, and a walker-transfer superstep
+// UpdateBatcher at the largest shard count, a walker-transfer superstep
 // sweep (`--app deepwalk|node2vec|ppr`, default all three) reporting
-// cross-shard walker migrations per step at each shard count.
+// cross-shard walker migrations per step at each shard count, and a
+// persistence section: per-checkpoint WAL bytes/latency with the update
+// stream journaled, plus the cold recovery time (base load + WAL replay)
+// after a simulated crash.
 //
 // Environment knobs: BINGO_BENCH_SCALE / ROUNDS / BATCH (bench/common.h).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -207,6 +211,60 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (const std::string& app : superstep_apps) {
     RunSuperstepSweep(workload, app, shard_counts, pool);
+  }
+
+  // Persistence: journal the whole stream through the WAL at the largest
+  // shard count, checkpoint incrementally per batch window, then measure a
+  // cold recovery (base load + WAL replay) — the crash-restart cost.
+  {
+    const std::string wal_dir =
+        (std::filesystem::temp_directory_path() / "bingo_bench_wal").string();
+    std::filesystem::remove_all(wal_dir);
+    auto service = walk::MakeShardedWalkService(
+        workload.initial_edges, workload.num_vertices, shard_counts.back(), {},
+        &pool, &pool);
+    util::Timer base_timer;
+    const walk::CheckpointResult base = service->AttachWal(wal_dir);
+    const double base_seconds = base_timer.Seconds();
+    uint64_t incremental_bytes = 0;
+    double incremental_seconds = 0.0;
+    uint64_t checkpoints = 0;
+    for (const auto& batch : workload.batches) {
+      service->ApplyBatch(batch, &pool);
+      util::Timer ckpt_timer;
+      const walk::CheckpointResult ckpt = service->Checkpoint();
+      incremental_seconds += ckpt_timer.Seconds();
+      incremental_bytes += ckpt.bytes_written;
+      ++checkpoints;
+    }
+    service.reset();  // "crash"
+
+    walk::RecoveryReport report;
+    util::Timer recover_timer;
+    auto recovered = walk::RecoverShardedWalkService(wal_dir, {}, 0, &pool,
+                                                     &pool, {}, &report);
+    const double recover_seconds = recover_timer.Seconds();
+    std::printf(
+        "persistence  %8d %12s %12s %12s %12s\n", shard_counts.back(),
+        "base MiB", "ckpt KiB/op", "ckpt ms/op", "recover ms");
+    std::printf(
+        "             %8s %12.2f %12.2f %12.3f %12.2f\n", "",
+        base.bytes_written / 1024.0 / 1024.0,
+        incremental_bytes / 1024.0 / std::max<uint64_t>(checkpoints, 1),
+        incremental_seconds * 1e3 / std::max<uint64_t>(checkpoints, 1),
+        recover_seconds * 1e3);
+    std::printf(
+        "             base write %.2fs; recovery replayed %llu wal records "
+        "/ %llu updates over %llu base edges (%s)\n",
+        base_seconds,
+        static_cast<unsigned long long>(report.wal_records_replayed),
+        static_cast<unsigned long long>(report.wal_updates_replayed),
+        static_cast<unsigned long long>(report.base_edges),
+        recovered != nullptr && recovered->CheckInvariants().empty()
+            ? "invariants ok"
+            : "RECOVERY FAILED");
+    bench::PrintRule(70);
+    std::filesystem::remove_all(wal_dir);
   }
 
   // The acceptance check in machine-readable form: mean local-workload

@@ -1,19 +1,52 @@
 #include "src/core/snapshot.h"
 
 #include <algorithm>
+#include <bit>
+#include <fstream>
 
 #include "src/graph/io.h"
+#include "src/util/checksum.h"
+#include "src/util/fileio.h"
+#include "src/util/serial.h"
 
 namespace bingo::core {
 
-bool SaveSnapshot(const BingoStore& store, const std::string& path) {
-  const graph::DynamicGraph& g = store.Graph();
+namespace {
+
+using util::AppendPod;
+using util::ReadPod;
+
+constexpr uint64_t kSnapshotMagic = 0x42494e474f534e50ULL;  // "BINGOSNP"
+constexpr uint32_t kSnapshotVersion = 2;
+// magic, version, reserved, fingerprint, vertices, edges, wal_seq, crc
+constexpr std::size_t kSnapshotHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+
+static_assert(sizeof(graph::WeightedEdge) == 16,
+              "WeightedEdge must pack to 16 bytes");
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const BingoConfig& config) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(config.adaptive.adaptive ? 1 : 0);
+  mix(std::bit_cast<uint64_t>(config.adaptive.alpha_percent));
+  mix(std::bit_cast<uint64_t>(config.adaptive.beta_percent));
+  mix(std::bit_cast<uint64_t>(config.lambda));
+  mix(static_cast<uint64_t>(config.decimal_policy));
+  return h;
+}
+
+graph::WeightedEdgeList CanonicalEdgeList(const graph::DynamicGraph& g) {
   graph::WeightedEdgeList edges;
   edges.reserve(g.NumEdges());
   for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
-    // Emit in timestamp order so duplicate-edge deletion order survives the
-    // round trip (the adjacency array's index order is not timestamp order
-    // after swap-with-tail deletions).
+    // Emit in timestamp order: the adjacency array's index order is not
+    // timestamp order after swap-with-tail deletions, and the duplicate-
+    // edge deletion rule keys on per-vertex insertion order.
     std::vector<const graph::Edge*> ordered;
     ordered.reserve(g.Degree(v));
     for (const graph::Edge& e : g.Neighbors(v)) {
@@ -27,7 +60,131 @@ bool SaveSnapshot(const BingoStore& store, const std::string& path) {
       edges.push_back(graph::WeightedEdge{v, e->dst, e->bias});
     }
   }
-  return graph::SaveWeightedEdgesBinary(path, edges);
+  return edges;
+}
+
+bool SaveGraphSnapshot(const graph::DynamicGraph& g, const BingoConfig& config,
+                       const std::string& path, uint64_t wal_seq,
+                       uint64_t* bytes_written) {
+  const graph::WeightedEdgeList edges = CanonicalEdgeList(g);
+
+  util::AtomicFileWriter writer(path);
+  if (!writer.ok()) {
+    return false;
+  }
+  std::string header;
+  AppendPod(header, kSnapshotMagic);
+  AppendPod(header, kSnapshotVersion);
+  AppendPod(header, uint32_t{0});  // reserved
+  AppendPod(header, ConfigFingerprint(config));
+  AppendPod(header, static_cast<uint64_t>(g.NumVertices()));
+  AppendPod(header, static_cast<uint64_t>(edges.size()));
+  AppendPod(header, wal_seq);
+  AppendPod(header, util::Crc32c(header.data(), header.size()));
+  if (!writer.Write(header.data(), header.size())) {
+    return false;
+  }
+  const std::size_t payload_bytes = edges.size() * sizeof(graph::WeightedEdge);
+  const uint32_t payload_crc = util::Crc32c(edges.data(), payload_bytes);
+  if (!writer.Write(edges.data(), payload_bytes) ||
+      !writer.Write(&payload_crc, sizeof(payload_crc))) {
+    return false;
+  }
+  if (!writer.Commit()) {
+    return false;
+  }
+  if (bytes_written != nullptr) {
+    *bytes_written = writer.bytes_written();
+  }
+  return true;
+}
+
+bool SaveSnapshot(const BingoStore& store, const std::string& path,
+                  uint64_t wal_seq) {
+  return SaveGraphSnapshot(store.Graph(), store.Config(), path, wal_seq);
+}
+
+bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
+                       SnapshotInfo* info) {
+  // Stream the edge section straight into the vector (this is the cold-
+  // recovery path; no second whole-file buffer).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  std::string header(static_cast<std::size_t>(
+                         std::min<uint64_t>(file_size, kSnapshotHeaderBytes)),
+                     '\0');
+  in.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!in) {
+    return false;
+  }
+  SnapshotInfo parsed;
+  std::size_t offset = 0;
+  uint64_t magic = 0;
+  if (!ReadPod(header, offset, magic)) {
+    return false;
+  }
+  if (magic != kSnapshotMagic) {
+    // Legacy snapshots were plain binary edge lists (graph/io.h format).
+    if (!graph::LoadWeightedEdgesBinary(path, edges)) {
+      return false;
+    }
+    parsed.version = 1;
+    parsed.num_vertices = graph::ImpliedVertexCount(edges);
+    parsed.num_edges = edges.size();
+    if (info != nullptr) {
+      *info = parsed;
+    }
+    return true;
+  }
+
+  uint32_t reserved = 0;
+  uint64_t num_vertices = 0;
+  uint32_t header_crc = 0;
+  if (!ReadPod(header, offset, parsed.version) ||
+      !ReadPod(header, offset, reserved) ||
+      !ReadPod(header, offset, parsed.config_fingerprint) ||
+      !ReadPod(header, offset, num_vertices) ||
+      !ReadPod(header, offset, parsed.num_edges) ||
+      !ReadPod(header, offset, parsed.wal_seq)) {
+    return false;
+  }
+  const std::size_t crc_span = offset;
+  if (!ReadPod(header, offset, header_crc) ||
+      parsed.version != kSnapshotVersion ||
+      header_crc != util::Crc32c(header.data(), crc_span) ||
+      num_vertices > graph::kInvalidVertex) {
+    return false;
+  }
+  parsed.num_vertices = static_cast<graph::VertexId>(num_vertices);
+
+  // Untrusted count: bound it by the bytes actually present before
+  // allocating anything.
+  const uint64_t remaining = file_size - kSnapshotHeaderBytes;
+  if (parsed.num_edges > remaining / sizeof(graph::WeightedEdge)) {
+    return false;
+  }
+  const std::streamsize payload_bytes = static_cast<std::streamsize>(
+      parsed.num_edges * sizeof(graph::WeightedEdge));
+  edges.resize(parsed.num_edges);
+  in.read(reinterpret_cast<char*>(edges.data()), payload_bytes);
+  uint32_t payload_crc = 0;
+  in.read(reinterpret_cast<char*>(&payload_crc), sizeof(payload_crc));
+  if (!in ||
+      payload_crc != util::Crc32c(edges.data(),
+                                  static_cast<std::size_t>(payload_bytes))) {
+    edges.clear();
+    return false;
+  }
+  if (info != nullptr) {
+    *info = parsed;
+  }
+  return true;
 }
 
 std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
@@ -35,11 +192,16 @@ std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
                                          graph::VertexId num_vertices,
                                          util::ThreadPool* pool) {
   graph::WeightedEdgeList edges;
-  if (!graph::LoadWeightedEdgesBinary(path, edges)) {
+  SnapshotInfo info;
+  if (!LoadSnapshotEdges(path, edges, &info)) {
     return nullptr;
   }
-  const graph::VertexId n =
-      std::max(num_vertices, graph::ImpliedVertexCount(edges));
+  if (info.version >= 2 &&
+      info.config_fingerprint != ConfigFingerprint(config)) {
+    return nullptr;  // different config => different sampling structures
+  }
+  const graph::VertexId n = std::max(
+      {num_vertices, info.num_vertices, graph::ImpliedVertexCount(edges)});
   return std::make_unique<BingoStore>(graph::DynamicGraph::FromEdges(n, edges),
                                       config, pool);
 }

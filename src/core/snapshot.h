@@ -4,14 +4,31 @@
 // The sampling structures are derived state (Theorem 4.1 makes them a pure
 // function of the adjacency + config), so a snapshot is exactly the
 // weighted edge multiset; loading rebuilds groups and alias tables in
-// O(E·K) — the same cost as the initial bulk load. Edge timestamps are
-// regenerated on load: duplicate-edge deletion order is preserved because
-// serialization emits each vertex's adjacency in index order and bulk load
-// assigns timestamps in emission order.
+// O(E·K) — the same cost as the initial bulk load.
+//
+// Snapshots are written in the *canonical edge order*: vertex-major, each
+// vertex's out-edges sorted by insertion timestamp. Bulk load assigns fresh
+// timestamps in emission order, so per-vertex relative timestamp order —
+// the only order the duplicate-edge deletion rule (§5.2) consults — is
+// preserved, and rebuilding from the same snapshot is fully deterministic:
+// two loads of one snapshot produce bit-identical stores, walks included.
+// The WAL-backed service layer (walk/service.h) leans on exactly this to
+// make crash recovery reproduce the live store bit for bit.
+//
+// On-disk format (version 2): a checksummed header carrying the format
+// version, a fingerprint of the BingoConfig the store was built with (a
+// snapshot restored under a different config would imply different sampling
+// structures), the true vertex count (trailing isolated vertices survive
+// the round trip), the edge count, and the WAL sequence number the snapshot
+// covers; then the packed edge section with its own CRC. Files are written
+// atomically (temp + fsync + rename), so a crash mid-save never destroys
+// the previous good snapshot. Legacy version-1 files (raw edge dumps) are
+// still readable.
 
 #ifndef BINGO_SRC_CORE_SNAPSHOT_H_
 #define BINGO_SRC_CORE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -19,13 +36,46 @@
 
 namespace bingo::core {
 
-// Writes the store's live edges (with biases) to `path` in the binary
-// edge-list format of graph/io.h. Returns false on I/O failure.
-bool SaveSnapshot(const BingoStore& store, const std::string& path);
+// Parsed snapshot header.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t config_fingerprint = 0;  // 0 = unknown (legacy files)
+  graph::VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  // Updates up to and including this WAL sequence number are folded into
+  // the snapshot; recovery replays only records with seq > wal_seq.
+  uint64_t wal_seq = 0;
+};
 
-// Rebuilds a store from a snapshot. Returns nullptr on I/O failure.
-// `num_vertices` overrides the vertex-count (0 = max id + 1 from the file;
-// pass the original count to preserve trailing isolated vertices).
+// Stable hash of the config knobs that shape sampling structures. Stored in
+// the header and checked on load: restoring under a different config is an
+// error, not a silent behavior change.
+uint64_t ConfigFingerprint(const BingoConfig& config);
+
+// The canonical edge list of a graph: vertex-major, per-vertex in insertion
+// timestamp order — the order snapshots persist and rebuilds replay.
+graph::WeightedEdgeList CanonicalEdgeList(const graph::DynamicGraph& g);
+
+// Writes `g`'s live edges as a snapshot at `path` (atomically). On success
+// `*bytes_written` (if given) receives the file size.
+bool SaveGraphSnapshot(const graph::DynamicGraph& g, const BingoConfig& config,
+                       const std::string& path, uint64_t wal_seq = 0,
+                       uint64_t* bytes_written = nullptr);
+
+// Convenience wrapper over SaveGraphSnapshot.
+bool SaveSnapshot(const BingoStore& store, const std::string& path,
+                  uint64_t wal_seq = 0);
+
+// Reads the edge section (and header) without building a store. Returns
+// false on missing/corrupt files. Legacy files yield version 1,
+// fingerprint 0, and the implied vertex count.
+bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
+                       SnapshotInfo* info = nullptr);
+
+// Rebuilds a store from a snapshot. Returns nullptr on I/O failure, on a
+// corrupt file, or when the snapshot's config fingerprint does not match
+// `config`. `num_vertices` overrides the vertex count (0 = the header's
+// count; legacy files fall back to max id + 1).
 std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
                                          BingoConfig config = {},
                                          graph::VertexId num_vertices = 0,

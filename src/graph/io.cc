@@ -1,27 +1,59 @@
 #include "src/graph/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "src/util/checksum.h"
+#include "src/util/fileio.h"
+#include "src/util/serial.h"
 
 namespace bingo::graph {
 
 namespace {
-constexpr uint64_t kMagic = 0x42494e474f454447ULL;  // "BINGOEDG"
-}
+
+using util::AppendPod;
+using util::ReadPod;
+
+// Legacy format (unchecksummed): magic, count, raw records. Still readable.
+constexpr uint64_t kMagicV1 = 0x42494e474f454447ULL;  // "BINGOEDG"
+// Current format: magic, version, count, header CRC, records, payload CRC.
+constexpr uint64_t kMagicV2 = 0x42494e474f454432ULL;  // "BINGOED2"
+constexpr uint32_t kFormatVersion = 2;
+constexpr std::size_t kHeaderBytesV1 = 8 + 8;
+constexpr std::size_t kHeaderBytesV2 = 8 + 4 + 4 + 8 + 4;
+
+// Records are dumped as raw structs; pin the layout the format relies on.
+static_assert(sizeof(WeightedEdge) == 16, "WeightedEdge must pack to 16 bytes");
+
+// A bias that can never have been produced by a valid save: corrupt record.
+bool ValidBias(double bias) { return std::isfinite(bias) && bias >= 0.0; }
+
+}  // namespace
 
 bool SaveWeightedEdgesText(const std::string& path, const WeightedEdgeList& edges) {
-  std::ofstream out(path);
-  if (!out) {
+  util::AtomicFileWriter writer(path);
+  if (!writer.ok()) {
     return false;
   }
-  out << "# bingo weighted edge list: src dst bias\n";
+  std::string chunk = "# bingo weighted edge list: src dst bias\n";
   for (const WeightedEdge& e : edges) {
-    out << e.src << ' ' << e.dst << ' ' << e.bias << '\n';
+    std::ostringstream line;
+    line << e.src << ' ' << e.dst << ' ' << e.bias << '\n';
+    chunk += line.str();
+    if (chunk.size() >= (1u << 20)) {
+      if (!writer.Write(chunk.data(), chunk.size())) {
+        return false;
+      }
+      chunk.clear();
+    }
   }
-  return static_cast<bool>(out);
+  if (!chunk.empty() && !writer.Write(chunk.data(), chunk.size())) {
+    return false;
+  }
+  return writer.Commit();
 }
 
 bool LoadWeightedEdgesText(const std::string& path, WeightedEdgeList& edges) {
@@ -40,41 +72,129 @@ bool LoadWeightedEdgesText(const std::string& path, WeightedEdgeList& edges) {
     if (!(ss >> e.src >> e.dst)) {
       return false;
     }
-    ss >> e.bias;  // optional third column
+    ss >> std::ws;
+    if (!ss.eof()) {
+      // Third column present: it must parse fully as a valid bias.
+      if (!(ss >> e.bias) || !ValidBias(e.bias)) {
+        return false;
+      }
+      ss >> std::ws;
+      if (!ss.eof()) {
+        return false;  // trailing garbage after the bias
+      }
+    }
     edges.push_back(e);
   }
   return true;
 }
 
 bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& edges) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
+  util::AtomicFileWriter writer(path);
+  if (!writer.ok()) {
     return false;
   }
-  const uint64_t count = edges.size();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(edges.data()),
-            static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
-  return static_cast<bool>(out);
+  std::string header;
+  AppendPod(header, kMagicV2);
+  AppendPod(header, kFormatVersion);
+  AppendPod(header, uint32_t{0});  // reserved
+  AppendPod(header, static_cast<uint64_t>(edges.size()));
+  AppendPod(header, util::Crc32c(header.data(), header.size()));
+  if (!writer.Write(header.data(), header.size())) {
+    return false;
+  }
+  const std::size_t payload_bytes = edges.size() * sizeof(WeightedEdge);
+  const uint32_t payload_crc = util::Crc32c(edges.data(), payload_bytes);
+  if (!writer.Write(edges.data(), payload_bytes)) {
+    return false;
+  }
+  if (!writer.Write(&payload_crc, sizeof(payload_crc))) {
+    return false;
+  }
+  return writer.Commit();
 }
 
 bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
+  // Stream the payload straight into the vector: loads sit on the
+  // cold-recovery path and must not hold a second whole-file buffer.
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return false;
   }
-  uint64_t magic = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  std::string header(
+      static_cast<std::size_t>(std::min<uint64_t>(file_size, kHeaderBytesV2)),
+      '\0');
+  in.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!in) {
     return false;
   }
+  std::size_t offset = 0;
+  uint64_t magic = 0;
+  if (!ReadPod(header, offset, magic)) {
+    return false;
+  }
+
+  uint64_t count = 0;
+  std::size_t payload_offset = 0;
+  if (magic == kMagicV2) {
+    uint32_t version = 0;
+    uint32_t reserved = 0;
+    uint32_t header_crc = 0;
+    if (!ReadPod(header, offset, version) || !ReadPod(header, offset, reserved) ||
+        !ReadPod(header, offset, count)) {
+      return false;
+    }
+    const std::size_t crc_span = offset;
+    if (!ReadPod(header, offset, header_crc) || version != kFormatVersion ||
+        header_crc != util::Crc32c(header.data(), crc_span)) {
+      return false;
+    }
+    payload_offset = kHeaderBytesV2;
+  } else if (magic == kMagicV1) {
+    if (!ReadPod(header, offset, count)) {
+      return false;
+    }
+    payload_offset = kHeaderBytesV1;
+  } else {
+    return false;
+  }
+
+  // The on-disk count is untrusted: validate it against the bytes actually
+  // present before allocating, so a truncated or corrupt file cannot
+  // trigger a multi-GB resize.
+  const uint64_t remaining = file_size - payload_offset;
+  if (count > remaining / sizeof(WeightedEdge)) {
+    return false;
+  }
+  const std::streamsize payload_bytes =
+      static_cast<std::streamsize>(count * sizeof(WeightedEdge));
   edges.resize(count);
-  in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
-  return static_cast<bool>(in);
+  in.seekg(static_cast<std::streamoff>(payload_offset));
+  in.read(reinterpret_cast<char*>(edges.data()), payload_bytes);
+  if (!in) {
+    edges.clear();
+    return false;
+  }
+  if (magic == kMagicV2) {
+    uint32_t payload_crc = 0;
+    in.read(reinterpret_cast<char*>(&payload_crc), sizeof(payload_crc));
+    if (!in || payload_crc != util::Crc32c(edges.data(),
+                                           static_cast<std::size_t>(
+                                               payload_bytes))) {
+      edges.clear();
+      return false;
+    }
+  }
+  for (const WeightedEdge& e : edges) {
+    if (!ValidBias(e.bias)) {
+      edges.clear();
+      return false;
+    }
+  }
+  return true;
 }
 
 VertexId ImpliedVertexCount(const WeightedEdgeList& edges) {

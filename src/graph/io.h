@@ -1,5 +1,13 @@
 // Edge-list persistence so generated datasets and update streams can be
 // saved and replayed across runs.
+//
+// Binary files are written in a versioned, checksummed frame (see io.cc)
+// and saved atomically: the bytes land in a temp file that is fsync'd and
+// renamed over the target, so a crash mid-save never destroys the previous
+// good file. Loads validate the on-disk edge count against the actual file
+// size before allocating, and verify header + payload CRCs; the legacy
+// unchecksummed format from earlier revisions is still readable (with the
+// same size validation).
 
 #ifndef BINGO_SRC_GRAPH_IO_H_
 #define BINGO_SRC_GRAPH_IO_H_
@@ -11,11 +19,15 @@
 namespace bingo::graph {
 
 // Text format: one "src dst bias" line per edge. Lines beginning with '#'
-// or '%' are comments (SNAP / Konect conventions).
+// or '%' are comments (SNAP / Konect conventions). The bias column is
+// optional (default 1.0), but when present it must parse completely as a
+// finite, non-negative number — "1 2 abc" is a corrupt record, not a
+// bias-1 edge, and the load fails.
 bool SaveWeightedEdgesText(const std::string& path, const WeightedEdgeList& edges);
 bool LoadWeightedEdgesText(const std::string& path, WeightedEdgeList& edges);
 
-// Binary format: little-endian header (magic, count) then packed records.
+// Binary format: little-endian checksummed header (magic, version, count,
+// CRC) then packed records and a payload CRC.
 bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& edges);
 bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges);
 

@@ -1,0 +1,84 @@
+#include "src/util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace bingo::util {
+
+AtomicFileWriter::AtomicFileWriter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp") {
+  // O_TRUNC: a temp left behind by a crashed writer is stale by definition.
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    Abort();
+  }
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(tmp_path_.c_str());
+  }
+}
+
+bool AtomicFileWriter::Write(const void* data, std::size_t len) {
+  if (fd_ < 0) {
+    return false;
+  }
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      Abort();
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+    bytes_ += static_cast<uint64_t>(n);
+  }
+  return true;
+}
+
+bool AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    Abort();
+    return false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path_.c_str());
+    return false;
+  }
+  committed_ = true;
+  // Make the rename durable. The parent is everything before the last '/'
+  // ("." when the path has none).
+  const std::size_t slash = path_.find_last_of('/');
+  FsyncDirectory(slash == std::string::npos ? "." : path_.substr(0, slash + 1));
+  return true;
+}
+
+bool FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace bingo::util

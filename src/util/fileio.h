@@ -1,0 +1,55 @@
+// Crash-safe file primitives shared by the persistence layer (graph/io,
+// core/snapshot, core/wal): atomic whole-file replacement and directory
+// fsync, so a crash mid-save never destroys the previous good file.
+
+#ifndef BINGO_SRC_UTIL_FILEIO_H_
+#define BINGO_SRC_UTIL_FILEIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bingo::util {
+
+// Writes a file durably and atomically: bytes land in `<path>.tmp`, are
+// fsync'd, and the temp is renamed over `path`; the parent directory is
+// fsync'd afterwards so the rename itself survives a crash. Any failure —
+// or destruction without Commit() — unlinks the temp and leaves an existing
+// file at `path` untouched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // False when the temp file could not be created (or a Write failed);
+  // Commit() will refuse and the target is guaranteed untouched.
+  bool ok() const { return fd_ >= 0; }
+
+  bool Write(const void* data, std::size_t len);
+
+  // fsync + close + rename over the target + fsync the parent directory.
+  // After a true return the new contents are durable under the final name.
+  bool Commit();
+
+  uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  void Abort();
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+  uint64_t bytes_ = 0;
+};
+
+// fsyncs directory `dir`, making completed renames/creates inside it
+// durable. Returns false if the directory cannot be opened or synced.
+bool FsyncDirectory(const std::string& dir);
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_FILEIO_H_

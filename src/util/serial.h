@@ -1,0 +1,36 @@
+// Little-endian POD (de)serialization shared by the persistence formats
+// (graph/io, core/snapshot, core/wal), so bounds handling lives in one
+// place. All on-disk multi-byte fields go through these helpers.
+
+#ifndef BINGO_SRC_UTIL_SERIAL_H_
+#define BINGO_SRC_UTIL_SERIAL_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bingo::util {
+
+template <typename T>
+inline void AppendPod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Reads a T at `offset`, advancing it. False (offset untouched) when fewer
+// than sizeof(T) bytes remain.
+template <typename T>
+inline bool ReadPod(std::string_view data, std::size_t& offset, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.size() < offset || data.size() - offset < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_SERIAL_H_

@@ -149,6 +149,9 @@ void UpdateBatcher::Flush() {
       }
     }
     if (all_empty) {
+      if (options_.sync_wal_on_flush) {
+        service_.SyncWal();
+      }
       return;
     }
   }

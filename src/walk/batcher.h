@@ -18,6 +18,13 @@
 //   * Flush() drains everything synchronously: every update Submit()ed
 //     before the call is applied when it returns.
 //
+// Durability: when the sharded service has a WAL attached (walk/service.h),
+// every drained batch is journaled BEFORE it is applied — the journal
+// happens inside the shard's ApplyBatch, so batched single-edge submits
+// survive a crash exactly like direct batches. An update still sitting in a
+// queue is NOT yet durable; Flush() (optionally with sync_wal_on_flush) is
+// the commit point a producer can wait on.
+//
 // Ordering: per-shard FIFO (one drainer per shard). Updates to different
 // shards may apply in any order — the same independence the sharded
 // service itself exposes. Do not share the writer pool with threads that
@@ -49,6 +56,11 @@ struct BatcherOptions {
   std::size_t max_batch_updates = 1024;  // size trigger, per shard
   double max_delay_seconds = 0.002;      // staleness bound under trickle load
   bool auto_flush = true;                // run the background flusher thread
+  // fsync every shard WAL at the end of Flush(): with a WAL attached to the
+  // service, a true Flush() return then means every update Submit()ed
+  // before the call is applied AND durable. Without it (or with the
+  // service's fsync_on_commit), durability follows the service's policy.
+  bool sync_wal_on_flush = false;
 };
 
 struct BatcherStats {

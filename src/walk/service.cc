@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/dynamic_graph.h"
+#include "src/graph/io.h"
 #include "src/util/timer.h"
 
 namespace bingo::walk {
@@ -23,6 +24,74 @@ std::unique_ptr<WalkService> MakeWalkService(
         build_pool);
   };
   return std::make_unique<WalkService>(factory, update_pool);
+}
+
+std::unique_ptr<WalkService> RecoverWalkService(
+    const std::string& dir, core::BingoConfig config,
+    graph::VertexId num_vertices, util::ThreadPool* build_pool,
+    util::ThreadPool* update_pool, WalPersistenceOptions options,
+    RecoveryReport* report) {
+  RecoveryReport local;
+  const auto fail = [&]() -> std::unique_ptr<WalkService> {
+    if (report != nullptr) {
+      *report = local;
+    }
+    return nullptr;
+  };
+
+  graph::WeightedEdgeList edges;
+  core::SnapshotInfo info;
+  if (!core::LoadSnapshotEdges(dir + "/base.snapshot", edges, &info)) {
+    return fail();
+  }
+  if (info.version >= 2 &&
+      info.config_fingerprint != core::ConfigFingerprint(config)) {
+    return fail();
+  }
+  const graph::VertexId n = std::max(
+      {num_vertices, info.num_vertices, graph::ImpliedVertexCount(edges)});
+  local.base_edges = edges.size();
+  local.base_wal_seq = info.wal_seq;
+  local.num_vertices = n;
+
+  auto service = MakeWalkService(edges, n, config, build_pool, update_pool);
+
+  // Replay the journaled suffix. Journaling is not armed yet, so the
+  // replayed batches are applied without being re-appended.
+  const std::string wal_path = dir + "/wal.log";
+  const core::WalReplayResult replay = core::ReplayWal(
+      wal_path, info.wal_seq,
+      [&](uint64_t, const graph::UpdateList& batch) {
+        service->ApplyBatch(batch);
+      });
+  const core::WalOptions wal_options{options.fsync_on_commit};
+  std::unique_ptr<core::WalWriter> wal;
+  if (!replay.opened || (replay.header_torn && !replay.header_ok)) {
+    // Missing WAL, or one torn before its header completed (a crash during
+    // AttachWal/compaction): the base alone is the durable state. Start a
+    // fresh segment at its sequence number.
+    wal = core::WalWriter::Create(wal_path, info.wal_seq, wal_options);
+  } else if (!replay.header_ok) {
+    return fail();  // a full header that fails validation is corruption
+  } else if (replay.last_seq < info.wal_seq) {
+    // Pre-compaction segment fully covered by the base (crash between the
+    // base and WAL renames): supersede it.
+    wal = core::WalWriter::Create(wal_path, info.wal_seq, wal_options);
+  } else {
+    wal = core::WalWriter::OpenForAppend(wal_path, replay, wal_options);
+  }
+  if (wal == nullptr) {
+    return fail();
+  }
+  local.wal_records_replayed = replay.records_replayed;
+  local.wal_updates_replayed = replay.updates_replayed;
+  local.wal_tail_truncated = replay.truncated_tail;
+  service->AdoptWal(std::move(wal), dir, options, replay.updates_replayed);
+  local.ok = true;
+  if (report != nullptr) {
+    *report = local;
+  }
+  return service;
 }
 
 ServiceStressReport RunWalkServiceStress(WalkService& service,

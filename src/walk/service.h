@@ -38,17 +38,24 @@
 #define BINGO_SRC_WALK_SERVICE_H_
 
 #include <atomic>
+#include <concepts>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/core/bingo_store.h"
+#include "src/core/snapshot.h"
 #include "src/core/store_types.h"
+#include "src/core/wal.h"
+#include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
+#include "src/util/fileio.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
 #include "src/walk/store.h"
@@ -61,6 +68,55 @@ struct ServiceStats {
   uint64_t batches_applied = 0;
   uint64_t updates_applied = 0;  // individual update requests ingested
   uint64_t drain_spins = 0;      // writer yields spent waiting for readers
+  uint64_t wal_records = 0;      // batches journaled to the WAL
+  uint64_t wal_updates = 0;      // updates journaled to the WAL
+  uint64_t checkpoints = 0;      // Checkpoint() calls that succeeded
+  uint64_t compactions = 0;      // checkpoints that rewrote the base
+};
+
+// Stores that can participate in WAL-backed checkpointing: their durable
+// state is the graph + config (Theorem 4.1 — sampling structures are a pure
+// function of the adjacency), and they rebuild deterministically from a
+// bulk-loaded graph.
+template <typename S>
+concept CheckpointableStore =
+    requires(const S& s) {
+      { s.Graph() } -> std::convertible_to<const graph::DynamicGraph&>;
+      { s.Config() } -> std::convertible_to<const core::BingoConfig&>;
+      { s.NumEdges() } -> std::convertible_to<uint64_t>;
+    } &&
+    std::constructible_from<S, graph::DynamicGraph, core::BingoConfig,
+                            util::ThreadPool*>;
+
+// Durability knobs for the WAL-backed checkpointing of a service.
+struct WalPersistenceOptions {
+  // fsync the WAL after every journaled batch: ApplyBatch returns only once
+  // the batch is on disk. Off, durability is deferred to Checkpoint()/
+  // SyncWal() (group commit) — a crash can lose batches since the last sync.
+  bool fsync_on_commit = false;
+  // Compact (rewrite the base, O(E)) once the journaled delta exceeds this
+  // fraction of the store's live edge count; below it a checkpoint is just
+  // a WAL sync, O(delta) bytes.
+  double compact_fraction = 0.5;
+};
+
+// Outcome of one AttachWal/Checkpoint call.
+struct CheckpointResult {
+  bool ok = false;
+  bool compacted = false;       // rewrote the base (O(E)); else O(delta)
+  uint64_t bytes_written = 0;   // bytes this call persisted
+  uint64_t wal_seq = 0;         // the durable state covers updates <= seq
+};
+
+// Outcome of RecoverWalkService / RecoverShardedWalkService.
+struct RecoveryReport {
+  bool ok = false;
+  uint64_t base_edges = 0;            // edges loaded from base snapshot(s)
+  uint64_t base_wal_seq = 0;          // sum of base header wal_seq values
+  uint64_t wal_records_replayed = 0;  // complete records applied
+  uint64_t wal_updates_replayed = 0;
+  bool wal_tail_truncated = false;    // a torn tail was dropped (crash mid-append)
+  graph::VertexId num_vertices = 0;
 };
 
 template <WalkStore Store>
@@ -169,8 +225,22 @@ class WalkServiceT {
 
   // Applies one update batch: back replica first, publish (epoch++), then
   // replay on the old front. Writers are serialized; readers never wait.
+  // With a WAL attached the batch is journaled BEFORE either replica is
+  // touched (write-ahead), so recovery never misses an applied batch; a
+  // journaling failure poisons the WAL (surfaced by CheckInvariants) and
+  // the next Checkpoint() repairs durability by compacting.
   core::BatchResult ApplyBatch(const graph::UpdateList& updates) {
     std::lock_guard<std::mutex> wlock(update_mutex_);
+    if (wal_ != nullptr) {
+      if (wal_->Append(updates)) {
+        wal_records_.fetch_add(1, std::memory_order_relaxed);
+        wal_updates_.fetch_add(updates.size(), std::memory_order_relaxed);
+        wal_updates_since_base_.fetch_add(updates.size(),
+                                          std::memory_order_relaxed);
+      } else {
+        wal_failed_.store(true, std::memory_order_relaxed);
+      }
+    }
     int back;
     {
       std::lock_guard<std::mutex> lock(front_mutex_);
@@ -193,6 +263,144 @@ class WalkServiceT {
     return result;
   }
 
+  // --- durability: WAL-backed incremental checkpointing --------------------
+  //
+  // AttachWal(dir) makes `dir` the service's durability directory: it
+  // writes a full base snapshot (`base.snapshot`), starts a fresh WAL
+  // segment (`wal.log`), and journals every subsequent ApplyBatch before it
+  // is applied. Checkpoint() is then incremental — a WAL fsync, O(delta)
+  // bytes — until the journaled delta exceeds compact_fraction of the live
+  // edge count, at which point it compacts: a new base is written
+  // atomically and the WAL is reset (also atomically; a crash between the
+  // two renames recovers correctly because replay skips records the base
+  // already covers).
+  //
+  // Bit-identical recovery: writing a base also CANONICALIZES the live
+  // replicas — both are rebuilt from the canonical edge list the base
+  // persists, through the same publish protocol as ApplyBatch (queries keep
+  // running, epoch advances). From then on the live state is, bit for bit,
+  // `bulk-load(base) + replay(journaled batches)` — exactly what
+  // RecoverWalkService reconstructs — so a recovered service walks
+  // identically to one that never crashed, and keeps doing so under further
+  // updates. (Canonicalization preserves every per-vertex distribution and
+  // the duplicate-deletion order; only the internal adjacency/sampler
+  // layout is normalized, the same normalization recovery performs.)
+  //
+  // The ApplyBatch caveat applies: never call these while holding a live
+  // Snapshot of this service.
+
+  // Attaches `dir` (created if needed) and writes the initial full base.
+  CheckpointResult AttachWal(const std::string& dir,
+                             WalPersistenceOptions options = {})
+    requires CheckpointableStore<Store>
+  {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    wal_dir_ = dir;
+    persist_options_ = options;
+    wal_.reset();
+    // If `dir` already holds a WAL segment (re-attach over an old
+    // durability dir), stamp the base past its last sequence: should we
+    // crash after the base rename but before the WAL reset, recovery must
+    // skip every stale record — the base subsumes this service's state.
+    uint64_t base_seq = 0;
+    const core::WalReplayResult stale =
+        core::ReplayWal(dir + "/wal.log", UINT64_MAX, nullptr);
+    if (stale.header_ok) {
+      base_seq = stale.last_seq;
+    }
+    CheckpointResult result = WriteBaseLocked(base_seq);
+    if (result.ok) {
+      checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  // Checkpoints into the attached directory. `force_compact` overrides the
+  // delta-fraction policy (the sharded service uses it to make compaction a
+  // whole-service decision).
+  CheckpointResult Checkpoint(
+      std::optional<bool> force_compact = std::nullopt)
+    requires CheckpointableStore<Store>
+  {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    CheckpointResult result;
+    if (wal_ == nullptr) {
+      return result;  // not attached
+    }
+    const uint64_t delta =
+        wal_updates_since_base_.load(std::memory_order_relaxed);
+    const uint64_t live_edges = replicas_[0].store->NumEdges();
+    const bool compact = force_compact.value_or(
+        wal_failed_.load(std::memory_order_relaxed) ||
+        static_cast<double>(delta) >
+            persist_options_.compact_fraction *
+                static_cast<double>(std::max<uint64_t>(live_edges, 1)));
+    if (compact) {
+      result = WriteBaseLocked(wal_->LastSeq());
+      if (result.ok) {
+        checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        compactions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return result;
+    }
+    if (!wal_->Sync()) {
+      wal_failed_.store(true, std::memory_order_relaxed);
+      return result;
+    }
+    result.ok = true;
+    result.compacted = false;
+    result.bytes_written = wal_->BytesWritten() - wal_bytes_at_last_checkpoint_;
+    result.wal_seq = wal_->LastSeq();
+    wal_bytes_at_last_checkpoint_ = wal_->BytesWritten();
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  // fsyncs the attached WAL (true when none is attached).
+  bool SyncWal() {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    if (wal_ == nullptr) {
+      return true;
+    }
+    if (!wal_->Sync()) {
+      wal_failed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool WalAttached() const {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    return wal_ != nullptr;
+  }
+
+  // Updates journaled since the current base (the incremental delta).
+  uint64_t WalUpdatesSinceBase() const {
+    return wal_updates_since_base_.load(std::memory_order_relaxed);
+  }
+
+  // True after an Append/Sync failure: the journal is behind the live
+  // store. The next Checkpoint() repairs durability by compacting.
+  bool WalFailed() const {
+    return wal_failed_.load(std::memory_order_relaxed);
+  }
+
+  // Recovery hook: adopt an already-positioned WAL writer for `dir` after
+  // the caller rebuilt this service from dir's base + replayed its WAL.
+  // Journaling resumes with the next ApplyBatch.
+  void AdoptWal(std::unique_ptr<core::WalWriter> wal, const std::string& dir,
+                WalPersistenceOptions options, uint64_t updates_since_base) {
+    std::lock_guard<std::mutex> wlock(update_mutex_);
+    wal_ = std::move(wal);
+    wal_dir_ = dir;
+    persist_options_ = options;
+    wal_updates_since_base_.store(updates_since_base,
+                                  std::memory_order_relaxed);
+    wal_bytes_at_last_checkpoint_ = wal_ != nullptr ? wal_->BytesWritten() : 0;
+  }
+
   ServiceStats Stats() const {
     ServiceStats stats;
     stats.epoch = Epoch();
@@ -200,6 +408,10 @@ class WalkServiceT {
     stats.batches_applied = batches_.load(std::memory_order_relaxed);
     stats.updates_applied = updates_count_.load(std::memory_order_relaxed);
     stats.drain_spins = drain_spins_.load(std::memory_order_relaxed);
+    stats.wal_records = wal_records_.load(std::memory_order_relaxed);
+    stats.wal_updates = wal_updates_.load(std::memory_order_relaxed);
+    stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    stats.compactions = compactions_.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -222,6 +434,9 @@ class WalkServiceT {
     }
     if (replicas_diverged_.load(std::memory_order_relaxed)) {
       return "replicas diverged: a batch replayed with a different outcome";
+    }
+    if (wal_failed_.load(std::memory_order_relaxed)) {
+      return "wal append/sync failed: journal is behind the live store";
     }
     if (replicas_[0].store->NumVertices() != replicas_[1].store->NumVertices()) {
       return "replica vertex counts diverged";
@@ -256,6 +471,82 @@ class WalkServiceT {
     return result;
   }
 
+  // Replaces one replica's store with a canonical rebuild, under the same
+  // drain/seqlock protocol as MutateReplica.
+  void RebuildReplica(Replica& r, const graph::WeightedEdgeList& edges)
+    requires CheckpointableStore<Store>
+  {
+    while (r.readers.load(std::memory_order_acquire) != 0) {
+      drain_spins_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    r.version.fetch_add(1, std::memory_order_release);  // odd: mutating
+    const graph::VertexId n = r.store->NumVertices();
+    const core::BingoConfig config = r.store->Config();
+    r.store = std::make_unique<Store>(graph::DynamicGraph::FromEdges(n, edges),
+                                      config, update_pool_);
+    r.version.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+
+  // Writes dir/base.snapshot covering wal_seq and starts a fresh WAL
+  // segment; canonicalizes the replicas first so live state == what
+  // recovery rebuilds. Caller holds update_mutex_ and owns the checkpoint/
+  // compaction counters.
+  CheckpointResult WriteBaseLocked(uint64_t wal_seq)
+    requires CheckpointableStore<Store>
+  {
+    CheckpointResult result;
+    result.compacted = true;
+    result.wal_seq = wal_seq;
+
+    // Canonicalize: both replicas become the bulk-load of the canonical
+    // edge list the base persists (publish protocol, back first).
+    const graph::WeightedEdgeList edges =
+        core::CanonicalEdgeList(replicas_[0].store->Graph());
+    int back;
+    {
+      std::lock_guard<std::mutex> lock(front_mutex_);
+      back = 1 - front_;
+    }
+    RebuildReplica(replicas_[back], edges);
+    {
+      std::lock_guard<std::mutex> lock(front_mutex_);
+      front_ = back;
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    RebuildReplica(replicas_[1 - back], edges);
+
+    uint64_t base_bytes = 0;
+    const Store& store = *replicas_[0].store;
+    if (!core::SaveGraphSnapshot(store.Graph(), store.Config(),
+                                 wal_dir_ + "/base.snapshot", wal_seq,
+                                 &base_bytes)) {
+      return result;
+    }
+    // Fresh WAL segment, crash-safe: the new file is complete (and fsync'd)
+    // before it is renamed over wal.log. A crash between the base rename
+    // and this one is benign — replay skips records with seq <= wal_seq.
+    const std::string tmp = wal_dir_ + "/wal.log.new";
+    auto wal = core::WalWriter::Create(
+        tmp, wal_seq, core::WalOptions{persist_options_.fsync_on_commit});
+    if (wal == nullptr) {
+      return result;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, wal_dir_ + "/wal.log", ec);
+    if (ec) {
+      return result;
+    }
+    util::FsyncDirectory(wal_dir_);
+    wal_ = std::move(wal);
+    wal_failed_.store(false, std::memory_order_relaxed);
+    wal_updates_since_base_.store(0, std::memory_order_relaxed);
+    wal_bytes_at_last_checkpoint_ = wal_->BytesWritten();
+    result.ok = true;
+    result.bytes_written = base_bytes + wal_->BytesWritten();
+    return result;
+  }
+
   Replica replicas_[2];
   mutable std::mutex front_mutex_;  // guards front_ flips and Acquire
   int front_ = 0;
@@ -267,6 +558,19 @@ class WalkServiceT {
   std::atomic<uint64_t> updates_count_{0};
   std::atomic<uint64_t> drain_spins_{0};
   std::atomic<bool> replicas_diverged_{false};
+
+  // Persistence state (update_mutex_ guards mutation; counters are atomic
+  // so Stats() stays lock-free).
+  std::unique_ptr<core::WalWriter> wal_;
+  std::string wal_dir_;
+  WalPersistenceOptions persist_options_;
+  uint64_t wal_bytes_at_last_checkpoint_ = 0;
+  std::atomic<uint64_t> wal_updates_since_base_{0};
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> wal_updates_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<bool> wal_failed_{false};
 };
 
 // The BingoStore instantiation is compiled once in service.cc.
@@ -280,6 +584,21 @@ std::unique_ptr<WalkService> MakeWalkService(
     const graph::WeightedEdgeList& edges, graph::VertexId num_vertices,
     core::BingoConfig config = {}, util::ThreadPool* build_pool = nullptr,
     util::ThreadPool* update_pool = nullptr);
+
+// Rebuilds a BingoStore-backed service from a durability directory written
+// by AttachWal/Checkpoint: bulk-loads `dir`/base.snapshot, replays the
+// longest valid prefix of `dir`/wal.log past the base's sequence number,
+// drops any torn tail, and re-arms journaling so the recovered service
+// checkpoints incrementally from where the crashed one stopped. The result
+// is bit-identical — walks and all — to a service that never crashed and
+// had applied exactly the recovered batches. Returns nullptr when the base
+// is missing/corrupt, the WAL header is corrupt, or `config` does not match
+// the base's fingerprint. `num_vertices` 0 = the base header's count.
+std::unique_ptr<WalkService> RecoverWalkService(
+    const std::string& dir, core::BingoConfig config = {},
+    graph::VertexId num_vertices = 0, util::ThreadPool* build_pool = nullptr,
+    util::ThreadPool* update_pool = nullptr, WalPersistenceOptions options = {},
+    RecoveryReport* report = nullptr);
 
 // ------------------------------------------------------- stress driving --
 //

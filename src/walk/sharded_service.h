@@ -37,8 +37,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -64,7 +66,19 @@ struct ShardedServiceStats {
                                  // ApplyBatch counts once per shard hit)
   uint64_t updates_applied = 0;
   uint64_t drain_spins = 0;
+  uint64_t wal_records = 0;      // per-shard batches journaled
+  uint64_t wal_updates = 0;
+  uint64_t checkpoints = 0;      // per-shard checkpoint operations
+  uint64_t compactions = 0;
 };
+
+// Durability manifest for a sharded checkpoint directory: records the shard
+// count so recovery can rebuild the same layout. Written atomically.
+bool WriteShardedWalManifest(const std::string& dir, int num_shards);
+bool ReadShardedWalManifest(const std::string& dir, int& num_shards);
+
+// Per-shard subdirectory of a sharded durability directory.
+std::string ShardWalDir(const std::string& dir, int shard);
 
 template <WalkStore Store>
 class ShardedWalkServiceT {
@@ -88,6 +102,15 @@ class ShardedWalkServiceT {
       shards_.push_back(std::make_unique<ShardService>(
           [&factory, s] { return factory(s); }, /*update_pool=*/nullptr));
     }
+  }
+
+  // Recovery path: adopt already-built shard services (one per shard, e.g.
+  // each RecoverWalkService'd from its shard directory).
+  explicit ShardedWalkServiceT(
+      std::vector<std::unique_ptr<ShardService>> shards,
+      util::ThreadPool* update_pool = nullptr)
+      : shards_(std::move(shards)), route_pool_(update_pool) {
+    assert(!shards_.empty());
   }
 
   ShardedWalkServiceT(const ShardedWalkServiceT&) = delete;
@@ -240,6 +263,102 @@ class ShardedWalkServiceT {
     return shards_[static_cast<std::size_t>(shard)]->ApplyBatch(updates);
   }
 
+  // --- durability: per-shard base + WAL segments ---------------------------
+  //
+  // The sharded layout mirrors the routing: `dir`/MANIFEST records the
+  // shard count, and shard s keeps its own base.snapshot + wal.log under
+  // `dir`/shard-s. Each shard journals exactly the batch slices its
+  // replica pair applies (ApplyBatch routing, ApplyShardBatch, and the
+  // UpdateBatcher's drains all funnel through the shard service), so
+  // per-shard recovery replays per-shard apply order — the only order that
+  // determines a vertex's state. Checkpoint() makes the compaction decision
+  // for the WHOLE service (aggregate delta vs aggregate edges) so
+  // canonicalization stays a service-wide point that differential
+  // references can mirror.
+
+  // Attaches `dir` (created if needed); writes the manifest and every
+  // shard's initial base. Aggregated result (ok = all shards ok).
+  CheckpointResult AttachWal(const std::string& dir,
+                             WalPersistenceOptions options = {})
+    requires CheckpointableStore<Store>
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    CheckpointResult total;
+    if (!WriteShardedWalManifest(dir, NumShards())) {
+      return total;
+    }
+    wal_dir_ = dir;
+    persist_options_ = options;
+    total.ok = true;
+    total.compacted = true;
+    for (int s = 0; s < NumShards(); ++s) {
+      const CheckpointResult r =
+          shards_[static_cast<std::size_t>(s)]->AttachWal(ShardWalDir(dir, s),
+                                                          options);
+      total.ok = total.ok && r.ok;
+      total.bytes_written += r.bytes_written;
+    }
+    wal_attached_ = total.ok;
+    return total;
+  }
+
+  // Incremental checkpoint of every shard; compacts all shards (or none)
+  // based on the aggregate journaled delta vs the aggregate edge count.
+  CheckpointResult Checkpoint()
+    requires CheckpointableStore<Store>
+  {
+    CheckpointResult total;
+    if (!wal_attached_) {
+      return total;
+    }
+    uint64_t delta = 0;
+    uint64_t live_edges = 0;
+    bool any_wal_failed = false;
+    for (const auto& shard : shards_) {
+      delta += shard->WalUpdatesSinceBase();
+      any_wal_failed = any_wal_failed || shard->WalFailed();
+      live_edges += shard->Query(
+          [](const Store& s) { return static_cast<uint64_t>(s.NumEdges()); });
+    }
+    // A failed shard journal means un-journaled applied batches; compacting
+    // every shard rewrites the bases past the gap (the same self-repair the
+    // unsharded Checkpoint's default policy performs).
+    const bool compact =
+        any_wal_failed ||
+        static_cast<double>(delta) >
+            persist_options_.compact_fraction *
+                static_cast<double>(std::max<uint64_t>(live_edges, 1));
+    total.ok = true;
+    total.compacted = compact;
+    for (auto& shard : shards_) {
+      const CheckpointResult r = shard->Checkpoint(compact);
+      total.ok = total.ok && r.ok;
+      total.bytes_written += r.bytes_written;
+      total.wal_seq += r.wal_seq;  // sum across shards (per-shard sequences)
+    }
+    return total;
+  }
+
+  // fsyncs every shard's WAL (the batcher's durable-flush hook).
+  bool SyncWal() {
+    bool ok = true;
+    for (auto& shard : shards_) {
+      ok = shard->SyncWal() && ok;
+    }
+    return ok;
+  }
+
+  bool WalAttached() const { return wal_attached_; }
+
+  // Recovery hook: mark `dir` attached after the shards were recovered with
+  // their WALs already adopted.
+  void AdoptWalDir(const std::string& dir, WalPersistenceOptions options) {
+    wal_dir_ = dir;
+    persist_options_ = options;
+    wal_attached_ = true;
+  }
+
   // Sum of shard epochs.
   uint64_t Epoch() const {
     uint64_t total = 0;
@@ -261,6 +380,10 @@ class ShardedWalkServiceT {
       stats.batches_applied += s.batches_applied;
       stats.updates_applied += s.updates_applied;
       stats.drain_spins += s.drain_spins;
+      stats.wal_records += s.wal_records;
+      stats.wal_updates += s.wal_updates;
+      stats.checkpoints += s.checkpoints;
+      stats.compactions += s.compactions;
     }
     stats.queries_served = queries_.load(std::memory_order_relaxed);
     return stats;
@@ -290,6 +413,11 @@ class ShardedWalkServiceT {
   std::vector<std::unique_ptr<ShardService>> shards_;
   util::ThreadPool* route_pool_;
   mutable std::atomic<uint64_t> queries_{0};
+
+  // Persistence state (per-shard WALs live in the shard services).
+  std::string wal_dir_;
+  WalPersistenceOptions persist_options_;
+  bool wal_attached_ = false;
 };
 
 // The BingoStore instantiation is compiled once in sharded_service.cc.
@@ -306,6 +434,19 @@ std::unique_ptr<ShardedWalkService> MakeShardedWalkService(
     int num_shards, core::BingoConfig config = {},
     util::ThreadPool* build_pool = nullptr,
     util::ThreadPool* update_pool = nullptr);
+
+// Rebuilds a sharded service from a durability directory written by
+// AttachWal/Checkpoint: reads the manifest, recovers every shard from its
+// base + WAL (torn tails dropped, journaling re-armed), and reassembles the
+// composite. The recovered service walks bit-identically to one that never
+// crashed and had applied exactly the recovered per-shard batches. Returns
+// nullptr if the manifest or any shard fails to recover; `report`
+// aggregates the per-shard recoveries.
+std::unique_ptr<ShardedWalkService> RecoverShardedWalkService(
+    const std::string& dir, core::BingoConfig config = {},
+    graph::VertexId num_vertices = 0, util::ThreadPool* build_pool = nullptr,
+    util::ThreadPool* update_pool = nullptr, WalPersistenceOptions options = {},
+    RecoveryReport* report = nullptr);
 
 // ------------------------------------------------------- stress driving --
 //

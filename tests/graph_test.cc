@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -487,6 +489,120 @@ TEST(IoTest, LoadMissingFileFails) {
   WeightedEdgeList edges;
   EXPECT_FALSE(LoadWeightedEdgesText("/nonexistent/nope.txt", edges));
   EXPECT_FALSE(LoadWeightedEdgesBinary("/nonexistent/nope.bin", edges));
+}
+
+TEST(IoTest, TruncatedBinaryFileFailsInsteadOfHugeResize) {
+  // Regression: the on-disk count used to be trusted and resize()d before
+  // reading, so a truncated file could demand a multi-GB allocation. Now
+  // the count is validated against the bytes actually present.
+  const std::string path = ::testing::TempDir() + "/bingo_io_trunc.dat";
+  WeightedEdgeList edges;
+  for (uint32_t i = 0; i < 500; ++i) {
+    edges.push_back(WeightedEdge{i, i + 1, 1.0});
+  }
+  ASSERT_TRUE(SaveWeightedEdgesBinary(path, edges));
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  WeightedEdgeList loaded;
+  EXPECT_FALSE(LoadWeightedEdgesBinary(path, loaded));
+
+  // A fabricated header claiming ~2^60 records must fail fast, not OOM.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const uint64_t magic = 0x42494e474f454447ULL;  // legacy "BINGOEDG"
+    const uint64_t absurd = uint64_t{1} << 60;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  EXPECT_FALSE(LoadWeightedEdgesBinary(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LegacyUnchecksummedBinaryStillLoads) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_legacy.dat";
+  const WeightedEdgeList edges = {{0, 1, 2.0}, {1, 2, 5.5}};
+  {
+    // Hand-write the pre-v2 format: magic, count, raw records, no CRCs.
+    std::ofstream out(path, std::ios::binary);
+    const uint64_t magic = 0x42494e474f454447ULL;
+    const uint64_t count = edges.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(edges.data()),
+              static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
+  }
+  WeightedEdgeList loaded;
+  ASSERT_TRUE(LoadWeightedEdgesBinary(path, loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].dst, 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].bias, 5.5);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CorruptedBinaryPayloadFailsCrc) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_crc.dat";
+  WeightedEdgeList edges;
+  for (uint32_t i = 0; i < 100; ++i) {
+    edges.push_back(WeightedEdge{i, i + 1, 3.0});
+  }
+  ASSERT_TRUE(SaveWeightedEdgesBinary(path, edges));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200, std::ios::beg);  // inside the edge payload
+    const char garbage = 0x7F;
+    f.write(&garbage, 1);
+  }
+  WeightedEdgeList loaded;
+  EXPECT_FALSE(LoadWeightedEdgesBinary(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, AtomicSaveFailureLeavesOldFileIntact) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_atomic.dat";
+  const WeightedEdgeList good = {{0, 1, 2.0}, {3, 4, 1.0}};
+  ASSERT_TRUE(SaveWeightedEdgesBinary(path, good));
+
+  // Block the writer's temp file with a directory: the save must fail
+  // without touching the existing good file.
+  const std::string tmp = path + ".tmp";
+  std::filesystem::create_directory(tmp);
+  const WeightedEdgeList other = {{7, 8, 9.0}};
+  EXPECT_FALSE(SaveWeightedEdgesBinary(path, other));
+  std::filesystem::remove(tmp);
+
+  WeightedEdgeList loaded;
+  ASSERT_TRUE(LoadWeightedEdgesBinary(path, loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].dst, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TextRejectsMalformedAndInvalidBias) {
+  const std::string path = ::testing::TempDir() + "/bingo_io_badtext.txt";
+  const auto write_and_load = [&](const char* body) {
+    {
+      std::ofstream out(path);
+      out << body;
+    }
+    WeightedEdgeList loaded;
+    return LoadWeightedEdgesText(path, loaded);
+  };
+  // Regression: a malformed third column used to be silently dropped,
+  // loading the edge with bias 1.0.
+  EXPECT_FALSE(write_and_load("1 2 abc\n"));
+  EXPECT_FALSE(write_and_load("1 2 3.5garbage\n"));
+  EXPECT_FALSE(write_and_load("1 2 3.5 4\n"));
+  EXPECT_FALSE(write_and_load("1 2 -3.0\n"));
+  EXPECT_FALSE(write_and_load("1 2 nan\n"));
+  EXPECT_FALSE(write_and_load("1 2 inf\n"));
+  // Still-valid shapes: missing bias defaults to 1.0; zero is legal.
+  EXPECT_TRUE(write_and_load("1 2\n# comment\n3 4 0.0\n5 6 2.25\n"));
+  WeightedEdgeList loaded;
+  ASSERT_TRUE(LoadWeightedEdgesText(path, loaded));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded[0].bias, 1.0);
+  EXPECT_DOUBLE_EQ(loaded[1].bias, 0.0);
+  std::remove(path.c_str());
 }
 
 TEST(IoTest, ImpliedVertexCount) {

@@ -1,0 +1,588 @@
+// Crash-recovery tests for the WAL-backed checkpointing of WalkService and
+// ShardedWalkService (the PR acceptance criteria):
+//
+//   * A service that is checkpointed, "crashed" (destroyed), and Recovered
+//     mid-update-stream walks bit-identically — DeepWalk, node2vec, and
+//     PPR — to an uninterrupted reference store, at shard counts 1/2/8,
+//     and keeps doing so under further updates.
+//   * An incremental checkpoint after a small delta writes O(delta) bytes
+//     (asserted against the base size), not O(E).
+//   * A WAL segment truncated mid-record recovers exactly the prefix of
+//     complete records.
+//
+// The reference store mirrors the service's canonicalization points
+// (AttachWal / compaction rebuild the replicas from the canonical edge
+// list; see walk/service.h), which is precisely the contract that makes
+// recovery deterministic: live state == bulk-load(base) + replay(WAL).
+//
+// BINGO_PERSIST_ROUNDS scales the long compaction/recovery loop (nightly
+// profile via `ctest -L persistence`).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/bingo_store.h"
+#include "src/core/snapshot.h"
+#include "src/graph/bias.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "src/walk/apps.h"
+#include "src/walk/batcher.h"
+#include "src/walk/sharded_service.h"
+
+namespace bingo::walk {
+namespace {
+
+using core::BingoStore;
+using graph::VertexId;
+
+int PersistRounds() {
+  const char* env = std::getenv("BINGO_PERSIST_ROUNDS");
+  const int rounds = env == nullptr ? 0 : std::atoi(env);
+  return rounds > 0 ? rounds : 6;
+}
+
+std::string FreshDir(const std::string& name) {
+  // Per-process uniqueness: ctest runs this binary twice concurrently (the
+  // short profile and the BINGO_PERSIST_ROUNDS-scaled persistence_long).
+  const std::string dir = ::testing::TempDir() + "/bingo_persist_" +
+                          std::to_string(::getpid()) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct TestGraph {
+  VertexId num_vertices = 0;
+  graph::WeightedEdgeList edges;
+};
+
+TestGraph MakeGraph(uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  const int scale = 7;
+  const VertexId n = VertexId{1} << scale;
+  auto pairs = graph::GenerateRmat(scale, n * 6, rng);
+  graph::Canonicalize(pairs);
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams params;
+  const auto biases = graph::GenerateBiases(csr, params, rng);
+  return {n, graph::ToWeightedEdges(csr, biases)};
+}
+
+graph::UpdateList RandomBatch(util::Rng& rng, VertexId n, std::size_t count) {
+  graph::UpdateList updates;
+  updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<VertexId>(rng.NextBounded(n));
+    const auto dst = static_cast<VertexId>(rng.NextBounded(n));
+    if (rng.NextBool(1.0 / 3.0)) {
+      updates.push_back({graph::Update::Kind::kDelete, src, dst, 0.0});
+    } else {
+      updates.push_back(
+          {graph::Update::Kind::kInsert, src, dst, 1.0 + rng.NextUnit() * 7.0});
+    }
+  }
+  return updates;
+}
+
+// Mirrors the service's canonicalization point on the plain reference
+// store: rebuild from the canonical edge list (per-vertex timestamp order).
+void Canonicalize(std::unique_ptr<BingoStore>& store) {
+  const VertexId n = store->NumVertices();
+  const graph::WeightedEdgeList edges = core::CanonicalEdgeList(store->Graph());
+  store = std::make_unique<BingoStore>(graph::DynamicGraph::FromEdges(n, edges),
+                                       store->Config());
+}
+
+// DeepWalk + node2vec + PPR on the service snapshot vs the reference store;
+// paths and visit counts must match bit for bit.
+void ExpectBitIdenticalWalks(const ShardedWalkService& service,
+                             const BingoStore& reference, uint64_t seed,
+                             int round) {
+  SCOPED_TRACE("walk seed=" + std::to_string(seed) +
+               " round=" + std::to_string(round));
+  WalkConfig cfg;
+  cfg.num_walkers = 48;
+  cfg.walk_length = 10;
+  cfg.seed = seed ^ (static_cast<uint64_t>(round) << 24);
+  cfg.record_paths = true;
+
+  const auto snap = service.Acquire();
+  ASSERT_TRUE(snap.Consistent());
+
+  const WalkResult dw_s = RunDeepWalk(snap, cfg);
+  const WalkResult dw_r = RunDeepWalk(reference, cfg);
+  ASSERT_EQ(dw_s.total_steps, dw_r.total_steps);
+  ASSERT_EQ(dw_s.paths, dw_r.paths);
+
+  const WalkResult n2v_s = RunNode2vec(snap, cfg, {});
+  const WalkResult n2v_r = RunNode2vec(reference, cfg, {});
+  ASSERT_EQ(n2v_s.paths, n2v_r.paths);
+
+  WalkConfig ppr_cfg = cfg;
+  ppr_cfg.record_paths = false;
+  const WalkResult ppr_s = RunPpr(snap, ppr_cfg, 1.0 / 20.0);
+  const WalkResult ppr_r = RunPpr(reference, ppr_cfg, 1.0 / 20.0);
+  ASSERT_EQ(ppr_s.visit_counts, ppr_r.visit_counts);
+  ASSERT_EQ(ppr_s.finished_walkers, ppr_r.finished_walkers);
+}
+
+// The acceptance scenario: checkpoint, crash, recover mid-update-stream;
+// walks stay bit-identical to an uninterrupted reference at 1/2/8 shards.
+void RunCheckpointCrashRecover(int num_shards, uint64_t seed) {
+  SCOPED_TRACE("shards=" + std::to_string(num_shards) +
+               " seed=" + std::to_string(seed));
+  const TestGraph g = MakeGraph(seed);
+  const std::string dir =
+      FreshDir("ccr_" + std::to_string(num_shards) + "_" + std::to_string(seed));
+
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, num_shards);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  util::Rng rng(seed ^ 0xfeedULL);
+
+  // Pre-durability churn, then attach: the service canonicalizes its
+  // replicas when it writes the base; mirror that on the reference.
+  for (int round = 0; round < 2; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 120);
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+  }
+  const CheckpointResult base = service->AttachWal(dir);
+  ASSERT_TRUE(base.ok);
+  ASSERT_TRUE(base.compacted);
+  ASSERT_GT(base.bytes_written, 0u);
+  Canonicalize(reference);
+  ExpectBitIdenticalWalks(*service, *reference, seed, 100);
+
+  // Journaled updates + an incremental checkpoint mid-stream.
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 90);
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+  }
+  const CheckpointResult inc = service->Checkpoint();
+  ASSERT_TRUE(inc.ok);
+  ASSERT_FALSE(inc.compacted);
+
+  // More journaled updates that are never explicitly checkpointed, then
+  // "crash": destroy the service. The WAL already holds the records.
+  for (int round = 0; round < 2; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 70);
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+  }
+  service.reset();
+
+  RecoveryReport report;
+  auto recovered = RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr, {},
+                                             &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.num_vertices, g.num_vertices);
+  EXPECT_EQ(report.wal_updates_replayed, 3u * 90u + 2u * 70u)
+      << "3 batches of 90 + 2 batches of 70 were journaled";
+  EXPECT_TRUE(recovered->CheckInvariants().empty())
+      << recovered->CheckInvariants();
+  ExpectBitIdenticalWalks(*recovered, *reference, seed, 200);
+
+  // The recovered service journals and serves like the crashed one would
+  // have: further updates stay bit-identical.
+  for (int round = 0; round < 2; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 80);
+    recovered->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+    ExpectBitIdenticalWalks(*recovered, *reference, seed, 300 + round);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, CheckpointCrashRecoverOneShard) {
+  RunCheckpointCrashRecover(1, 11);
+}
+
+TEST(PersistenceTest, CheckpointCrashRecoverTwoShards) {
+  RunCheckpointCrashRecover(2, 22);
+}
+
+TEST(PersistenceTest, CheckpointCrashRecoverEightShards) {
+  RunCheckpointCrashRecover(8, 33);
+}
+
+TEST(PersistenceTest, IncrementalCheckpointWritesDeltaNotBase) {
+  const TestGraph g = MakeGraph(44);
+  const std::string dir = FreshDir("odelta");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 4);
+
+  const CheckpointResult base = service->AttachWal(dir);
+  ASSERT_TRUE(base.ok);
+  ASSERT_GT(base.bytes_written,
+            g.edges.size() * sizeof(graph::WeightedEdge));  // O(E) base
+
+  // A small delta: ~20 updates against ~768 edges.
+  util::Rng rng(4444);
+  const auto batch = RandomBatch(rng, g.num_vertices, 20);
+  service->ApplyBatch(batch);
+  const CheckpointResult inc = service->Checkpoint();
+  ASSERT_TRUE(inc.ok);
+  EXPECT_FALSE(inc.compacted);
+  EXPECT_GT(inc.bytes_written, 0u);
+  // O(delta), not O(E): framing + ~17 bytes per update, far below the base.
+  EXPECT_LT(inc.bytes_written, base.bytes_written / 8);
+  EXPECT_LT(inc.bytes_written, 2048u);
+
+  // A checkpoint with nothing new journaled writes (almost) nothing.
+  const CheckpointResult idle = service->Checkpoint();
+  ASSERT_TRUE(idle.ok);
+  EXPECT_EQ(idle.bytes_written, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, CompactionRewritesBaseAndStaysBitIdentical) {
+  const TestGraph g = MakeGraph(55);
+  const std::string dir = FreshDir("compact");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 2);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+
+  WalPersistenceOptions options;
+  options.compact_fraction = 0.05;  // compact after a ~5% delta
+  ASSERT_TRUE(service->AttachWal(dir, options).ok);
+  Canonicalize(reference);
+
+  util::Rng rng(5555);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 100);
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+  }
+  const CheckpointResult compact = service->Checkpoint();
+  ASSERT_TRUE(compact.ok);
+  EXPECT_TRUE(compact.compacted);
+  // Compaction canonicalizes the live replicas; mirror on the reference.
+  Canonicalize(reference);
+  ExpectBitIdenticalWalks(*service, *reference, 55, 400);
+
+  // Post-compaction updates land in the fresh WAL segment; crash + recover
+  // must replay only those.
+  RecoveryReport report;
+  const auto batch = RandomBatch(rng, g.num_vertices, 60);
+  service->ApplyBatch(batch);
+  reference->ApplyBatch(batch);
+  service.reset();
+  auto recovered = RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr,
+                                             options, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.wal_updates_replayed, 60u);
+  ExpectBitIdenticalWalks(*recovered, *reference, 55, 401);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, TruncatedWalReplaysExactPrefixOfRecords) {
+  const TestGraph g = MakeGraph(66);
+  const std::string dir = FreshDir("torn");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 1);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+
+  ASSERT_TRUE(service->AttachWal(dir).ok);
+  Canonicalize(reference);
+
+  util::Rng rng(6666);
+  std::vector<graph::UpdateList> batches;
+  for (int round = 0; round < 5; ++round) {
+    batches.push_back(RandomBatch(rng, g.num_vertices, 50));
+    service->ApplyBatch(batches.back());
+  }
+  service.reset();  // crash
+
+  // Tear the tail of the (single) shard's WAL mid-record: the last batch's
+  // record loses its final bytes, as if the crash hit during the append.
+  const std::string wal_path = ShardWalDir(dir, 0) + "/wal.log";
+  const auto full = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, full - 7);
+
+  RecoveryReport report;
+  auto recovered =
+      RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr, {}, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(report.wal_tail_truncated);
+  EXPECT_EQ(report.wal_records_replayed, 4u);
+  EXPECT_EQ(report.wal_updates_replayed, 200u);
+
+  // Reference fed exactly the surviving prefix walks identically.
+  for (int round = 0; round < 4; ++round) {
+    reference->ApplyBatch(batches[round]);
+  }
+  ExpectBitIdenticalWalks(*recovered, *reference, 66, 500);
+
+  // And the torn tail was dropped for good: new updates append cleanly.
+  const auto fresh = RandomBatch(rng, g.num_vertices, 40);
+  recovered->ApplyBatch(fresh);
+  reference->ApplyBatch(fresh);
+  ExpectBitIdenticalWalks(*recovered, *reference, 66, 501);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, RecoveryRejectsConfigMismatchAndMissingDir) {
+  const TestGraph g = MakeGraph(77);
+  const std::string dir = FreshDir("cfg");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 2);
+  ASSERT_TRUE(service->AttachWal(dir).ok);
+  service.reset();
+
+  core::BingoConfig other;
+  other.lambda = 2.0;  // different factorization => different structures
+  EXPECT_EQ(RecoverShardedWalkService(dir, other), nullptr);
+  EXPECT_NE(RecoverShardedWalkService(dir), nullptr);
+  EXPECT_EQ(RecoverShardedWalkService(FreshDir("nonexistent")), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, CrashBetweenCompactionRenamesRecovers) {
+  // Simulate the narrow compaction window: the new base landed (rename 1)
+  // but the old WAL segment survived (crash before rename 2). Replay must
+  // skip every old record — the base already covers them.
+  const TestGraph g = MakeGraph(88);
+  const std::string dir = FreshDir("midcompact");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 1);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  WalPersistenceOptions force;
+  force.compact_fraction = 0.0;  // any delta compacts
+  ASSERT_TRUE(service->AttachWal(dir, force).ok);
+  Canonicalize(reference);
+
+  util::Rng rng(8888);
+  const auto batch1 = RandomBatch(rng, g.num_vertices, 60);
+  service->ApplyBatch(batch1);
+  reference->ApplyBatch(batch1);
+
+  // Stash the pre-compaction segment (one record, seq 1).
+  const std::string wal_path = ShardWalDir(dir, 0) + "/wal.log";
+  const std::string stash = wal_path + ".stash";
+  std::filesystem::copy_file(wal_path, stash);
+
+  const auto batch2 = RandomBatch(rng, g.num_vertices, 60);
+  service->ApplyBatch(batch2);
+  reference->ApplyBatch(batch2);
+  const CheckpointResult compacted = service->Checkpoint();
+  ASSERT_TRUE(compacted.ok);
+  ASSERT_TRUE(compacted.compacted);
+  Canonicalize(reference);
+  service.reset();
+
+  // Put the stale segment back: its last seq (1) < the base's wal_seq (2).
+  std::filesystem::rename(stash, wal_path);
+
+  RecoveryReport report;
+  auto recovered =
+      RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr, {}, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  ExpectBitIdenticalWalks(*recovered, *reference, 88, 600);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, ReattachOverOldWalDirSurvivesCrashBeforeWalReset) {
+  // Regression: re-attaching into a directory that already holds journaled
+  // records used to stamp the new base with wal_seq=0; a crash between the
+  // base rename and the WAL reset then made recovery double-apply every
+  // stale record. The base must be stamped past the old segment's last seq.
+  const TestGraph g = MakeGraph(111);
+  const std::string dir = FreshDir("reattach");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 1);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  ASSERT_TRUE(service->AttachWal(dir).ok);
+  Canonicalize(reference);
+
+  util::Rng rng(1111);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = RandomBatch(rng, g.num_vertices, 50);
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+  }
+  // Stash the populated segment (records seq 1..3), then re-attach: the
+  // fresh base subsumes those records and must be stamped past them.
+  const std::string wal_path = ShardWalDir(dir, 0) + "/wal.log";
+  const std::string stash = wal_path + ".stash";
+  std::filesystem::copy_file(wal_path, stash);
+  ASSERT_TRUE(service->AttachWal(dir).ok);
+  Canonicalize(reference);
+  service.reset();
+
+  // Crash window: the old segment survived the re-attach's WAL reset.
+  std::filesystem::rename(stash, wal_path);
+  RecoveryReport report;
+  auto recovered =
+      RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr, {}, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.wal_records_replayed, 0u)
+      << "stale pre-re-attach records must not be re-applied";
+  ExpectBitIdenticalWalks(*recovered, *reference, 111, 800);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, BatcherSubmitsSurviveCrashAfterFlush) {
+  const TestGraph g = MakeGraph(99);
+  const std::string dir = FreshDir("batcher");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 4);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  ASSERT_TRUE(service->AttachWal(dir).ok);
+  Canonicalize(reference);
+
+  // Single-edge submits, coalesced per shard, journaled before apply.
+  BatcherOptions options;
+  options.max_batch_updates = 1 << 20;
+  options.auto_flush = false;
+  options.sync_wal_on_flush = true;
+  util::Rng rng(9999);
+  graph::UpdateList all;
+  {
+    UpdateBatcher batcher(*service, options);
+    for (int round = 0; round < 3; ++round) {
+      const auto batch = RandomBatch(rng, g.num_vertices, 64);
+      for (const graph::Update& u : batch) {
+        batcher.Submit(u);
+      }
+      batcher.Flush();  // applied + journaled + fsync'd past this point
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+  }
+  service.reset();  // crash after the last durable flush
+
+  RecoveryReport report;
+  auto recovered =
+      RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr, {}, &report);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(report.wal_updates_replayed, all.size());
+
+  // The reference applies the same updates with the batcher's coalescing:
+  // per-shard, in submit order, one batch per Flush round. With a plain
+  // store that is equivalent to applying each round's slice per shard.
+  const int num_shards = 4;
+  std::size_t offset = 0;
+  for (int round = 0; round < 3; ++round) {
+    graph::UpdateList window(all.begin() + offset, all.begin() + offset + 64);
+    offset += 64;
+    for (int s = 0; s < num_shards; ++s) {
+      graph::UpdateList slice;
+      for (const graph::Update& u : window) {
+        if (static_cast<int>(u.src % num_shards) == s) {
+          slice.push_back(u);
+        }
+      }
+      if (!slice.empty()) {
+        reference->ApplyBatch(slice);
+      }
+    }
+  }
+  ExpectBitIdenticalWalks(*recovered, *reference, 99, 700);
+  std::filesystem::remove_all(dir);
+}
+
+// Queries must keep serving — and stay consistent — while AttachWal and a
+// compacting Checkpoint rebuild the replicas (the canonicalization path
+// follows the same drain/publish protocol as ApplyBatch). Run under TSan in
+// CI alongside the other protocol stress tests.
+TEST(PersistenceTest, QueriesServeThroughCheckpointCanonicalization) {
+  const TestGraph g = MakeGraph(222);
+  const std::string dir = FreshDir("concurrent");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> inconsistent{0};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t iteration = 0;
+      while (!stop.load(std::memory_order_acquire) || iteration == 0) {
+        WalkConfig cfg;
+        cfg.num_walkers = 64;
+        cfg.walk_length = 8;
+        cfg.seed = 222 + static_cast<uint64_t>(t) * 0x9e3779b9ULL + iteration;
+        const auto snap = service->Acquire();
+        RunDeepWalk(snap, cfg);
+        if (!snap.Consistent()) {
+          inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        ++iteration;
+      }
+    });
+  }
+
+  WalPersistenceOptions options;
+  options.compact_fraction = 0.0;  // every checkpoint compacts (rebuilds)
+  ASSERT_TRUE(service->AttachWal(dir, options).ok);
+  util::Rng rng(2222);
+  for (int round = 0; round < 5; ++round) {
+    service->ApplyBatch(RandomBatch(rng, g.num_vertices, 80));
+    const CheckpointResult ckpt = service->Checkpoint();
+    ASSERT_TRUE(ckpt.ok);
+    ASSERT_TRUE(ckpt.compacted);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(inconsistent.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
+  std::filesystem::remove_all(dir);
+}
+
+// The long compaction/recovery loop (nightly: BINGO_PERSIST_ROUNDS high).
+TEST(PersistenceTest, CompactionRecoveryLoop) {
+  const TestGraph g = MakeGraph(123);
+  const std::string dir = FreshDir("loop");
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, 4);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+
+  WalPersistenceOptions options;
+  options.compact_fraction = 0.25;
+  ASSERT_TRUE(service->AttachWal(dir, options).ok);
+  Canonicalize(reference);
+
+  util::Rng rng(321);
+  const int rounds = PersistRounds();
+  for (int round = 0; round < rounds; ++round) {
+    const auto batch =
+        RandomBatch(rng, g.num_vertices, 60 + rng.NextBounded(90));
+    service->ApplyBatch(batch);
+    reference->ApplyBatch(batch);
+    const CheckpointResult ckpt = service->Checkpoint();
+    ASSERT_TRUE(ckpt.ok) << "round " << round;
+    if (ckpt.compacted) {
+      Canonicalize(reference);
+    }
+    if (round % 3 == 2) {
+      service.reset();  // crash + recover mid-loop
+      RecoveryReport report;
+      service = RecoverShardedWalkService(dir, {}, 0, nullptr, nullptr,
+                                          options, &report);
+      ASSERT_NE(service, nullptr) << "round " << round;
+      ASSERT_TRUE(report.ok);
+    }
+    ExpectBitIdenticalWalks(*service, *reference, 123, round);
+    ASSERT_TRUE(service->CheckInvariants().empty())
+        << service->CheckInvariants();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bingo::walk

@@ -12,11 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 
 #include "src/core/bingo_store.h"
+#include "src/core/snapshot.h"
 #include "src/graph/bias.h"
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
@@ -152,41 +156,90 @@ void ExpectSuperstepMatchesEngine(const PartitionedBingoStore& part,
 }
 
 // Replays one seeded interleaving through ShardedWalkService::ApplyBatch.
-void RunDirectInterleaving(int num_shards, uint64_t seed) {
+// With `with_checkpoint`, a WAL is attached mid-stream and the service is
+// later "crashed" (destroyed) and Recovered from disk: accounting, walks,
+// and the superstep driver must stay differential through the checkpoint,
+// canonicalization, and recovery points.
+void RunDirectInterleaving(int num_shards, uint64_t seed,
+                           bool with_checkpoint = false) {
   SCOPED_TRACE("shards=" + std::to_string(num_shards) +
-               " seed=" + std::to_string(seed));
+               " seed=" + std::to_string(seed) +
+               (with_checkpoint ? " checkpointed" : ""));
   const FuzzGraph g = MakeGraph(seed);
-  const auto service =
-      MakeShardedWalkService(g.edges, g.num_vertices, num_shards);
-  BingoStore reference(graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
-  PartitionedBingoStore partitioned(g.edges, g.num_vertices, num_shards);
+  auto service = MakeShardedWalkService(g.edges, g.num_vertices, num_shards);
+  auto reference = std::make_unique<BingoStore>(
+      graph::DynamicGraph::FromEdges(g.num_vertices, g.edges));
+  auto partitioned = std::make_unique<PartitionedBingoStore>(
+      g.edges, g.num_vertices, num_shards);
+  // getpid: the short and long (ctest -L fuzz) profiles of this binary run
+  // concurrently and must not share durability directories.
+  const std::string wal_dir = ::testing::TempDir() + "/bingo_fuzz_wal_" +
+                              std::to_string(::getpid()) + "_" +
+                              std::to_string(num_shards) + "_" +
+                              std::to_string(seed);
 
   util::Rng rng(seed);
   const int rounds = 5 + static_cast<int>(rng.NextBounded(4));
+  const int attach_round = rounds / 3;
+  const int crash_round = (2 * rounds) / 3 + 1;
   for (int round = 0; round < rounds; ++round) {
+    if (with_checkpoint && round == attach_round) {
+      std::filesystem::remove_all(wal_dir);
+      ASSERT_TRUE(service->AttachWal(wal_dir).ok);
+      // Attaching canonicalizes the service's replicas (that is what makes
+      // recovery bit-identical); mirror the rebuild on both references.
+      const auto canonical = core::CanonicalEdgeList(reference->Graph());
+      reference = std::make_unique<BingoStore>(
+          graph::DynamicGraph::FromEdges(g.num_vertices, canonical));
+      partitioned = std::make_unique<PartitionedBingoStore>(
+          canonical, g.num_vertices, num_shards);
+    }
+    if (with_checkpoint && round == crash_round) {
+      if (rng.NextBool(0.5)) {
+        const walk::CheckpointResult ckpt = service->Checkpoint();
+        ASSERT_TRUE(ckpt.ok);
+        if (ckpt.compacted) {
+          const auto canonical = core::CanonicalEdgeList(reference->Graph());
+          reference = std::make_unique<BingoStore>(
+              graph::DynamicGraph::FromEdges(g.num_vertices, canonical));
+          partitioned = std::make_unique<PartitionedBingoStore>(
+              canonical, g.num_vertices, num_shards);
+        }
+      }
+      service.reset();  // crash: journaled but un-checkpointed rounds too
+      service = RecoverShardedWalkService(wal_dir);
+      ASSERT_NE(service, nullptr) << "recovery failed at round " << round;
+      ExpectIdenticalWalks(*service, *reference, seed, 1000 + round);
+    }
     const auto batch =
         RandomBatch(rng, g.num_vertices, 50 + rng.NextBounded(150));
     const core::BatchResult sharded_result = service->ApplyBatch(batch);
-    const core::BatchResult plain_result = reference.ApplyBatch(batch);
+    const core::BatchResult plain_result = reference->ApplyBatch(batch);
     ASSERT_EQ(sharded_result, plain_result)
         << "accounting diverged at round " << round;
-    ASSERT_EQ(partitioned.ApplyBatch(batch), plain_result)
+    ASSERT_EQ(partitioned->ApplyBatch(batch), plain_result)
         << "partitioned accounting diverged at round " << round;
     ASSERT_EQ(sharded_result.inserted + sharded_result.deleted +
                   sharded_result.skipped_deletes,
               batch.size());
-    ExpectIdenticalWalks(*service, reference, seed, round);
-    ExpectSuperstepMatchesEngine(partitioned, reference, num_shards, seed,
+    ExpectIdenticalWalks(*service, *reference, seed, round);
+    ExpectSuperstepMatchesEngine(*partitioned, *reference, num_shards, seed,
                                  round);
   }
   EXPECT_TRUE(service->CheckInvariants().empty()) << service->CheckInvariants();
-  EXPECT_TRUE(reference.CheckInvariants().empty());
+  EXPECT_TRUE(reference->CheckInvariants().empty());
 
-  // Per-shard epochs: each batch bumps only the shards it touched.
-  const auto stats = service->Stats();
-  EXPECT_LE(stats.epoch, static_cast<uint64_t>(rounds) *
-                             static_cast<uint64_t>(num_shards));
-  EXPECT_GE(stats.epoch, static_cast<uint64_t>(rounds));
+  if (!with_checkpoint) {
+    // Per-shard epochs: each batch bumps only the shards it touched. (The
+    // checkpoint variant skips this: attach/compaction publish extra epochs
+    // and recovery resets them.)
+    const auto stats = service->Stats();
+    EXPECT_LE(stats.epoch, static_cast<uint64_t>(rounds) *
+                               static_cast<uint64_t>(num_shards));
+    EXPECT_GE(stats.epoch, static_cast<uint64_t>(rounds));
+  } else {
+    std::filesystem::remove_all(wal_dir);
+  }
 }
 
 // Same differential check, but updates flow one edge at a time through the
@@ -249,6 +302,16 @@ TEST(ShardedFuzzTest, DifferentialTwoShards) {
 TEST(ShardedFuzzTest, DifferentialEightShards) {
   for (int seed = 0; seed < FuzzSeeds(); ++seed) {
     RunDirectInterleaving(8, 2000 + static_cast<uint64_t>(seed));
+  }
+}
+
+TEST(ShardedFuzzTest, DifferentialWithCheckpointRecovery) {
+  const int seeds = std::max(1, FuzzSeeds() / 3);
+  for (const int num_shards : {1, 2, 8}) {
+    for (int seed = 0; seed < seeds; ++seed) {
+      RunDirectInterleaving(num_shards, 4000 + static_cast<uint64_t>(seed),
+                            /*with_checkpoint=*/true);
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -100,18 +102,91 @@ TEST(SnapshotTest, LoadMissingFileReturnsNull) {
   EXPECT_EQ(LoadSnapshot("/nonexistent/never.bin"), nullptr);
 }
 
-TEST(SnapshotTest, IsolatedTrailingVerticesNeedExplicitCount) {
+TEST(SnapshotTest, IsolatedTrailingVerticesSurviveViaHeaderCount) {
   const std::string path = TempPath("snap_isolated.bin");
   BingoStore original(graph::DynamicGraph(100));
   original.StreamingInsert(0, 1, 1.0);
   ASSERT_TRUE(SaveSnapshot(original, path));
-  // Without the override, only max-id+1 vertices are restored.
+  // The v2 header records the true vertex count, so no override is needed.
   const auto implicit = LoadSnapshot(path);
   ASSERT_NE(implicit, nullptr);
-  EXPECT_EQ(implicit->Graph().NumVertices(), 2u);
-  const auto explicit_count = LoadSnapshot(path, BingoConfig{}, 100);
-  ASSERT_NE(explicit_count, nullptr);
-  EXPECT_EQ(explicit_count->Graph().NumVertices(), 100u);
+  EXPECT_EQ(implicit->Graph().NumVertices(), 100u);
+  // An explicit larger count still wins (e.g. growing the id space on load).
+  const auto larger = LoadSnapshot(path, BingoConfig{}, 200);
+  ASSERT_NE(larger, nullptr);
+  EXPECT_EQ(larger->Graph().NumVertices(), 200u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FailedSaveLeavesOldSnapshotReadable) {
+  // Regression: snapshots used to be written in place, so a crash (or any
+  // failure) mid-save destroyed the previous good snapshot. Saves now land
+  // in a temp file and rename atomically.
+  const std::string path = TempPath("snap_atomic.bin");
+  BingoStore original = RmatStore(7);
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  const auto before = AllEdges(original);
+
+  // Block the temp path with a directory so the next save fails.
+  const std::string tmp = path + ".tmp";
+  std::filesystem::create_directory(tmp);
+  BingoStore other(graph::DynamicGraph(4));
+  other.StreamingInsert(0, 1, 1.0);
+  EXPECT_FALSE(SaveSnapshot(other, path));
+  std::filesystem::remove(tmp);
+
+  const auto loaded = LoadSnapshot(path, BingoConfig{}, 256);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(AllEdges(*loaded), before);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedOrCorruptSnapshotFailsToLoad) {
+  const std::string path = TempPath("snap_corrupt.bin");
+  BingoStore original = RmatStore(8);
+  ASSERT_TRUE(SaveSnapshot(original, path));
+
+  // Truncation (e.g. torn copy): the edge-count/size validation refuses it.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 3);
+  EXPECT_EQ(LoadSnapshot(path, BingoConfig{}, 256), nullptr);
+
+  // Payload corruption: the section CRC refuses it.
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(300, std::ios::beg);
+    const char garbage = '\x55';
+    f.write(&garbage, 1);
+  }
+  EXPECT_EQ(LoadSnapshot(path, BingoConfig{}, 256), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ConfigFingerprintMismatchRefusesLoad) {
+  const std::string path = TempPath("snap_config.bin");
+  BingoStore original = RmatStore(9);  // default config
+  ASSERT_TRUE(SaveSnapshot(original, path));
+  BingoConfig other;
+  other.adaptive.adaptive = false;  // BS baseline: different structures
+  EXPECT_EQ(LoadSnapshot(path, other, 256), nullptr);
+  EXPECT_NE(LoadSnapshot(path, BingoConfig{}, 256), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WalSeqAndHeaderRoundTrip) {
+  const std::string path = TempPath("snap_header.bin");
+  BingoStore original = RmatStore(10);
+  ASSERT_TRUE(SaveSnapshot(original, path, /*wal_seq=*/41));
+  graph::WeightedEdgeList edges;
+  SnapshotInfo info;
+  ASSERT_TRUE(LoadSnapshotEdges(path, edges, &info));
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.wal_seq, 41u);
+  EXPECT_EQ(info.num_vertices, 256u);
+  EXPECT_EQ(info.num_edges, edges.size());
+  EXPECT_EQ(info.config_fingerprint, ConfigFingerprint(original.Config()));
+  EXPECT_EQ(edges.size(), original.Graph().NumEdges());
   std::remove(path.c_str());
 }
 

@@ -27,6 +27,7 @@
 //               [--batcher] [--threads N] [--batches B] [--batch-size K]
 //               [--walkers W] [--length L] [--seed S]
 //               [--kind mixed|insert|delete]
+//               [--wal DIR] [--fsync] [--compact-fraction F]
 //       Drive the concurrent serving front-end: N query threads issue walk
 //       queries against snapshot epochs while one writer streams B update
 //       batches. Reports samples/sec, update latency, and snapshot
@@ -35,6 +36,20 @@
 //       --batcher routes updates one edge at a time through the coalescing
 //       UpdateBatcher instead of pre-formed batches. --walkers is walkers
 //       *per query* (0 = 1024), unlike walk where 0 means one per vertex.
+//       --wal DIR (sharded only) attaches WAL-backed durability: every
+//       batch is journaled before it applies, a final incremental
+//       checkpoint runs after the stream, and the tool then recovers a
+//       second service from DIR and reports the recovery time.
+//
+//   checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]
+//               [--compact-fraction F]
+//       Build a sharded service over the graph and write its durable base
+//       (per-shard base snapshots + WAL segments + manifest) into DIR.
+//
+//   restore     --dir DIR [--out FILE.bin]
+//       Recover a sharded service from DIR (base + WAL replay, torn tails
+//       dropped), report recovery time and WAL replay counts, verify
+//       invariants, and optionally dump the recovered edge list.
 //
 // Examples:
 //   bingo_cli generate --scale 16 --edges 1000000 --out g.bin
@@ -43,6 +58,7 @@
 //   bingo_cli serve-bench --graph g.bin --threads 8 --batches 20
 //   bingo_cli stats --graph g.bin
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,6 +94,10 @@ struct Args {
   bool undirected = false;
   bool batcher = false;
   std::string paths_out;
+  std::string dir;       // checkpoint/restore durability directory
+  std::string wal_dir;   // serve-bench --wal
+  bool fsync = false;
+  double compact_fraction = 0.5;
 };
 
 void PrintUsage() {
@@ -100,8 +120,13 @@ void PrintUsage() {
       "              [--batcher] [--threads N] [--batches B]\n"
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete]\n"
+      "              [--wal DIR] [--fsync] [--compact-fraction F]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
-      "               where 0 = one walker per vertex)\n"
+      "               where 0 = one walker per vertex; --wal journals every\n"
+      "               batch and reports recovery time afterwards)\n"
+      "  checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]\n"
+      "              [--compact-fraction F]\n"
+      "  restore     --dir DIR [--out FILE.bin]\n"
       "\n"
       "see the header comment of tools/bingo_cli.cpp for details\n");
 }
@@ -176,8 +201,21 @@ bool Parse(int argc, char** argv, Args& args) {
       args.undirected = true;
     } else if (flag == "--batcher") {
       args.batcher = true;
+    } else if (flag == "--fsync") {
+      args.fsync = true;
     } else if (flag == "--paths") {
       args.paths_out = next();
+    } else if (flag == "--dir") {
+      args.dir = next();
+    } else if (flag == "--wal") {
+      args.wal_dir = next();
+    } else if (flag == "--compact-fraction") {
+      const double value = std::atof(next());
+      if (!missing_value && (value < 0.0 || !(value < 1e18))) {
+        std::fprintf(stderr, "--compact-fraction must be >= 0\n");
+        return false;
+      }
+      args.compact_fraction = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -489,6 +527,96 @@ int Stats(const Args& args) {
   return 0;
 }
 
+// Builds a sharded service and writes its durable base into --dir.
+int Checkpoint(const Args& args) {
+  if (args.dir.empty()) {
+    std::fprintf(stderr, "checkpoint: --dir is required\n");
+    return 2;
+  }
+  if (!ValidatePositive("--shards", args.shards)) {
+    return 2;
+  }
+  graph::WeightedEdgeList edges;
+  if (!LoadGraphArg(args, edges)) {
+    return args.graph_path.empty() ? 2 : 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  util::Timer build_timer;
+  auto service = walk::MakeShardedWalkService(edges, n, args.shards, {},
+                                              &util::ThreadPool::Global());
+  std::printf("built %d-shard service over %u vertices / %zu edges in %.2fs\n",
+              args.shards, n, edges.size(), build_timer.Seconds());
+  walk::WalPersistenceOptions options;
+  options.fsync_on_commit = args.fsync;
+  options.compact_fraction = args.compact_fraction;
+  util::Timer ckpt_timer;
+  const walk::CheckpointResult result = service->AttachWal(args.dir, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "checkpoint into %s failed\n", args.dir.c_str());
+    return 1;
+  }
+  std::printf("checkpoint:       %s (%.1f MiB in %.2fs, %d shards)\n",
+              args.dir.c_str(), result.bytes_written / 1024.0 / 1024.0,
+              ckpt_timer.Seconds(), args.shards);
+  const std::string invariants = service->CheckInvariants();
+  std::printf("invariants:       %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  return invariants.empty() ? 0 : 1;
+}
+
+// Recovers a sharded service from --dir and reports the replay.
+int Restore(const Args& args) {
+  if (args.dir.empty()) {
+    std::fprintf(stderr, "restore: --dir is required\n");
+    return 2;
+  }
+  walk::RecoveryReport report;
+  util::Timer recover_timer;
+  auto service = walk::RecoverShardedWalkService(
+      args.dir, {}, 0, &util::ThreadPool::Global(),
+      &util::ThreadPool::Global(), {}, &report);
+  const double seconds = recover_timer.Seconds();
+  if (service == nullptr) {
+    std::fprintf(stderr, "recovery from %s failed\n", args.dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered:        %d shards, %u vertices, %llu base edges in %.2fs\n",
+      service->NumShards(), report.num_vertices,
+      static_cast<unsigned long long>(report.base_edges), seconds);
+  std::printf("wal replay:       %llu records / %llu updates%s\n",
+              static_cast<unsigned long long>(report.wal_records_replayed),
+              static_cast<unsigned long long>(report.wal_updates_replayed),
+              report.wal_tail_truncated ? " (torn tail dropped)" : "");
+  const std::string invariants = service->CheckInvariants();
+  std::printf("invariants:       %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  if (!args.out_path.empty()) {
+    // Merge the shards' canonical edge lists back into one vertex-major
+    // list and dump it (binary edge-list format).
+    graph::WeightedEdgeList merged;
+    for (int s = 0; s < service->NumShards(); ++s) {
+      service->Shard(s).Query([&](const core::BingoStore& store) {
+        const auto shard_edges = core::CanonicalEdgeList(store.Graph());
+        merged.insert(merged.end(), shard_edges.begin(), shard_edges.end());
+        return 0;
+      });
+    }
+    std::stable_sort(
+        merged.begin(), merged.end(),
+        [](const graph::WeightedEdge& a, const graph::WeightedEdge& b) {
+          return a.src < b.src;  // stable: per-vertex order preserved
+        });
+    if (!graph::SaveWeightedEdgesBinary(args.out_path, merged)) {
+      std::fprintf(stderr, "failed to write %s\n", args.out_path.c_str());
+      return 1;
+    }
+    std::printf("edges dumped:     %zu -> %s\n", merged.size(),
+                args.out_path.c_str());
+  }
+  return invariants.empty() ? 0 : 1;
+}
+
 // The sharded serving path: per-shard replica pairs, optional coalescing
 // batcher front-end, p50/p99 per-batch update latency.
 int ServeBenchSharded(const Args& args, const graph::VertexId n,
@@ -508,6 +636,22 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
       static_cast<unsigned long long>(args.batch_size), args.kind.c_str(),
       args.batcher ? "single-edge submits through the batcher"
                    : "direct multi-shard batches");
+
+  walk::WalPersistenceOptions persist;
+  persist.fsync_on_commit = args.fsync;
+  persist.compact_fraction = args.compact_fraction;
+  if (!args.wal_dir.empty()) {
+    util::Timer attach_timer;
+    const walk::CheckpointResult base = service->AttachWal(args.wal_dir, persist);
+    if (!base.ok) {
+      std::fprintf(stderr, "failed to attach WAL at %s\n",
+                   args.wal_dir.c_str());
+      return 1;
+    }
+    std::printf("wal attached:     %s (base %.1f MiB in %.2fs, fsync %s)\n",
+                args.wal_dir.c_str(), base.bytes_written / 1024.0 / 1024.0,
+                attach_timer.Seconds(), args.fsync ? "per-batch" : "deferred");
+  }
 
   walk::ShardedStressOptions options;
   options.query_threads = args.threads;
@@ -543,6 +687,40 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
   const std::string invariants = service->CheckInvariants();
   std::printf("invariants:       %s\n",
               invariants.empty() ? "ok" : invariants.c_str());
+
+  if (!args.wal_dir.empty()) {
+    // Seal the stream with an incremental checkpoint, then measure a full
+    // recovery from disk — the crash-restart cost a deployment would pay.
+    util::Timer ckpt_timer;
+    const walk::CheckpointResult ckpt = service->Checkpoint();
+    std::printf("final checkpoint: %s, %.2f MiB in %.3fs (%s)\n",
+                ckpt.ok ? "ok" : "FAILED",
+                ckpt.bytes_written / 1024.0 / 1024.0, ckpt_timer.Seconds(),
+                ckpt.compacted ? "compacted" : "incremental");
+    walk::RecoveryReport recovery;
+    util::Timer recover_timer;
+    auto recovered = walk::RecoverShardedWalkService(
+        args.wal_dir, {}, 0, &util::ThreadPool::Global(),
+        &util::ThreadPool::Global(), persist, &recovery);
+    if (recovered == nullptr) {
+      std::fprintf(stderr, "recovery from %s failed\n", args.wal_dir.c_str());
+      return 1;
+    }
+    std::printf(
+        "recovery:         %.2fs (%llu base edges + %llu wal records / %llu "
+        "updates replayed)\n",
+        recover_timer.Seconds(),
+        static_cast<unsigned long long>(recovery.base_edges),
+        static_cast<unsigned long long>(recovery.wal_records_replayed),
+        static_cast<unsigned long long>(recovery.wal_updates_replayed));
+    const std::string recovered_invariants = recovered->CheckInvariants();
+    std::printf("recovered state:  %s\n", recovered_invariants.empty()
+                                              ? "ok"
+                                              : recovered_invariants.c_str());
+    if (!ckpt.ok || !recovered_invariants.empty()) {
+      return 1;
+    }
+  }
   return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
 }
 
@@ -560,6 +738,10 @@ int ServeBench(const Args& args) {
   }
   if (args.batcher && args.store != "sharded") {
     std::fprintf(stderr, "--batcher requires --store sharded\n");
+    return 2;
+  }
+  if (!args.wal_dir.empty() && args.store != "sharded") {
+    std::fprintf(stderr, "--wal requires --store sharded\n");
     return 2;
   }
   if (args.app != "deepwalk") {
@@ -665,6 +847,12 @@ int main(int argc, char** argv) {
   }
   if (args.command == "serve-bench") {
     return ServeBench(args);
+  }
+  if (args.command == "checkpoint") {
+    return Checkpoint(args);
+  }
+  if (args.command == "restore") {
+    return Restore(args);
   }
   if (args.command == "--help" || args.command == "-h" ||
       args.command == "help") {
