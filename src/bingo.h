@@ -26,7 +26,9 @@
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/graph/update_stream.h"
+#include "src/util/numa.h"
 #include "src/util/rng.h"
+#include "src/util/scratch.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/walk/analytics.h"

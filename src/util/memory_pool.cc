@@ -6,12 +6,15 @@
 #include <thread>
 
 #include "src/util/bitops.h"
+#include "src/util/thread_pool.h"
 
 namespace bingo::util {
 
 namespace {
-// Stable per-thread shard index, striped round-robin across threads.
-int ThreadShardIndex() {
+// Stable per-thread stripe for OFF-pool threads, round-robin across thread
+// creation order. Executor workers never reach this — their shard is their
+// worker id, which is dense within a pool by construction.
+int ThreadStripeIndex() {
   static std::atomic<int> next{0};
   thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -27,8 +30,16 @@ int MemoryPool::ClassIndex(std::size_t bytes) {
   return HighestBit(cls) - HighestBit(kMinClassBytes);
 }
 
+int MemoryPool::CurrentShardIndex() {
+  const int worker = ThreadPool::CurrentWorkerId();
+  if (worker >= 0) {
+    return worker % kNumShards;
+  }
+  return ThreadStripeIndex() % kNumShards;
+}
+
 MemoryPool::Shard& MemoryPool::LocalShard() {
-  return shards_[ThreadShardIndex() % kNumShards];
+  return shards_[CurrentShardIndex()];
 }
 
 void* MemoryPool::Allocate(std::size_t bytes) {
@@ -36,20 +47,52 @@ void* MemoryPool::Allocate(std::size_t bytes) {
     return nullptr;
   }
   const std::size_t cls = ClassSize(bytes);
-  Shard& shard = LocalShard();
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.live_bytes += static_cast<std::ptrdiff_t>(cls);
-  if (cls > kMaxClassBytes) {
-    shard.reserved_bytes += cls;
-    return ::operator new(cls);
+  const int self = CurrentShardIndex();
+  Shard& shard = shards_[self];
+  const int class_index = ClassIndex(bytes);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.allocations;
+    shard.live_bytes += static_cast<std::ptrdiff_t>(cls);
+    if (cls > kMaxClassBytes) {
+      shard.reserved_bytes += cls;
+      ++shard.oversize;
+      return ::operator new(cls);
+    }
+    auto& free_list = shard.free_lists[class_index];
+    if (!free_list.empty()) {
+      void* block = free_list.back();
+      free_list.pop_back();
+      ++shard.free_list_hits;
+      return block;
+    }
   }
-  auto& free_list = shard.free_lists[ClassIndex(bytes)];
-  if (!free_list.empty()) {
-    void* block = free_list.back();
-    free_list.pop_back();
-    return block;
+  // Local miss: steal a recycled block of this class from a sibling shard
+  // before carving fresh memory. Scratch buffers are leased on executor
+  // workers but often freed by the blocking caller (a different shard) —
+  // without the steal, blocks would pile up on the caller's shard while
+  // every worker keeps carving, and the steady state would never become
+  // allocation-free. Locks are taken one shard at a time (no ordering
+  // hazard); the scan only runs on the miss path.
+  for (int i = 1; i < kNumShards; ++i) {
+    Shard& victim = shards_[(self + i) % kNumShards];
+    void* block = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      auto& free_list = victim.free_lists[class_index];
+      if (!free_list.empty()) {
+        block = free_list.back();
+        free_list.pop_back();
+      }
+    }
+    if (block != nullptr) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.free_list_hits;
+      return block;
+    }
   }
   // Carve from the shard's newest arena; start a new arena if it won't fit.
+  std::lock_guard<std::mutex> lock(shard.mutex);
   const std::size_t arena_size = std::max(cls, kArenaBytes);
   if (shard.arenas.empty() || shard.arena_used + cls > kArenaBytes ||
       cls > kArenaBytes) {
@@ -59,6 +102,7 @@ void* MemoryPool::Allocate(std::size_t bytes) {
   }
   void* block = shard.arenas.back().get() + shard.arena_used;
   shard.arena_used += cls;
+  ++shard.carves;
   return block;
 }
 
@@ -94,6 +138,18 @@ std::size_t MemoryPool::LiveBytes() const {
     total += shard.live_bytes;
   }
   return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, total));
+}
+
+MemoryPool::AllocStats MemoryPool::Stats() const {
+  AllocStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.allocations += shard.allocations;
+    stats.free_list_hits += shard.free_list_hits;
+    stats.carves += shard.carves;
+    stats.oversize += shard.oversize;
+  }
+  return stats;
 }
 
 }  // namespace bingo::util

@@ -8,12 +8,19 @@
 // freed blocks go back to the free list and are recycled "offline", while
 // insertion may have to grow into a fresh block immediately.
 //
-// The pool is sharded: each thread allocates from a shard picked by thread
-// identity, so parallel batched updates (which grow many adjacency blocks
-// concurrently) do not serialize on one lock. Blocks may be freed into a
-// different shard than they were carved from — blocks of one size class are
-// interchangeable and arena memory is only released when the whole pool
-// dies.
+// The pool is sharded so parallel writers do not serialize on one lock. On
+// an executor worker the shard is the WORKER ID modulo kNumShards — an
+// exact round-robin, so the workers of one pool can never collide onto a
+// single shard (the old thread-identity stripe could: identities are
+// assigned per thread creation across the whole process, and unrelated
+// short-lived threads burn stripe slots). Off-pool threads still use the
+// process-wide stripe. Blocks may be freed into a different shard than they
+// were carved from — blocks of one size class are interchangeable and
+// arena memory is only released when the whole pool dies. A shard whose
+// free list misses STEALS a recycled block from a sibling shard before
+// carving fresh arena space (scratch buffers are leased on workers but
+// freed by blocking callers; stealing is what makes the warm steady state
+// allocation-free instead of leaking pooled blocks onto one shard).
 //
 // Blocks above `kMaxClassBytes` fall through to the system allocator.
 
@@ -60,6 +67,24 @@ class MemoryPool {
   // Bytes currently handed out to callers (rounded to class sizes).
   std::size_t LiveBytes() const;
 
+  // Allocation-path accounting, summed over shards. In a warm steady state
+  // every Allocate is a free-list hit: tests pin "zero per-call buffer
+  // allocations" by asserting `carves + oversize` stops growing.
+  struct AllocStats {
+    uint64_t allocations = 0;     // Allocate() calls served
+    uint64_t free_list_hits = 0;  // served by recycling a freed block
+    uint64_t carves = 0;          // served by carving (maybe new) arena space
+    uint64_t oversize = 0;        // served by the system allocator
+    // Allocations that the pool had to take fresh memory for.
+    uint64_t FreshAllocations() const { return carves + oversize; }
+  };
+  AllocStats Stats() const;
+
+  // Shard the calling thread would allocate from right now (worker id on an
+  // executor thread, process-wide stripe otherwise). Exposed so tests can
+  // assert the contention story: distinct workers => distinct shards.
+  static int CurrentShardIndex();
+
  private:
   static constexpr int kNumClasses = 23;  // 16 B ... 64 MiB
 
@@ -72,6 +97,10 @@ class MemoryPool {
     // meaningful, and those are always the true totals.
     std::ptrdiff_t reserved_bytes = 0;
     std::ptrdiff_t live_bytes = 0;
+    uint64_t allocations = 0;
+    uint64_t free_list_hits = 0;
+    uint64_t carves = 0;
+    uint64_t oversize = 0;
     std::vector<void*> free_lists[kNumClasses];
   };
 

@@ -1,0 +1,152 @@
+#include "src/util/numa.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <thread>
+
+namespace bingo::util {
+
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](int& out) {
+    if (i >= list.size() || !std::isdigit(static_cast<unsigned char>(list[i]))) {
+      return false;
+    }
+    long value = 0;
+    while (i < list.size() && std::isdigit(static_cast<unsigned char>(list[i]))) {
+      value = value * 10 + (list[i] - '0');
+      if (value > 1 << 20) {  // no machine has a million CPUs
+        return false;
+      }
+      ++i;
+    }
+    out = static_cast<int>(value);
+    return true;
+  };
+  while (i < list.size()) {
+    int lo = 0;
+    if (!parse_int(lo)) {
+      break;
+    }
+    int hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      if (!parse_int(hi) || hi < lo) {
+        break;
+      }
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(cpu);
+    }
+    if (i < list.size() && list[i] == ',') {
+      ++i;
+    } else {
+      break;  // end of list, or trailing junk (newline)
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+namespace {
+
+CpuTopology SingleNodeFallback() {
+  CpuTopology topology;
+  const int n = std::max(1u, std::thread::hardware_concurrency());
+  topology.cpus_of_node.emplace_back();
+  for (int cpu = 0; cpu < n; ++cpu) {
+    topology.cpus_of_node[0].push_back(cpu);
+  }
+  return topology;
+}
+
+}  // namespace
+
+CpuTopology DetectCpuTopology() {
+  CpuTopology topology;
+  // Node ids need not be contiguous (offlined or unpopulated nodes leave
+  // gaps), so probe the ids the kernel declares possible instead of
+  // stopping at the first missing node%d directory. A missing/unreadable
+  // `possible` file degrades to probing a dense prefix.
+  std::vector<int> node_ids;
+  bool ids_declared = false;
+  {
+    std::ifstream possible("/sys/devices/system/node/possible");
+    std::string list;
+    if (possible && std::getline(possible, list)) {
+      node_ids = ParseCpuList(list);  // same "0-2,4" format as cpulists
+      ids_declared = !node_ids.empty();
+    }
+  }
+  if (!ids_declared) {
+    for (int node = 0; node < 1024; ++node) {
+      node_ids.push_back(node);
+    }
+  }
+  for (const int node : node_ids) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in) {
+      if (!ids_declared) {
+        break;  // dense probe: first missing directory ends the id space
+      }
+      continue;  // declared id with no directory (offlined): keep going
+    }
+    std::string list;
+    std::getline(in, list);
+    auto cpus = ParseCpuList(list);
+    if (!cpus.empty()) {  // memory-only nodes hold no CPUs; skip them
+      topology.cpus_of_node.push_back(std::move(cpus));
+    }
+  }
+  if (topology.cpus_of_node.empty() || topology.NumCpus() == 0) {
+    return SingleNodeFallback();
+  }
+  return topology;
+}
+
+std::vector<int> PlanWorkerCpus(const CpuTopology& topology,
+                                std::size_t num_workers, bool numa_interleave) {
+  std::vector<int> plan;
+  plan.reserve(num_workers);
+  if (topology.NumCpus() == 0) {
+    return plan;
+  }
+  if (!numa_interleave) {
+    // Dense: concatenate node CPU lists and wrap.
+    std::vector<int> flat;
+    for (const auto& cpus : topology.cpus_of_node) {
+      flat.insert(flat.end(), cpus.begin(), cpus.end());
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      plan.push_back(flat[w % flat.size()]);
+    }
+    return plan;
+  }
+  // Interleaved: rotate over nodes, taking each node's next unused CPU;
+  // nodes that run out keep wrapping within themselves.
+  std::vector<std::size_t> cursor(topology.cpus_of_node.size(), 0);
+  std::size_t node = 0;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const auto& cpus = topology.cpus_of_node[node];
+    plan.push_back(cpus[cursor[node] % cpus.size()]);
+    ++cursor[node];
+    node = (node + 1) % topology.cpus_of_node.size();
+  }
+  return plan;
+}
+
+int NodeOfCpu(const CpuTopology& topology, int cpu) {
+  for (std::size_t node = 0; node < topology.cpus_of_node.size(); ++node) {
+    const auto& cpus = topology.cpus_of_node[node];
+    if (std::binary_search(cpus.begin(), cpus.end(), cpu)) {
+      return static_cast<int>(node);
+    }
+  }
+  return 0;
+}
+
+}  // namespace bingo::util

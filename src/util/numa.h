@@ -1,0 +1,61 @@
+// CPU / NUMA topology detection for the work-stealing executor.
+//
+// The paper's GPU habitat gets memory locality for free from per-block
+// shared memory; on CPU the executor has to build it, and the first step is
+// knowing where the cores live. This reads the Linux sysfs topology
+// (/sys/devices/system/node/node*/cpulist) and degrades gracefully: on a
+// machine without sysfs, without NUMA, or on a non-Linux kernel it reports
+// one node holding every CPU, and the executor behaves exactly like a flat
+// pool. No libnuma dependency — detection is a file parse, placement is
+// plain pthread affinity.
+
+#ifndef BINGO_SRC_UTIL_NUMA_H_
+#define BINGO_SRC_UTIL_NUMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bingo::util {
+
+struct CpuTopology {
+  // cpus_of_node[n] lists the online CPU ids of NUMA node n, ascending.
+  // Always at least one node; the single-node fallback puts every CPU in
+  // node 0.
+  std::vector<std::vector<int>> cpus_of_node;
+
+  int NumNodes() const { return static_cast<int>(cpus_of_node.size()); }
+  int NumCpus() const {
+    std::size_t total = 0;
+    for (const auto& cpus : cpus_of_node) {
+      total += cpus.size();
+    }
+    return static_cast<int>(total);
+  }
+};
+
+// Parses a sysfs cpulist string ("0-3,8,10-11") into ascending CPU ids.
+// Malformed input yields the longest valid prefix (sysfs is trusted but a
+// parse must never throw).
+std::vector<int> ParseCpuList(const std::string& list);
+
+// Reads the sysfs node topology. Falls back to one node containing CPUs
+// [0, hardware_concurrency) when sysfs is absent or unreadable.
+CpuTopology DetectCpuTopology();
+
+// Plans one CPU per worker from the topology. With `numa_interleave` the
+// assignment round-robins across nodes (worker 0 -> node 0's first CPU,
+// worker 1 -> node 1's first CPU, ...) so walkers and their scratch spread
+// over every memory controller; otherwise workers fill node 0's CPUs first
+// (dense packing keeps a small pool on one node's cache hierarchy). More
+// workers than CPUs wrap around. The returned vector has one entry per
+// worker: the CPU to pin to.
+std::vector<int> PlanWorkerCpus(const CpuTopology& topology,
+                                std::size_t num_workers, bool numa_interleave);
+
+// Node owning `cpu` in `topology`, or 0 when unknown.
+int NodeOfCpu(const CpuTopology& topology, int cpu);
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_NUMA_H_

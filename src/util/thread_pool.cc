@@ -1,53 +1,316 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <utility>
+
+#include "src/util/memory_pool.h"
+#include "src/util/numa.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace bingo::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+namespace {
+
+// Worker identity of the calling thread. Set once at worker startup; -1 /
+// nullptr everywhere else (external threads, the main thread).
+thread_local int tls_worker_id = -1;
+thread_local ThreadPool* tls_pool = nullptr;
+
+bool EnvFlag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+}  // namespace
+
+ChunkPlan ComputeChunkPlan(std::size_t total, std::size_t grain,
+                           std::size_t num_threads) {
+  ChunkPlan plan;
+  if (total == 0) {
+    return plan;
+  }
+  grain = std::max<std::size_t>(1, grain);
+  num_threads = std::max<std::size_t>(1, num_threads);
+  const std::size_t max_chunks = (total + grain - 1) / grain;
+  plan.num_chunks = std::min(max_chunks, num_threads * 4);
+  plan.chunk_size = (total + plan.num_chunks - 1) / plan.num_chunks;
+  // Re-derive the count from the rounded-up size: ceil-div twice can
+  // overshoot (e.g. 131073 items into 512 chunks of 257 puts chunk 511
+  // past the end), and an empty trailing chunk would hand callers lo > hi.
+  // After this every chunk is non-empty: (num_chunks-1)*chunk_size < total.
+  plan.num_chunks = (total + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+ThreadPool* ThreadPool::CurrentPool() { return tls_pool; }
+
+ThreadPool::ThreadPool(const PoolOptions& options)
+    : options_(options), scratch_(std::make_unique<MemoryPool>()) {
+  std::size_t num_threads = options_.num_threads;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  options_.num_threads = num_threads;
+
+  const CpuTopology topology = DetectCpuTopology();
+  cpu_plan_ = PlanWorkerCpus(topology, num_threads, options_.numa_interleave);
+  node_plan_.reserve(cpu_plan_.size());
+  for (const int cpu : cpu_plan_) {
+    node_plan_.push_back(NodeOfCpu(topology, cpu));
+  }
+
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (options_.pin_threads) {
+    // Pinning happens on the worker threads; wait for every attempt so
+    // AffinityApplied() is meaningful the moment construction returns.
+    while (workers_started_.load(std::memory_order_acquire) < num_threads) {
+      std::this_thread::yield();
+    }
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) {
     w.join();
   }
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-  }
-  cv_.notify_one();
+int ThreadPool::WorkerNumaNode(std::size_t worker) const {
+  return worker < node_plan_.size() ? node_plan_[worker] : 0;
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) {
-        return;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+void ThreadPool::NotifyOne() {
+  // Busy-pool fast path: when no worker sleeps, skip the mutex entirely —
+  // otherwise every enqueue of every concurrent caller serializes on one
+  // lock, the disease the single-queue pool had. The seq_cst fence pairing
+  // with the sleep path (pending_ fetch_add / sleepers_ fetch_add are both
+  // seq_cst) guarantees a worker between its sleepers_ increment and its
+  // predicate check observes our pending_ increment, so a zero read here
+  // can never strand a task.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) {
+    return;
+  }
+  // Empty critical section: a worker between its predicate check and its
+  // wait holds sleep_mutex_, so taking it here orders this notify after
+  // that worker is actually waiting (no lost wakeup).
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool == this && tls_worker_id >= 0) {
+    target = static_cast<std::size_t>(tls_worker_id);  // LIFO hot end
+  } else {
+    target = next_external_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  // pending_ rises before the task is visible so a concurrent pop can never
+  // drive the counter below zero (seq_cst: see NotifyOne).
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    WorkerQueue& q = *queues_[target];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(std::move(task));
+    q.size.store(q.tasks.size(), std::memory_order_relaxed);
+  }
+  NotifyOne();
+}
+
+void ThreadPool::Post(std::function<void()> task) { Enqueue(std::move(task)); }
+
+bool ThreadPool::TryRunOneTask(std::size_t self) {
+  std::function<void()> task;
+  {
+    // Local LIFO pop: the most recently pushed task is the cache-warm one.
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      q.size.store(q.tasks.size(), std::memory_order_relaxed);
     }
+  }
+  if (!task) {
+    // Steal sweep, FIFO from the victim's cold end. The lock-free size
+    // probe skips empty victims (a stale nonzero just costs one lock; a
+    // stale zero is caught by the pending_-gated sleep protocol).
+    for (std::size_t i = 1; i < queues_.size() && !task; ++i) {
+      WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+      if (q.size.load(std::memory_order_relaxed) == 0) {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        q.size.store(q.tasks.size(), std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  try {
     task();
+  } catch (...) {
+    // Post contract: a throwing fire-and-forget task must not take down the
+    // worker. ParallelFor chunks capture their own exceptions, so anything
+    // reaching here came from Post.
+    post_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(std::size_t id) {
+  tls_worker_id = static_cast<int>(id);
+  tls_pool = this;
+#if defined(__linux__)
+  if (options_.pin_threads && id < cpu_plan_.size()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu_plan_[id], &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+      pin_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+#else
+  if (options_.pin_threads) {
+    pin_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+#endif
+  workers_started_.fetch_add(1, std::memory_order_release);
+  for (;;) {
+    if (TryRunOneTask(id)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_ && pending_.load(std::memory_order_seq_cst) == 0) {
+      return;  // drained: queued work (and work it posted) has run
+    }
+    // Declare the intent to sleep BEFORE the predicate's pending_ read
+    // (both seq_cst): an enqueuer either sees sleepers_ > 0 and notifies,
+    // or its pending_ increment is visible to our predicate — never
+    // neither. That is what lets NotifyOne skip the mutex on busy pools.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stop_ && pending_.load(std::memory_order_seq_cst) == 0) {
+      return;
+    }
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelForChunks call. Runner tasks hold it through
+// a shared_ptr so a runner that wakes after the caller already returned
+// (every chunk claimed by faster participants) still touches live memory;
+// `fn` is only dereferenced while the caller is provably still blocked
+// (a chunk remained unclaimed).
+struct ChunkContext {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+// The claim loop: every participant — enqueued runners AND the caller —
+// races the atomic cursor over the deterministic chunk plan. Work-stealing
+// at chunk granularity with no per-chunk queue traffic.
+void RunClaimLoop(ChunkContext& ctx) {
+  for (;;) {
+    const std::size_t c = ctx.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= ctx.num_chunks) {
+      return;
+    }
+    const std::size_t lo = ctx.begin + c * ctx.chunk_size;
+    const std::size_t hi = std::min(ctx.end, lo + ctx.chunk_size);
+    // lo < hi is ComputeChunkPlan's non-empty-chunk invariant; if it ever
+    // broke, skip fn but still count the chunk done (a silent no-op beats
+    // handing fn an inverted range or hanging the caller's done wait).
+    if (lo < hi) {
+      try {
+        (*ctx.fn)(c, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(ctx.error_mutex);
+        if (!ctx.first_error) {
+          ctx.first_error = std::current_exception();
+        }
+      }
+    }
+    if (ctx.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        ctx.num_chunks) {
+      std::lock_guard<std::mutex> lock(ctx.done_mutex);
+      ctx.done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelForChunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (begin >= end) {
+    return;
+  }
+  const ChunkPlan plan = ComputeChunkPlan(end - begin, grain, NumThreads());
+  if (plan.num_chunks <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  auto ctx = std::make_shared<ChunkContext>();
+  ctx->fn = &fn;
+  ctx->begin = begin;
+  ctx->end = end;
+  ctx->chunk_size = plan.chunk_size;
+  ctx->num_chunks = plan.num_chunks;
+  // The caller claims chunks too, so enqueue at most num_chunks - 1 helpers
+  // (and never more than the worker count).
+  const std::size_t runners = std::min(plan.num_chunks - 1, NumThreads());
+  for (std::size_t r = 0; r < runners; ++r) {
+    Enqueue([ctx] { RunClaimLoop(*ctx); });
+  }
+  RunClaimLoop(*ctx);
+  {
+    std::unique_lock<std::mutex> lock(ctx->done_mutex);
+    ctx->done_cv.wait(lock, [&] {
+      return ctx->done.load(std::memory_order_acquire) == ctx->num_chunks;
+    });
+  }
+  if (ctx->first_error) {
+    std::rethrow_exception(ctx->first_error);
   }
 }
 
@@ -55,57 +318,18 @@ void ThreadPool::ParallelForChunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
-  if (begin >= end) {
-    return;
-  }
-  grain = std::max<std::size_t>(1, grain);
-  const std::size_t total = end - begin;
-  const std::size_t max_chunks = (total + grain - 1) / grain;
-  const std::size_t num_chunks = std::min(max_chunks, NumThreads() * 4);
-  if (num_chunks <= 1) {
-    fn(begin, end);
-    return;
-  }
-  const std::size_t chunk_size = (total + num_chunks - 1) / num_chunks;
-
-  std::atomic<std::size_t> remaining{num_chunks};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    Enqueue([&, lo, hi] {
-      try {
-        fn(lo, hi);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-      }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
-  }
-
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
+  ParallelForChunks(
+      begin, end,
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); },
+      grain);
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn,
                              std::size_t grain) {
-  ParallelForChunked(
+  ParallelForChunks(
       begin, end,
-      [&fn](std::size_t lo, std::size_t hi) {
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           fn(i);
         }
@@ -114,7 +338,14 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  // Environment knobs so deployments can shape the library-wide pool
+  // without code changes: BINGO_THREADS=N, BINGO_PIN=1, BINGO_NUMA=1.
+  static ThreadPool pool(PoolOptions{
+      static_cast<std::size_t>(std::max<long long>(
+          0, std::getenv("BINGO_THREADS") != nullptr
+                 ? std::atoll(std::getenv("BINGO_THREADS"))
+                 : 0)),
+      EnvFlag("BINGO_PIN"), EnvFlag("BINGO_NUMA")});
   return pool;
 }
 

@@ -1,37 +1,101 @@
-// Fixed-size thread pool with a blocking ParallelFor.
+// Work-stealing executor with a blocking ParallelFor.
 //
 // The paper executes batched graph updates and walker advancement as CUDA
 // kernels (one thread block per vertex / per walker). Substitution S1 in
 // DESIGN.md maps that execution model onto a CPU pool: work items are
-// vertices or walker chunks, scheduled round-robin with a grain size.
+// vertices or walker chunks, scheduled with a grain size.
+//
+// Execution model (this class is still named ThreadPool for source
+// compatibility, but it is a work-stealing executor):
+//
+//   * Every worker owns a deque. Tasks submitted from a worker push onto
+//     its own deque and are popped LIFO (the hot, cache-resident end);
+//     idle workers steal FIFO from the cold end of a victim's deque, so a
+//     stolen task is the oldest — and least cache-warm — one. External
+//     submitters (non-pool threads) round-robin across worker deques.
+//   * ParallelFor / ParallelForChunked / ParallelForChunks do not enqueue
+//     one closure per chunk. They publish a claim context (an atomic chunk
+//     cursor over a deterministic chunk plan) and enqueue up to NumThreads
+//     runner tasks that loop claiming chunks; the CALLER runs the same
+//     claim loop before blocking. Caller participation makes nested
+//     parallelism safe: a ParallelFor issued from inside a pool task
+//     drains its own chunks even when every worker is busy, so the
+//     fixed-size pool can never deadlock on nesting.
+//   * Chunk ids are a pure function of (range, grain, NumThreads) — see
+//     ComputeChunkPlan — never of steal order, so callers may index
+//     pre-sized result slots by chunk id and results stay bit-identical
+//     for any interleaving at a fixed thread count; deterministic merges
+//     (the walk engine's per-walker buffers) make them identical across
+//     thread counts too.
+//
+// Placement (PoolOptions): `pin_threads` pins worker i to the CPU chosen by
+// util::PlanWorkerCpus over the sysfs NUMA topology; `numa_interleave`
+// spreads consecutive workers round-robin across NUMA nodes instead of
+// packing node 0 first. On single-node machines (or when sysfs/affinity is
+// unavailable) both degrade to a flat pool — detection never fails, pinning
+// failure is recorded, not fatal. WorkerNumaNode exposes the plan.
+//
+// Scratch: the pool owns a MemoryPool (ScratchMemory) from which walk
+// chunk buffers and walker-transfer queues lease their backing
+// (util::ScratchVector). MemoryPool shards by CurrentWorkerId on pool
+// threads, so leases are uncontended and recycled buffers stay on the
+// worker — and, when pinned, on the NUMA node — that last touched them.
 
 #ifndef BINGO_SRC_UTIL_THREAD_POOL_H_
 #define BINGO_SRC_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace bingo::util {
 
+class MemoryPool;
+
+struct PoolOptions {
+  std::size_t num_threads = 0;   // 0 selects the hardware concurrency
+  bool pin_threads = false;      // pin worker i to its planned CPU
+  bool numa_interleave = false;  // spread workers round-robin across nodes
+};
+
+// Deterministic chunking shared by the ParallelFor family and by callers
+// that pre-size per-chunk result slots: chunk c covers
+// [begin + c * chunk_size, min(end, begin + (c+1) * chunk_size)).
+struct ChunkPlan {
+  std::size_t num_chunks = 0;
+  std::size_t chunk_size = 0;
+};
+
+// Pure function of its arguments (notably NOT of load or steal order):
+// at most num_threads * 4 chunks of at least `grain` iterations each.
+ChunkPlan ComputeChunkPlan(std::size_t total, std::size_t grain,
+                           std::size_t num_threads);
+
 class ThreadPool {
  public:
   // `num_threads == 0` selects the hardware concurrency.
-  explicit ThreadPool(std::size_t num_threads = 0);
+  explicit ThreadPool(std::size_t num_threads = 0)
+      : ThreadPool(PoolOptions{num_threads, false, false}) {}
+  explicit ThreadPool(const PoolOptions& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t NumThreads() const { return workers_.size(); }
+  const PoolOptions& Options() const { return options_; }
 
   // Runs fn(i) for every i in [begin, end), partitioned into contiguous
   // chunks of at least `grain` iterations. Blocks until all iterations are
   // done. The first exception thrown by any chunk is rethrown on the caller.
+  // Safe to call from inside a pool task (the caller claims chunks itself).
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn,
                    std::size_t grain = 1);
@@ -43,25 +107,92 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn,
       std::size_t grain = 1);
 
-  // Fire-and-forget task submission (the batcher's writer tasks). The caller
-  // owns completion tracking; tasks still queued at destruction run before
-  // the workers exit. A posted task must not block waiting for another
-  // posted task to *start* — workers are a fixed set, and this pool does not
-  // steal work while a task blocks.
-  void Post(std::function<void()> task) { Enqueue(std::move(task)); }
+  // Like ParallelForChunked but also hands fn the chunk id, which follows
+  // ComputeChunkPlan(end - begin, grain, NumThreads()) exactly: callers may
+  // write chunk results into a pre-sized slot array with no merge lock.
+  void ParallelForChunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1);
+
+  // Fire-and-forget task submission (the batcher's writer tasks). The
+  // caller owns completion tracking; tasks still queued at destruction run
+  // before the workers exit (including tasks they post in turn). Unlike the
+  // single-queue pool this executor steals, so a posted task that blocks
+  // only stalls one worker — but a posted task still must not wait for
+  // another posted task to *start*, since all workers may be blocked.
+  //
+  // Exception contract: a posted task that throws does NOT take down the
+  // worker or the process. The exception is swallowed at the worker loop,
+  // counted in PostErrors(), and the worker moves to the next task. Callers
+  // that need the error (e.g. UpdateBatcher) must catch inside the task.
+  void Post(std::function<void()> task);
+
+  // Posted tasks whose uncaught exceptions were swallowed by a worker.
+  uint64_t PostErrors() const {
+    return post_errors_.load(std::memory_order_relaxed);
+  }
+
+  // Worker id of the calling thread in [0, NumThreads()) when it is a
+  // worker of ANY live ThreadPool, -1 otherwise (external threads, and the
+  // main thread). Ids are stable for a worker's lifetime; MemoryPool keys
+  // its shard choice off this.
+  static int CurrentWorkerId();
+  // The pool the calling worker belongs to, or nullptr off-pool.
+  static ThreadPool* CurrentPool();
+
+  // NUMA node of `worker`'s planned CPU (0 on single-node machines or when
+  // pinning is off — the plan still exists, it is just not enforced).
+  int WorkerNumaNode(std::size_t worker) const;
+  // True when pin_threads was requested and every worker pinned cleanly.
+  // Valid as soon as the constructor returns: with pin_threads set, the
+  // constructor waits until every worker has attempted its pin.
+  bool AffinityApplied() const {
+    return pin_failures_.load(std::memory_order_relaxed) == 0 &&
+           options_.pin_threads;
+  }
+
+  // Pool-owned scratch backing store for per-worker walk buffers and
+  // walker-transfer queues (see util/scratch.h). Thread-safe; sharded by
+  // worker id on pool threads.
+  MemoryPool& ScratchMemory() { return *scratch_; }
 
   // Global pool shared by the library (walk engine, batched updates).
   static ThreadPool& Global();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  // One deque per worker. The mutex is per-worker, so local pushes/pops and
+  // steals only contend when a thief actually hits this worker. `size`
+  // mirrors tasks.size() (updated under the mutex, read lock-free) so a
+  // steal sweep can skip empty victims without touching their locks.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+    std::atomic<std::size_t> size{0};
+  };
 
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(std::size_t id);
+  bool TryRunOneTask(std::size_t self);  // local pop, then steal sweep
+  void NotifyOne();
+
+  PoolOptions options_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<int> cpu_plan_;        // worker -> planned CPU
+  std::vector<int> node_plan_;       // worker -> NUMA node of that CPU
+
+  std::atomic<uint64_t> pending_{0};  // tasks sitting in deques
+  std::atomic<std::size_t> next_external_{0};  // round-robin for Post
+  std::atomic<uint64_t> post_errors_{0};
+  std::atomic<uint64_t> pin_failures_{0};
+  std::atomic<std::size_t> workers_started_{0};  // pin attempts completed
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};  // workers inside sleep_cv_.wait
+  bool stop_ = false;  // guarded by sleep_mutex_
+
+  std::unique_ptr<MemoryPool> scratch_;
 };
 
 }  // namespace bingo::util

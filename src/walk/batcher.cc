@@ -11,8 +11,12 @@ UpdateBatcher::UpdateBatcher(ShardedWalkService& service, BatcherOptions options
   if (pool == nullptr) {
     // Private writer pool: one thread per shard is enough to keep every
     // shard's drain independent; cap it so huge shard counts stay sane.
-    owned_pool_ = std::make_unique<util::ThreadPool>(
-        std::min<std::size_t>(static_cast<std::size_t>(service_.NumShards()), 4));
+    util::PoolOptions pool_options = options_.writer_pool;
+    if (pool_options.num_threads == 0) {
+      pool_options.num_threads = std::min<std::size_t>(
+          static_cast<std::size_t>(service_.NumShards()), 4);
+    }
+    owned_pool_ = std::make_unique<util::ThreadPool>(pool_options);
     pool = owned_pool_.get();
   }
   pool_ = pool;
@@ -96,17 +100,31 @@ void UpdateBatcher::DrainLoop(int s) {
       batch.swap(q.pending);
     }
     util::Timer timer;
-    const core::BatchResult result = service_.ApplyShardBatch(s, batch);
+    core::BatchResult result;
+    bool applied = true;
+    try {
+      result = service_.ApplyShardBatch(s, batch);
+    } catch (...) {
+      // A throwing apply must not kill the drainer (the queue would wedge
+      // with drain_active set and Flush would hang). Count the loss and
+      // keep draining; Stats() surfaces the divergence.
+      applied = false;
+    }
     const double seconds = timer.Seconds();
     queue_depth_.fetch_sub(static_cast<int64_t>(batch.size()),
                            std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
-      stats_.flushed_updates += batch.size();
       stats_.flush_seconds_total += seconds;
       stats_.flush_seconds_max = std::max(stats_.flush_seconds_max, seconds);
-      stats_.applied += result;
+      if (applied) {
+        stats_.flushed_updates += batch.size();
+        stats_.applied += result;
+      } else {
+        ++stats_.drain_errors;
+        stats_.dropped_updates += batch.size();
+      }
     }
   }
   // Retire. Notifying under the mutex makes it safe for a Flush caller to
@@ -163,6 +181,7 @@ BatcherStats UpdateBatcher::Stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<std::size_t>(
       std::max<int64_t>(0, queue_depth_.load(std::memory_order_relaxed)));
+  stats.pool_post_errors = pool_->PostErrors();
   return stats;
 }
 

@@ -61,6 +61,10 @@ struct BatcherOptions {
   // before the call is applied AND durable. Without it (or with the
   // service's fsync_on_commit), durability follows the service's policy.
   bool sync_wal_on_flush = false;
+  // Shape of the private writer pool when no pool is passed in:
+  // num_threads == 0 keeps the default heuristic (min(shards, 4));
+  // pinning/NUMA flags pass straight to the executor.
+  util::PoolOptions writer_pool;
 };
 
 struct BatcherStats {
@@ -70,6 +74,16 @@ struct BatcherStats {
   uint64_t size_flushes = 0;     // drains triggered by max_batch_updates
   uint64_t time_flushes = 0;     // drains triggered by max_delay_seconds
   uint64_t manual_flushes = 0;   // drains triggered by Flush()
+  // Batches whose ApplyShardBatch threw. The writer task survives (the
+  // drainer catches, retires cleanly, and later drains proceed), but the
+  // failed batch's updates are DROPPED — a nonzero count means the service
+  // and the submitted stream have diverged. dropped_updates totals them.
+  uint64_t drain_errors = 0;
+  uint64_t dropped_updates = 0;
+  // Fire-and-forget tasks whose exceptions the writer pool's executor
+  // swallowed (see ThreadPool::PostErrors). With an owned pool and the
+  // drainer catch above, this stays 0 — it is the backstop's backstop.
+  uint64_t pool_post_errors = 0;
   std::size_t queue_depth = 0;   // updates queued or draining right now
   double flush_seconds_total = 0.0;  // time inside ApplyShardBatch
   double flush_seconds_max = 0.0;    // slowest single batch

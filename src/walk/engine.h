@@ -2,9 +2,10 @@
 //
 // The paper launches one walker per vertex and advances walks step by step,
 // each step being one sample (§6 implementation notes iii). This driver
-// runs walkers in parallel on the thread pool with deterministic per-walker
-// RNG streams; results are identical for any thread count and for any
-// store backend driving the stepper (see src/walk/store.h).
+// runs walkers in parallel on the work-stealing executor with deterministic
+// per-walker RNG streams; results are identical for any thread count, any
+// steal order, any pinning, and for any store backend driving the stepper
+// (see src/walk/store.h).
 //
 // A Stepper supplies the application logic:
 //
@@ -16,10 +17,14 @@
 //     bool Terminate(util::Rng& rng) const;
 //   };
 //
-// Merging is contention-free: step/walker totals and per-vertex visit
-// counts accumulate through relaxed atomics outside any critical section;
-// the only lock guards the per-chunk path-buffer list, and holds it just
-// long enough to move a buffer in.
+// Merging is lock-free end to end: step/walker totals and per-vertex visit
+// counts accumulate through relaxed atomics, and per-chunk path buffers
+// land in a pre-sized slot array indexed by chunk id — the executor's chunk
+// plan is a pure function of (range, grain, thread count), so every chunk
+// has exactly one writer and its slot. The buffers themselves are
+// ScratchVectors leasing recycled blocks from the executor's scratch
+// MemoryPool (sharded by worker id): in the steady state a RunWalks call
+// performs zero system allocations for chunk buffers.
 
 #ifndef BINGO_SRC_WALK_ENGINE_H_
 #define BINGO_SRC_WALK_ENGINE_H_
@@ -27,11 +32,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/graph/types.h"
 #include "src/util/rng.h"
+#include "src/util/scratch.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/store.h"
 
@@ -82,19 +87,27 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
   std::vector<std::atomic<uint32_t>> visit_acc(cfg.count_visits ? num_vertices
                                                                 : 0);
 
-  std::mutex chunk_mutex;  // guards `chunks` only
+  // One slot per chunk of the executor's deterministic plan (a single slot
+  // on the serial path). Each chunk task moves its leased buffers into its
+  // own slot — no merge lock, single writer by construction.
+  constexpr std::size_t kGrain = 256;
+  const util::ChunkPlan plan =
+      pool != nullptr
+          ? util::ComputeChunkPlan(num_walkers, kGrain, pool->NumThreads())
+          : util::ChunkPlan{1, static_cast<std::size_t>(num_walkers)};
+  util::MemoryPool* scratch = pool != nullptr ? &pool->ScratchMemory() : nullptr;
   struct ChunkOutput {
-    uint64_t begin = 0;
-    std::vector<graph::VertexId> paths;
-    std::vector<uint64_t> lengths;  // per walker, when recording
+    util::ScratchVector<graph::VertexId> paths;
+    util::ScratchVector<uint64_t> lengths;  // per walker, when recording
   };
-  std::vector<ChunkOutput> chunks;
+  std::vector<ChunkOutput> chunks(cfg.record_paths ? plan.num_chunks : 0);
 
-  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+  const auto run_chunk = [&](std::size_t chunk, std::size_t lo,
+                             std::size_t hi) {
     uint64_t steps = 0;
     uint64_t finished = 0;
-    ChunkOutput out;
-    out.begin = lo;
+    ChunkOutput out{util::ScratchVector<graph::VertexId>(scratch),
+                    util::ScratchVector<uint64_t>(scratch)};
     if (cfg.record_paths) {
       // Upper bound (start + walk_length per walker), capped so huge PPR
       // caps don't balloon transient chunk buffers.
@@ -102,7 +115,7 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
           (hi - lo) * (uint64_t{cfg.walk_length} + 1), uint64_t{1} << 20));
       out.lengths.reserve(hi - lo);
     }
-    std::vector<uint32_t> local_visits;
+    util::ScratchVector<uint32_t> local_visits(scratch);
     if (cfg.count_visits) {
       local_visits.assign(num_vertices, 0);
     }
@@ -159,15 +172,14 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
       }
     }
     if (cfg.record_paths) {
-      std::lock_guard<std::mutex> lock(chunk_mutex);
-      chunks.push_back(std::move(out));
+      chunks[chunk] = std::move(out);
     }
   };
 
   if (pool != nullptr) {
-    pool->ParallelForChunked(0, num_walkers, run_range, 256);
+    pool->ParallelForChunks(0, num_walkers, run_chunk, kGrain);
   } else {
-    run_range(0, num_walkers);
+    run_chunk(0, 0, num_walkers);
   }
 
   result.total_steps = total_steps.load(std::memory_order_relaxed);
@@ -180,19 +192,21 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
   }
 
   if (cfg.record_paths) {
-    // Stitch per-chunk buffers into the flattened layout.
-    for (const ChunkOutput& chunk : chunks) {
-      for (std::size_t i = 0; i < chunk.lengths.size(); ++i) {
-        result.path_offsets[chunk.begin + i + 1] = chunk.lengths[i];
+    // Stitch per-chunk buffers into the flattened layout. Chunk c covers
+    // walkers [c * chunk_size, ...), per the executor's plan.
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      const std::size_t begin = c * plan.chunk_size;
+      for (std::size_t i = 0; i < chunks[c].lengths.size(); ++i) {
+        result.path_offsets[begin + i + 1] = chunks[c].lengths[i];
       }
     }
     for (std::size_t i = 1; i < result.path_offsets.size(); ++i) {
       result.path_offsets[i] += result.path_offsets[i - 1];
     }
     result.paths.resize(result.path_offsets.back());
-    for (const ChunkOutput& chunk : chunks) {
-      uint64_t cursor = result.path_offsets[chunk.begin];
-      for (graph::VertexId v : chunk.paths) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      uint64_t cursor = result.path_offsets[c * plan.chunk_size];
+      for (graph::VertexId v : chunks[c].paths) {
         result.paths[cursor++] = v;
       }
     }

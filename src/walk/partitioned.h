@@ -21,6 +21,7 @@
 #include "src/core/bingo_store.h"
 #include "src/graph/types.h"
 #include "src/util/rng.h"
+#include "src/util/scratch.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
 #include "src/walk/engine.h"
@@ -126,6 +127,7 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
     uint32_t len;
     util::Rng rng;
   };
+  static_assert(std::is_trivially_copyable_v<Walker>);
   const graph::VertexId num_vertices =
       static_cast<graph::VertexId>(store.NumVertices());
   const uint64_t num_walkers =
@@ -145,18 +147,37 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
     result.visit_counts.assign(num_vertices, 0);
   }
 
+  // Every transient buffer of the superstep machinery — per-shard walker
+  // queues, the outbox matrix, per-walker path buffers, per-shard visit
+  // accumulators — leases recycled blocks from the executor's scratch pool,
+  // so repeated runs (the serving path) allocate nothing in steady state.
+  util::MemoryPool* scratch =
+      pool != nullptr ? &pool->ScratchMemory() : nullptr;
+
   // Per-walker path buffers, indexed by walker id. A walker lives on exactly
   // one shard queue per superstep, so its buffer has a single writer.
-  std::vector<std::vector<graph::VertexId>> walker_paths(
-      cfg.record_paths ? num_walkers : 0);
+  std::vector<util::ScratchVector<graph::VertexId>> walker_paths;
+  if (cfg.record_paths) {
+    walker_paths.reserve(num_walkers);
+    for (uint64_t w = 0; w < num_walkers; ++w) {
+      walker_paths.emplace_back(scratch);
+    }
+  }
   // Per-shard visit accumulators merged after the run (additions commute).
-  std::vector<std::vector<uint32_t>> shard_visits(
-      cfg.count_visits ? num_shards : 0);
-  for (auto& visits : shard_visits) {
-    visits.assign(num_vertices, 0);
+  std::vector<util::ScratchVector<uint32_t>> shard_visits;
+  if (cfg.count_visits) {
+    shard_visits.reserve(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      shard_visits.emplace_back(scratch);
+      shard_visits.back().assign(num_vertices, 0);
+    }
   }
 
-  std::vector<std::vector<Walker>> queues(num_shards);
+  std::vector<util::ScratchVector<Walker>> queues;
+  queues.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    queues.emplace_back(scratch);
+  }
   for (uint64_t w = 0; w < num_walkers; ++w) {
     const graph::VertexId start =
         cfg.start_vertex != graph::kInvalidVertex
@@ -175,8 +196,13 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
     }
   }
 
-  std::vector<std::vector<std::vector<Walker>>> outboxes(
-      num_shards, std::vector<std::vector<Walker>>(num_shards));
+  std::vector<std::vector<util::ScratchVector<Walker>>> outboxes(num_shards);
+  for (auto& row : outboxes) {
+    row.reserve(num_shards);
+    for (int to = 0; to < num_shards; ++to) {
+      row.emplace_back(scratch);
+    }
+  }
   std::atomic<uint64_t> total_steps{0};
   std::atomic<uint64_t> finished_walkers{0};
 
@@ -238,9 +264,7 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
         if (from != to) {
           result.walker_migrations += box.size();
         }
-        queues[to].insert(queues[to].end(),
-                          std::make_move_iterator(box.begin()),
-                          std::make_move_iterator(box.end()));
+        queues[to].append(box.begin(), box.end());
         box.clear();
         any_live = true;
       }

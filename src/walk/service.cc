@@ -6,6 +6,7 @@
 
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/io.h"
+#include "src/util/stats.h"
 #include "src/util/timer.h"
 
 namespace bingo::walk {
@@ -94,6 +95,10 @@ std::unique_ptr<WalkService> RecoverWalkService(
   return service;
 }
 
+double ServiceStressReport::UpdateSecondsQuantile(double q) const {
+  return util::SampleQuantile(batch_seconds, q);
+}
+
 ServiceStressReport RunWalkServiceStress(WalkService& service,
                                          const graph::UpdateList& updates,
                                          const ServiceStressOptions& options) {
@@ -156,6 +161,7 @@ ServiceStressReport RunWalkServiceStress(WalkService& service,
     const double seconds = batch_timer.Seconds();
     report.update_seconds_total += seconds;
     report.update_seconds_max = std::max(report.update_seconds_max, seconds);
+    report.batch_seconds.push_back(seconds);
     ++report.batches;
   }
 

@@ -48,6 +48,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/core/bingo_store.h"
 #include "src/core/snapshot.h"
@@ -624,6 +625,7 @@ struct ServiceStressReport {
   double wall_seconds = 0.0;
   double update_seconds_total = 0.0;
   double update_seconds_max = 0.0;
+  std::vector<double> batch_seconds;  // per-batch update latency, in order
 
   double SamplesPerSecond() const {
     return wall_seconds > 0.0 ? static_cast<double>(walk_steps) / wall_seconds
@@ -633,6 +635,8 @@ struct ServiceStressReport {
     return batches > 0 ? update_seconds_total / static_cast<double>(batches)
                        : 0.0;
   }
+  // Latency percentile over the recorded batches (q in [0, 1]).
+  double UpdateSecondsQuantile(double q) const;
 };
 
 ServiceStressReport RunWalkServiceStress(WalkService& service,

@@ -9,6 +9,7 @@
 
 #include "src/graph/dynamic_graph.h"
 #include "src/util/fileio.h"
+#include "src/util/stats.h"
 #include "src/util/timer.h"
 #include "src/walk/batcher.h"
 
@@ -143,16 +144,7 @@ double ShardedStressReport::MaxUpdateSeconds() const {
 }
 
 double ShardedStressReport::UpdateSecondsQuantile(double q) const {
-  if (batch_seconds.empty()) {
-    return 0.0;
-  }
-  std::vector<double> sorted = batch_seconds;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return util::SampleQuantile(batch_seconds, q);
 }
 
 ShardedStressReport RunShardedServiceStress(

@@ -1,7 +1,12 @@
-// Determinism guarantees across all walk applications and thread counts:
-// per-walker RNG streams make every result reproducible byte-for-byte.
+// Determinism guarantees across all walk applications, thread counts,
+// pinning modes, and both execution models: per-walker RNG streams make
+// every result reproducible byte-for-byte, and the executor's chunk plan
+// keeps results independent of steal order and CPU placement.
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
 
 #include "src/core/bingo_store.h"
 #include "src/graph/bias.h"
@@ -9,6 +14,7 @@
 #include "src/graph/generators.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
+#include "src/walk/partitioned.h"
 
 namespace bingo::walk {
 namespace {
@@ -78,6 +84,75 @@ TEST(DeterminismTest, SeedChangesResults) {
   const auto ra = RunDeepWalk(store, a, nullptr);
   const auto rb = RunDeepWalk(store, b, nullptr);
   EXPECT_NE(ra.paths, rb.paths);
+}
+
+// The PR acceptance matrix: threads {1, 4, 16} x pinning {off, on} x apps
+// {DeepWalk, node2vec, PPR} x drivers {shared-memory engine, superstep
+// walker-transfer} — every cell bit-identical to the serial reference.
+// Walk output depends only on the seed: never on thread count, steal
+// order, CPU placement, or execution model.
+TEST(DeterminismTest, MatrixAcrossThreadsPinningAndDrivers) {
+  util::Rng rng(7);
+  auto pairs = graph::GenerateRmat(8, 2400, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = 256;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams bias_params;
+  const auto biases = graph::GenerateBiases(csr, bias_params, rng);
+  const auto edges = graph::ToWeightedEdges(csr, biases);
+
+  const BingoStore store(graph::DynamicGraph::FromEdges(n, edges));
+  const PartitionedBingoStore sharded(edges, n, 4);
+
+  WalkConfig cfg;
+  cfg.walk_length = 16;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  // More walkers than the engine's 256-walker grain, so the parallel cells
+  // exercise the multi-chunk slot-array stitch (several chunks per pool),
+  // not the single-chunk serial early-return.
+  cfg.num_walkers = 2048;
+
+  const char* apps[] = {"deepwalk", "node2vec", "ppr"};
+  for (const char* app : apps) {
+    const auto run_engine = [&](util::ThreadPool* pool) -> WalkResult {
+      if (app == std::string("node2vec")) {
+        return RunNode2vec(store, cfg, {}, pool);
+      }
+      if (app == std::string("ppr")) {
+        return RunPpr(store, cfg, 1.0 / 20.0, pool);
+      }
+      return RunDeepWalk(store, cfg, pool);
+    };
+    const auto run_superstep = [&](util::ThreadPool* pool) -> WalkResult {
+      if (app == std::string("node2vec")) {
+        return RunPartitionedNode2vec(sharded, cfg, {}, pool);
+      }
+      if (app == std::string("ppr")) {
+        return RunPartitionedPpr(sharded, cfg, 1.0 / 20.0, pool);
+      }
+      return RunPartitionedDeepWalk(sharded, cfg, pool);
+    };
+
+    const WalkResult reference = run_engine(nullptr);
+    EXPECT_GT(reference.total_steps, 0u) << app;
+    ExpectIdentical(reference, run_superstep(nullptr));
+
+    for (const std::size_t threads : {1uL, 4uL, 16uL}) {
+      for (const bool pin : {false, true}) {
+        util::PoolOptions options;
+        options.num_threads = threads;
+        options.pin_threads = pin;
+        options.numa_interleave = pin;
+        util::ThreadPool pool(options);
+        SCOPED_TRACE(std::string(app) + " threads=" +
+                     std::to_string(threads) + " pin=" + (pin ? "on" : "off"));
+        ExpectIdentical(reference, run_engine(&pool));
+        ExpectIdentical(reference, run_superstep(&pool));
+      }
+    }
+  }
 }
 
 TEST(DeterminismTest, SamplingDoesNotMutateStore) {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -142,6 +143,36 @@ TEST(ShardedStressTest, SubmittersRaceQueriesAcrossShards) {
 // The time trigger, in isolation: a trickle far below the size threshold
 // must still be applied within the staleness bound by the background
 // flusher — no Flush() call, no size trigger.
+TEST(ShardedStressTest, PoolPostErrorsSurfaceThroughBatcherStats) {
+  // The executor's Post exception contract (thread_pool.h): a throwing
+  // fire-and-forget task is swallowed and counted, never fatal. The
+  // batcher surfaces its writer pool's counter so a deployment can alarm
+  // on it — assert the plumbing end to end with a caller-provided pool.
+  const auto edges = TestGraph(73);
+  const auto service = MakeShardedWalkService(edges, kNumVertices, 4);
+  util::ThreadPool writer_pool(2);
+  BatcherOptions options;
+  options.auto_flush = false;
+  {
+    UpdateBatcher batcher(*service, options, &writer_pool);
+    writer_pool.Post([] { throw std::runtime_error("writer task boom"); });
+    util::Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+      batcher.Submit(RandomUpdate(rng));
+    }
+    batcher.Flush();  // the pool survived the throw: drains still complete
+    for (int spin = 0; spin < 10000 && writer_pool.PostErrors() == 0; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const BatcherStats stats = batcher.Stats();
+    EXPECT_EQ(stats.flushed_updates, 100u);
+    EXPECT_EQ(stats.drain_errors, 0u);
+    EXPECT_EQ(stats.dropped_updates, 0u);
+    EXPECT_EQ(stats.pool_post_errors, 1u);
+  }
+  EXPECT_TRUE(service->CheckInvariants().empty());
+}
+
 TEST(ShardedStressTest, TimeTriggerDrainsTrickle) {
   const auto edges = TestGraph(73);
   const auto service = MakeShardedWalkService(edges, kNumVertices, 4);

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "src/util/bitops.h"
@@ -251,6 +253,56 @@ TEST(MemoryPoolTest, ManySmallAllocationsSpanArenas) {
   for (void* p : blocks) {
     pool.Deallocate(p, 4096);
   }
+  EXPECT_EQ(pool.LiveBytes(), 0u);
+}
+
+TEST(MemoryPoolTest, ShardSelectionFollowsExecutorWorkerId) {
+  // Contention assertion: on executor workers the shard is the worker id
+  // mod kNumShards — an exact round-robin, so the workers of one pool can
+  // never all collide onto a single shard the way the old process-wide
+  // thread stripe could (stripe slots are burned by every thread the
+  // process ever creates, and 8 workers with stripe indices {k, k+8, ...}
+  // all hash to one shard). Distinct workers => distinct shards, verified
+  // on whichever workers execute.
+  ThreadPool pool(MemoryPool::kNumShards);
+  std::atomic<int> collisions{0};
+  pool.ParallelFor(0, 4096, [&](std::size_t) {
+    const int worker = ThreadPool::CurrentWorkerId();
+    if (worker >= 0 &&
+        MemoryPool::CurrentShardIndex() != worker % MemoryPool::kNumShards) {
+      collisions.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(collisions.load(), 0);
+}
+
+TEST(MemoryPoolTest, FreeListMissStealsFromSiblingShardBeforeCarving) {
+  // A block freed on one shard (the blocking caller) must satisfy the next
+  // same-class lease on another shard (an executor worker) without fresh
+  // arena carving — the property that makes walk chunk buffers
+  // allocation-free in steady state. Force the cross-shard pattern: lease
+  // and free on this thread, then lease the same class from pool workers.
+  MemoryPool pool;
+  constexpr std::size_t kBytes = 1 << 16;
+  ThreadPool workers(2);
+  void* warm = pool.Allocate(kBytes);
+  pool.Deallocate(warm, kBytes);  // parked on this thread's shard
+  const auto before = pool.Stats();
+  std::atomic<void*> stolen{nullptr};
+  // Post (not ParallelFor): the caller participates in its own parallel
+  // regions, and the point here is a lease from a WORKER shard.
+  workers.Post([&] {
+    stolen.store(pool.Allocate(kBytes), std::memory_order_release);
+  });
+  for (int spin = 0; spin < 10000 && stolen.load() == nullptr; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto after = pool.Stats();
+  ASSERT_NE(stolen.load(), nullptr);
+  EXPECT_EQ(after.FreshAllocations(), before.FreshAllocations())
+      << "the sibling shard's parked block must be stolen, not re-carved";
+  EXPECT_EQ(after.free_list_hits, before.free_list_hits + 1);
+  pool.Deallocate(stolen.load(), kBytes);
   EXPECT_EQ(pool.LiveBytes(), 0u);
 }
 

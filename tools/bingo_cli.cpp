@@ -9,6 +9,7 @@
 //               [--store bingo|alias|its|reservoir|partitioned] [--shards S]
 //               [--driver engine|superstep] [--length L] [--walkers W]
 //               [--p P] [--q Q] [--seed S] [--paths OUT.txt]
+//               [--threads N] [--pin] [--numa]
 //       Load a graph, build the chosen sampler store, run the application
 //       through the store-generic engine, report steps/second (and
 //       optionally dump the paths). Same seed + same store semantics =>
@@ -26,12 +27,16 @@
 //   serve-bench --graph FILE [--store bingo|sharded] [--shards S]
 //               [--batcher] [--threads N] [--batches B] [--batch-size K]
 //               [--walkers W] [--length L] [--seed S]
-//               [--kind mixed|insert|delete]
+//               [--kind mixed|insert|delete] [--pin] [--numa] [--json]
 //               [--wal DIR] [--fsync] [--compact-fraction F]
 //       Drive the concurrent serving front-end: N query threads issue walk
 //       queries against snapshot epochs while one writer streams B update
 //       batches. Reports samples/sec, update latency, and snapshot
-//       consistency. --store sharded uses the per-shard replica pairs
+//       consistency. The engine/update executor is shaped by --pin
+//       (CPU-affinity pinning) and --numa (interleave workers across NUMA
+//       nodes); --json appends one machine-readable JSON line with
+//       {throughput, p50, p99, recovery_ms, ...} for the perf-trajectory
+//       tooling. --store sharded uses the per-shard replica pairs
 //       (ShardedWalkService) and reports p50/p99 per-batch update latency;
 //       --batcher routes updates one edge at a time through the coalescing
 //       UpdateBatcher instead of pre-formed batches. --walkers is walkers
@@ -83,6 +88,7 @@ struct Args {
   int scale = 14;
   int shards = 4;
   int threads = 4;
+  bool threads_set = false;  // `walk` defaults to hardware concurrency
   int batches = 10;
   uint64_t edges = 200000;
   uint64_t batch_size = 10000;
@@ -93,6 +99,9 @@ struct Args {
   uint64_t seed = 42;
   bool undirected = false;
   bool batcher = false;
+  bool pin = false;    // pin executor workers to planned CPUs
+  bool numa = false;   // interleave executor workers across NUMA nodes
+  bool json = false;   // serve-bench: append a machine-readable JSON line
   std::string paths_out;
   std::string dir;       // checkpoint/restore durability directory
   std::string wal_dir;   // serve-bench --wal
@@ -113,13 +122,15 @@ void PrintUsage() {
       "              [--shards S] [--driver engine|superstep]\n"
       "              [--length L] [--walkers W] [--p P] [--q Q]\n"
       "              [--seed S] [--paths OUT.txt]\n"
+      "              [--threads N] [--pin] [--numa]\n"
       "              (--driver superstep runs the walker-transfer driver on\n"
-      "               the partitioned store and reports migrations/step)\n"
+      "               the partitioned store and reports migrations/step;\n"
+      "               --pin/--numa shape the work-stealing executor)\n"
       "  stats       --graph FILE\n"
       "  serve-bench --graph FILE [--store bingo|sharded] [--shards S]\n"
       "              [--batcher] [--threads N] [--batches B]\n"
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
-      "              [--kind mixed|insert|delete]\n"
+      "              [--kind mixed|insert|delete] [--pin] [--numa] [--json]\n"
       "              [--wal DIR] [--fsync] [--compact-fraction F]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
       "               where 0 = one walker per vertex; --wal journals every\n"
@@ -139,8 +150,9 @@ bool Parse(int argc, char** argv, Args& args) {
   bool missing_value = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    // Every flag except --undirected takes a value; the next token must
-    // exist and not itself be a flag.
+    // Every flag except the booleans (--undirected, --batcher, --pin,
+    // --numa, --json, --fsync) takes a value; the next token must exist
+    // and not itself be a flag.
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
         missing_value = true;
@@ -168,6 +180,7 @@ bool Parse(int argc, char** argv, Args& args) {
       args.shards = std::atoi(next());
     } else if (flag == "--threads") {
       args.threads = std::atoi(next());
+      args.threads_set = true;
     } else if (flag == "--batches") {
       args.batches = std::atoi(next());
     } else if (flag == "--batch-size") {
@@ -201,6 +214,12 @@ bool Parse(int argc, char** argv, Args& args) {
       args.undirected = true;
     } else if (flag == "--batcher") {
       args.batcher = true;
+    } else if (flag == "--pin") {
+      args.pin = true;
+    } else if (flag == "--numa") {
+      args.numa = true;
+    } else if (flag == "--json") {
+      args.json = true;
     } else if (flag == "--fsync") {
       args.fsync = true;
     } else if (flag == "--paths") {
@@ -317,9 +336,33 @@ void WritePaths(const std::string& path,
   std::printf("paths written to %s\n", path.c_str());
 }
 
+// Executor shaped by the placement flags: --threads (0/unset = hardware
+// concurrency), --pin, --numa.
+util::PoolOptions ExecutorOptions(const Args& args) {
+  util::PoolOptions options;
+  options.num_threads =
+      args.threads_set ? static_cast<std::size_t>(std::max(args.threads, 0))
+                       : 0;
+  options.pin_threads = args.pin;
+  options.numa_interleave = args.numa;
+  return options;
+}
+
+// Reports the executor shape whenever placement was requested, including
+// whether the pin actually took (AffinityApplied is settled by then: the
+// pool constructor waits for every worker's pin attempt).
+void PrintExecutorBanner(const Args& args, const util::ThreadPool& pool) {
+  if (!args.pin && !args.numa) {
+    return;
+  }
+  std::printf("executor: %zu workers, pin %s, numa %s%s\n", pool.NumThreads(),
+              args.pin ? "on" : "off", args.numa ? "interleave" : "off",
+              args.pin && !pool.AffinityApplied() ? " (pinning failed)" : "");
+}
+
 // Runs the selected application on any AdjacencyStore backend.
 template <walk::AdjacencyStore Store>
-int RunWalkApp(const Args& args, const Store& store) {
+int RunWalkApp(const Args& args, const Store& store, util::ThreadPool* pool) {
   walk::WalkConfig cfg;
   cfg.walk_length = args.length;
   cfg.num_walkers = args.walkers;
@@ -332,14 +375,13 @@ int RunWalkApp(const Args& args, const Store& store) {
     walk::Node2vecParams params;
     params.p = args.p;
     params.q = args.q;
-    result = walk::RunNode2vec(store, cfg, params, &util::ThreadPool::Global());
+    result = walk::RunNode2vec(store, cfg, params, pool);
   } else if (args.app == "ppr") {
-    result = walk::RunPpr(store, cfg, 1.0 / args.length,
-                          &util::ThreadPool::Global());
+    result = walk::RunPpr(store, cfg, 1.0 / args.length, pool);
   } else if (args.app == "simple") {
-    result = walk::RunSimpleSampling(store, cfg, &util::ThreadPool::Global());
+    result = walk::RunSimpleSampling(store, cfg, pool);
   } else {  // "deepwalk": Walk() validated the app name before building
-    result = walk::RunDeepWalk(store, cfg, &util::ThreadPool::Global());
+    result = walk::RunDeepWalk(store, cfg, pool);
   }
   const double seconds = walk_timer.Seconds();
   std::printf("%s[%s]: %llu steps in %.2fs (%.2fM steps/s)\n",
@@ -357,13 +399,13 @@ int RunWalkApp(const Args& args, const Store& store) {
 // streams, but walkers hop between per-shard queues superstep by superstep.
 // Reports the communication volume (cross-shard migrations per step) the
 // multi-device design would pay.
-int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store) {
+int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store,
+                    util::ThreadPool* pool) {
   walk::WalkConfig cfg;
   cfg.walk_length = args.length;
   cfg.num_walkers = args.walkers;
   cfg.seed = args.seed;
   cfg.record_paths = !args.paths_out.empty();
-  util::ThreadPool* pool = &util::ThreadPool::Global();
 
   util::Timer walk_timer;
   walk::PartitionedWalkResult result;
@@ -429,7 +471,9 @@ int Walk(const Args& args) {
     return args.graph_path.empty() ? 2 : 1;
   }
   const graph::VertexId n = graph::ImpliedVertexCount(edges);
-  util::ThreadPool* pool = &util::ThreadPool::Global();
+  util::ThreadPool walk_pool(ExecutorOptions(args));
+  util::ThreadPool* pool = &walk_pool;
+  PrintExecutorBanner(args, walk_pool);
 
   // One build/report/run path for every backend; `make_store` returns the
   // freshly built store (copy-elided).
@@ -441,7 +485,7 @@ int Walk(const Args& args) {
         "built %s store over %u vertices / %zu edges in %.2fs (%.1f MiB)\n",
         label.c_str(), n, edges.size(), build_timer.Seconds(),
         store.MemoryBytes() / 1024.0 / 1024.0);
-    return RunWalkApp(args, store);
+    return RunWalkApp(args, store, pool);
   };
 
   if (args.store == "bingo") {
@@ -475,7 +519,7 @@ int Walk(const Args& args) {
           "in %.2fs (%.1f MiB)\n",
           args.shards, n, edges.size(), build_timer.Seconds(),
           store.MemoryBytes() / 1024.0 / 1024.0);
-      return RunSuperstepApp(args, store);
+      return RunSuperstepApp(args, store, pool);
     }
     return build_and_run(
         "partitioned(" + std::to_string(args.shards) + " shards)",
@@ -617,14 +661,34 @@ int Restore(const Args& args) {
   return invariants.empty() ? 0 : 1;
 }
 
+// One machine-readable line for the perf-trajectory tooling (BENCH_*.json):
+// printed last so scripts can take the final '{'-prefixed stdout line.
+void PrintServeJson(const Args& args, double samples_per_sec,
+                    double queries_per_sec, double p50_ms, double p99_ms,
+                    double mean_ms, double max_ms, uint64_t batches,
+                    double recovery_ms, uint64_t violations) {
+  std::printf(
+      "{\"bench\":\"serve-bench\",\"store\":\"%s\",\"shards\":%d,"
+      "\"query_threads\":%d,\"pin\":%s,\"numa\":%s,"
+      "\"throughput_samples_per_sec\":%.1f,\"queries_per_sec\":%.2f,"
+      "\"update_p50_ms\":%.4f,\"update_p99_ms\":%.4f,"
+      "\"update_mean_ms\":%.4f,\"update_max_ms\":%.4f,\"batches\":%llu,"
+      "\"recovery_ms\":%.2f,\"consistency_violations\":%llu}\n",
+      args.store.c_str(), args.store == "sharded" ? args.shards : 1,
+      args.threads, args.pin ? "true" : "false", args.numa ? "true" : "false",
+      samples_per_sec, queries_per_sec, p50_ms, p99_ms, mean_ms, max_ms,
+      static_cast<unsigned long long>(batches), recovery_ms,
+      static_cast<unsigned long long>(violations));
+}
+
 // The sharded serving path: per-shard replica pairs, optional coalescing
 // batcher front-end, p50/p99 per-batch update latency.
 int ServeBenchSharded(const Args& args, const graph::VertexId n,
-                      const graph::UpdateWorkload& workload) {
+                      const graph::UpdateWorkload& workload,
+                      util::ThreadPool* pool) {
   util::Timer build_timer;
-  auto service = walk::MakeShardedWalkService(
-      workload.initial_edges, n, args.shards, {}, &util::ThreadPool::Global(),
-      &util::ThreadPool::Global());
+  auto service = walk::MakeShardedWalkService(workload.initial_edges, n,
+                                              args.shards, {}, pool, pool);
   std::printf(
       "serve-bench[sharded]: %u vertices, %zu initial edges, %d shards x 2 "
       "replicas built in %.2fs (%.1f MiB)\n",
@@ -688,6 +752,7 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
   std::printf("invariants:       %s\n",
               invariants.empty() ? "ok" : invariants.c_str());
 
+  double recovery_ms = 0.0;
   if (!args.wal_dir.empty()) {
     // Seal the stream with an incremental checkpoint, then measure a full
     // recovery from disk — the crash-restart cost a deployment would pay.
@@ -699,9 +764,9 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
                 ckpt.compacted ? "compacted" : "incremental");
     walk::RecoveryReport recovery;
     util::Timer recover_timer;
-    auto recovered = walk::RecoverShardedWalkService(
-        args.wal_dir, {}, 0, &util::ThreadPool::Global(),
-        &util::ThreadPool::Global(), persist, &recovery);
+    auto recovered = walk::RecoverShardedWalkService(args.wal_dir, {}, 0, pool,
+                                                     pool, persist, &recovery);
+    recovery_ms = recover_timer.Seconds() * 1e3;
     if (recovered == nullptr) {
       std::fprintf(stderr, "recovery from %s failed\n", args.wal_dir.c_str());
       return 1;
@@ -709,7 +774,7 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
     std::printf(
         "recovery:         %.2fs (%llu base edges + %llu wal records / %llu "
         "updates replayed)\n",
-        recover_timer.Seconds(),
+        recovery_ms / 1e3,
         static_cast<unsigned long long>(recovery.base_edges),
         static_cast<unsigned long long>(recovery.wal_records_replayed),
         static_cast<unsigned long long>(recovery.wal_updates_replayed));
@@ -720,6 +785,15 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
     if (!ckpt.ok || !recovered_invariants.empty()) {
       return 1;
     }
+  }
+  if (args.json) {
+    PrintServeJson(args, report.SamplesPerSecond(),
+                   report.queries / report.wall_seconds,
+                   report.UpdateSecondsQuantile(0.50) * 1e3,
+                   report.UpdateSecondsQuantile(0.99) * 1e3,
+                   report.MeanUpdateSeconds() * 1e3,
+                   report.MaxUpdateSeconds() * 1e3, report.batches,
+                   recovery_ms, report.inconsistent_snapshots);
   }
   return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
 }
@@ -777,17 +851,23 @@ int ServeBench(const Args& args) {
   util::Rng workload_rng(args.seed);
   const auto workload = graph::BuildUpdateWorkload(all_edges, params,
                                                    workload_rng);
+  // The engine/update executor: hardware-concurrency workers, shaped by
+  // --pin/--numa (query-thread count stays a separate knob).
+  util::PoolOptions pool_options;
+  pool_options.pin_threads = args.pin;
+  pool_options.numa_interleave = args.numa;
+  util::ThreadPool serve_pool(pool_options);
+  PrintExecutorBanner(args, serve_pool);
   if (args.store == "sharded") {
-    return ServeBenchSharded(args, n, workload);
+    return ServeBenchSharded(args, n, workload, &serve_pool);
   }
 
-  // The global pool builds the replicas and then parallelizes each batch's
+  // The pool builds the replicas and then parallelizes each batch's
   // replica rebuilds; the stress query threads deliberately run poolless,
   // so the writer has the pool to itself.
   util::Timer build_timer;
   auto service = walk::MakeWalkService(workload.initial_edges, n, {},
-                                       &util::ThreadPool::Global(),
-                                       &util::ThreadPool::Global());
+                                       &serve_pool, &serve_pool);
   std::printf(
       "serve-bench: %u vertices, %zu initial edges, 2 replicas built in "
       "%.2fs (%.1f MiB)\n",
@@ -825,6 +905,15 @@ int ServeBench(const Args& args) {
   const std::string invariants = service->CheckInvariants();
   std::printf("invariants:       %s\n",
               invariants.empty() ? "ok" : invariants.c_str());
+  if (args.json) {
+    PrintServeJson(args, report.SamplesPerSecond(),
+                   report.queries / report.wall_seconds,
+                   report.UpdateSecondsQuantile(0.50) * 1e3,
+                   report.UpdateSecondsQuantile(0.99) * 1e3,
+                   report.MeanUpdateSeconds() * 1e3,
+                   report.update_seconds_max * 1e3, report.batches,
+                   /*recovery_ms=*/0.0, report.inconsistent_snapshots);
+  }
   return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
 }
 
