@@ -37,7 +37,9 @@
 #include "src/walk/batcher.h"
 #include "src/walk/engine.h"
 #include "src/walk/incremental.h"
+#include "src/walk/fused.h"
 #include "src/walk/partitioned.h"
+#include "src/walk/query_batcher.h"
 #include "src/walk/service.h"
 #include "src/walk/sharded_service.h"
 #include "src/walk/store.h"

@@ -17,6 +17,7 @@
 #include "src/core/vertex_sampler.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
+#include "src/util/prefetch.h"
 #include "src/util/thread_pool.h"
 
 namespace bingo::core {
@@ -56,6 +57,29 @@ class BingoStore {
 
   uint32_t SampleNeighborIndex(graph::VertexId v, util::Rng& rng) const {
     return samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
+  }
+
+  // Batched draws at one vertex: out[i] is exactly what
+  // SampleNeighbor(v, *rngs[i]) would return (bit-identity contract of
+  // VertexSampler::SampleIndexBatch). kNoNeighbor and kInvalidVertex share
+  // the same bit pattern, so the no-out-weight case passes through.
+  void SampleNeighborBatch(graph::VertexId v, util::Rng* const* rngs,
+                           std::size_t n, graph::VertexId* out) const {
+    const std::span<const graph::Edge> adj = graph_.Neighbors(v);
+    samplers_[v].SampleIndexBatch(adj, rngs, n, out);
+    static_assert(VertexSampler::kNoNeighbor == graph::kInvalidVertex);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i] != VertexSampler::kNoNeighbor) {
+        out[i] = adj[out[i]].dst;
+      }
+    }
+  }
+
+  // Advisory prefetch of v's sampler state and adjacency head, so a fused
+  // walk pass can hide the pointer chase of the next step's draw.
+  void PrefetchVertex(graph::VertexId v) const {
+    util::PrefetchRead(&samplers_[v]);
+    graph_.PrefetchVertex(v);
   }
 
   // --- streaming updates (§4.2) -------------------------------------------

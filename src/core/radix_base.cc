@@ -1,5 +1,6 @@
 #include "src/core/radix_base.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -127,6 +128,31 @@ uint32_t RadixBaseVertexSampler::SampleIndex(util::Rng& rng) const {
   // Stage (iii): uniform pick inside the equal-bias subgroup.
   const Subgroup& sub = group.subs[digit - 1];
   return sub.members[rng.NextBounded(sub.members.size())];
+}
+
+void RadixBaseVertexSampler::SampleIndexBatch(util::Rng* const* rngs,
+                                              std::size_t n,
+                                              uint32_t* out) const {
+  if (inter_positions_.empty()) {
+    std::fill_n(out, n, kNoNeighbor);
+    return;
+  }
+  constexpr std::size_t kTile = 64;
+  uint32_t slots[kTile];
+  for (std::size_t begin = 0; begin < n; begin += kTile) {
+    const std::size_t count = std::min(kTile, n - begin);
+    // Stage (i): inter-group alias draws, lane-batched.
+    inter_.SampleBatch(rngs + begin, count, slots);
+    // Stages (ii)/(iii): subgroup alias + uniform pick, per walker, each
+    // from that walker's own stream.
+    for (std::size_t i = 0; i < count; ++i) {
+      util::Rng& rng = *rngs[begin + i];
+      const DigitGroup& group = groups_[inter_positions_[slots[i]]];
+      const uint16_t digit = group.sub_digits[group.sub_alias.Sample(rng)];
+      const Subgroup& sub = group.subs[digit - 1];
+      out[begin + i] = sub.members[rng.NextBounded(sub.members.size())];
+    }
+  }
 }
 
 std::vector<double> RadixBaseVertexSampler::ImpliedDistribution(

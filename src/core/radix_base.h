@@ -45,6 +45,14 @@ class RadixBaseVertexSampler {
 
   uint32_t SampleIndex(util::Rng& rng) const;
 
+  // Batched draws: out[i] is exactly what SampleIndex(*rngs[i]) would
+  // return. Stage (i) resolves through the SIMD alias kernel; stages
+  // (ii)/(iii) stay scalar per walker (subgroup tables are tiny). Each
+  // walker consumes its own stream in SampleIndex's draw order, so the
+  // result is bit-identical to n sequential SampleIndex calls.
+  void SampleIndexBatch(util::Rng* const* rngs, std::size_t n,
+                        uint32_t* out) const;
+
   std::vector<double> ImpliedDistribution(std::span<const graph::Edge> adj) const;
   std::string CheckInvariants(std::span<const graph::Edge> adj) const;
 

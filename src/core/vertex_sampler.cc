@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/sampling/batch_kernels.h"
 #include "src/util/bitops.h"
 
 namespace bingo::core {
@@ -220,6 +221,79 @@ uint32_t VertexSampler::SampleIndex(std::span<const graph::Edge> adj,
     }
   }
   return group.PickUniform(rng);
+}
+
+void VertexSampler::SampleIndexBatch(std::span<const graph::Edge> adj,
+                                     util::Rng* const* rngs, std::size_t n,
+                                     uint32_t* out) const {
+  // The early-outs mirror SampleIndex exactly: neither consumes a variate.
+  if (alias_groups_.empty()) {
+    std::fill_n(out, n, kNoNeighbor);
+    return;
+  }
+  if (adj.size() == 1) {
+    std::fill_n(out, n, 0u);
+    return;
+  }
+  constexpr std::size_t kTile = 64;
+  uint32_t slots[kTile];
+  uint32_t pending[kTile];  // tile-local walker indices still in rejection
+  uint32_t cand[kTile];
+  double cand_bias[kTile];
+  uint64_t cand_bits[kTile];
+  for (std::size_t begin = 0; begin < n; begin += kTile) {
+    const std::size_t count = std::min(kTile, n - begin);
+    // Stage (i): inter-group alias draw, lane-batched. A single-group
+    // space draws nothing — same skip as SampleIndex.
+    if (alias_groups_.size() == 1) {
+      std::fill_n(slots, count, 0u);
+    } else {
+      alias_.SampleBatch(rngs + begin, count, slots);
+    }
+    // Stage (ii): decimal and list-backed groups finish per walker (their
+    // follow-up draws come from that walker's own stream, in SampleIndex's
+    // order); dense groups queue for the batched rejection rounds.
+    std::size_t num_pending = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const int k = alias_groups_[slots[i]];
+      if (k == kDecimalGroupId) {
+        out[begin + i] = decimal_.Sample(*rngs[begin + i]);
+        continue;
+      }
+      const RadixGroup& group = groups_[static_cast<std::size_t>(k)];
+      if (group.Kind() == GroupKind::kDense) {
+        pending[num_pending++] = static_cast<uint32_t>(i);
+        continue;
+      }
+      out[begin + i] = group.PickUniform(*rngs[begin + i]);
+    }
+    // Dense rejection (§5.1) in rounds: each round every still-rejected
+    // walker draws one candidate from its own stream — the same candidate
+    // sequence the scalar loop draws — and all bit tests resolve as one
+    // SplitBiasIntBatch lane pass. Dense groups guarantee acceptance
+    // probability > alpha%, so rounds drain geometrically.
+    while (num_pending > 0) {
+      for (std::size_t p = 0; p < num_pending; ++p) {
+        const std::size_t i = pending[p];
+        cand[p] =
+            static_cast<uint32_t>(rngs[begin + i]->NextBounded(adj.size()));
+        cand_bias[p] = adj[cand[p]].bias;
+      }
+      sampling::SplitBiasIntBatch(cand_bias, num_pending, config_->lambda,
+                                  cand_bits);
+      std::size_t still = 0;
+      for (std::size_t p = 0; p < num_pending; ++p) {
+        const std::size_t i = pending[p];
+        const int k = alias_groups_[slots[i]];
+        if ((cand_bits[p] >> k) & 1ULL) {
+          out[begin + i] = cand[p];
+        } else {
+          pending[still++] = pending[p];
+        }
+      }
+      num_pending = still;
+    }
+  }
 }
 
 std::vector<double> VertexSampler::ImpliedDistribution(

@@ -115,6 +115,16 @@ class VertexSampler {
   // kNoNeighbor when the vertex has no weight (e.g. no out-edges). O(1).
   uint32_t SampleIndex(std::span<const graph::Edge> adj, util::Rng& rng) const;
 
+  // Batched draws against this vertex: out[i] is exactly what
+  // SampleIndex(adj, *rngs[i]) would return. Stage (i) resolves through the
+  // SIMD alias kernel; dense-group rejection runs in rounds with the radix
+  // bit tests lane-batched (SplitBiasIntBatch). Each walker's variates come
+  // from its own stream in SampleIndex's order, so the result is
+  // bit-identical to n sequential SampleIndex calls.
+  void SampleIndexBatch(std::span<const graph::Edge> adj,
+                        util::Rng* const* rngs, std::size_t n,
+                        uint32_t* out) const;
+
   // --- introspection ------------------------------------------------------
 
   // Exact distribution the structure implies for each neighbor index

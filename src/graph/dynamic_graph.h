@@ -27,6 +27,7 @@
 
 #include "src/graph/types.h"
 #include "src/util/memory_pool.h"
+#include "src/util/prefetch.h"
 
 namespace bingo::graph {
 
@@ -71,6 +72,18 @@ class DynamicGraph {
 
   const Edge& NeighborAt(VertexId v, uint32_t index) const {
     return slots_[v].edges[index];
+  }
+
+  // Hints the hardware prefetcher at v's slot header and the head of its
+  // adjacency block. Used by the fused walk passes to hide the pointer
+  // chase of the *next* step while the current one computes (§ batched
+  // serving). Safe for any v < NumVertices(); purely advisory.
+  void PrefetchVertex(VertexId v) const {
+    const Slot& s = slots_[v];
+    util::PrefetchRead(&s);
+    if (s.edges != nullptr) {
+      util::PrefetchReadRange(s.edges, s.size * sizeof(Edge));
+    }
   }
 
   // Appends edge (src -> dst, bias); returns its neighbor index. O(1)

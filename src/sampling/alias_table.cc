@@ -1,7 +1,10 @@
 #include "src/sampling/alias_table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
+
+#include "src/sampling/batch_kernels.h"
 
 namespace bingo::sampling {
 
@@ -60,6 +63,26 @@ uint32_t AliasTable::Sample(util::Rng& rng) const {
   assert(!prob_.empty() && total_weight_ > 0.0);
   const uint32_t bucket = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
   return rng.NextUnit() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+void AliasTable::SampleBatch(util::Rng* const* rngs, std::size_t n,
+                             uint32_t* out) const {
+  assert(!prob_.empty() && total_weight_ > 0.0);
+  constexpr std::size_t kTile = 64;
+  uint32_t slots[kTile];
+  double units[kTile];
+  for (std::size_t begin = 0; begin < n; begin += kTile) {
+    const std::size_t count = std::min(kTile, n - begin);
+    // Per-walker variates first, in Sample's draw order (bucket then
+    // acceptance) from each walker's own stream; the kernel then resolves
+    // all lanes without touching any RNG.
+    for (std::size_t i = 0; i < count; ++i) {
+      util::Rng& rng = *rngs[begin + i];
+      slots[i] = static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+      units[i] = rng.NextUnit();
+    }
+    AliasResolveBatch(prob_, alias_, slots, units, out + begin, count);
+  }
 }
 
 std::vector<double> AliasTable::ImpliedProbabilities() const {

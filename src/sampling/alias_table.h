@@ -27,6 +27,16 @@ class AliasTable {
   // have at least one positive weight.
   uint32_t Sample(util::Rng& rng) const;
 
+  // Batched draws: out[i] is exactly what Sample(*rngs[i]) would return,
+  // with each walker's two variates (bucket, acceptance) drawn from its own
+  // stream in Sample's order — then whole lanes are resolved through the
+  // SIMD batch kernel. Bit-identical to per-walker Sample calls for any n.
+  void SampleBatch(util::Rng* const* rngs, std::size_t n, uint32_t* out) const;
+
+  // Raw table views for the batch kernels (src/sampling/batch_kernels.h).
+  std::span<const double> Probs() const { return prob_; }
+  std::span<const uint32_t> Aliases() const { return alias_; }
+
   std::size_t Size() const { return prob_.size(); }
   bool Empty() const { return prob_.empty(); }
   double TotalWeight() const { return total_weight_; }

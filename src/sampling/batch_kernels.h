@@ -1,0 +1,84 @@
+// Structure-of-arrays batch kernels for the per-step sampling hot path.
+//
+// The fused walk driver advances many walkers through one vertex's sampling
+// structure per step; these kernels resolve whole lanes of draws at once
+// instead of one table lookup per walker. Each kernel has two
+// implementations selected at runtime (util::ActiveSimdLevel()):
+//
+//   * a portable scalar path, and
+//   * an AVX2 path (gathers + compares + blends) compiled with per-function
+//     target attributes so the library itself stays baseline-ISA.
+//
+// BIT-IDENTITY CONTRACT: for identical inputs both paths produce identical
+// outputs. Every kernel is pure compare/select/integer arithmetic on values
+// the caller already drew — no floating-point operation whose result could
+// differ between paths (gather+compare+blend is exact; the branchless
+// binary search computes the same mathematically-unique upper_bound index
+// as std::upper_bound; the SplitBias batch reproduces the scalar rounding,
+// carry included, via exact power-of-two scaling). The determinism matrix
+// therefore holds across CPUs: a walk served on an AVX2 machine equals the
+// same walk served on a scalar one, bit for bit.
+//
+// RNG DISCIPLINE: kernels never draw variates. Callers draw each walker's
+// variates from that walker's own stream, in the same per-walker order the
+// scalar sampler uses, then hand the SoA arrays here — so interleaving
+// walkers across lanes can never change any single walker's variate
+// sequence (the engine's determinism contract).
+
+#ifndef BINGO_SRC_SAMPLING_BATCH_KERNELS_H_
+#define BINGO_SRC_SAMPLING_BATCH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bingo::sampling {
+
+// Alias-table resolution: out[i] = units[i] < prob[slots[i]]
+//                                      ? slots[i] : alias[slots[i]].
+// `slots` are pre-drawn bucket indices (NextBounded), `units` the pre-drawn
+// acceptance variates (NextUnit) — exactly AliasTable::Sample's two draws.
+void AliasResolveBatch(std::span<const double> prob,
+                       std::span<const uint32_t> alias, const uint32_t* slots,
+                       const double* units, uint32_t* out, std::size_t n);
+
+// ITS search: out[i] = min(upper_bound(cdf, xs[i]) - cdf.begin(),
+//                          cdf.size() - 1), the exact ItsSampler::Sample
+// lookup. xs are pre-drawn (NextUnit * cdf.back()). cdf must be non-empty
+// and sorted ascending.
+void ItsSearchBatch(std::span<const double> cdf, const double* xs,
+                    uint32_t* out, std::size_t n);
+
+// Radix decomposition: out[i] = core::SplitBias(biases[i], lambda).int_bits
+// (including the fraction-rounds-up-to-one carry). Feeds the dense-group
+// rejection test ((int_bits >> k) & 1) for whole lanes of candidates.
+void SplitBiasIntBatch(const double* biases, std::size_t n, double lambda,
+                       uint64_t* out);
+
+// Fixed-variant entry points, exposed so tests can pin AVX2 == scalar on
+// identical inputs and the microbench can time both on one machine. The
+// dispatching functions above are what production code calls.
+namespace detail {
+void AliasResolveBatchScalar(std::span<const double> prob,
+                             std::span<const uint32_t> alias,
+                             const uint32_t* slots, const double* units,
+                             uint32_t* out, std::size_t n);
+void ItsSearchBatchScalar(std::span<const double> cdf, const double* xs,
+                          uint32_t* out, std::size_t n);
+void SplitBiasIntBatchScalar(const double* biases, std::size_t n,
+                             double lambda, uint64_t* out);
+#if defined(__x86_64__)
+void AliasResolveBatchAvx2(std::span<const double> prob,
+                           std::span<const uint32_t> alias,
+                           const uint32_t* slots, const double* units,
+                           uint32_t* out, std::size_t n);
+void ItsSearchBatchAvx2(std::span<const double> cdf, const double* xs,
+                        uint32_t* out, std::size_t n);
+void SplitBiasIntBatchAvx2(const double* biases, std::size_t n, double lambda,
+                           uint64_t* out);
+#endif
+}  // namespace detail
+
+}  // namespace bingo::sampling
+
+#endif  // BINGO_SRC_SAMPLING_BATCH_KERNELS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sampling/batch_kernels.h"
+
 namespace bingo::sampling {
 
 void ItsSampler::Build(std::span<const double> weights) {
@@ -33,6 +35,21 @@ uint32_t ItsSampler::Sample(util::Rng& rng) const {
   const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
   return static_cast<uint32_t>(std::min<std::ptrdiff_t>(
       it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+void ItsSampler::SampleBatch(util::Rng* const* rngs, std::size_t n,
+                             uint32_t* out) const {
+  assert(!cdf_.empty() && cdf_.back() > 0.0);
+  constexpr std::size_t kTile = 64;
+  double xs[kTile];
+  const double total = cdf_.back();
+  for (std::size_t begin = 0; begin < n; begin += kTile) {
+    const std::size_t count = std::min(kTile, n - begin);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs[i] = rngs[begin + i]->NextUnit() * total;
+    }
+    ItsSearchBatch(cdf_, xs, out + begin, count);
+  }
 }
 
 std::vector<double> ItsSampler::ImpliedProbabilities() const {

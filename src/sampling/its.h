@@ -33,6 +33,14 @@ class ItsSampler {
   // Draws an index with probability w_i / total. Requires TotalWeight() > 0.
   uint32_t Sample(util::Rng& rng) const;
 
+  // Batched draws: out[i] is exactly what Sample(*rngs[i]) would return —
+  // each walker draws its own variate, then whole lanes binary-search the
+  // CDF through the SIMD batch kernel. Bit-identical to per-walker Sample.
+  void SampleBatch(util::Rng* const* rngs, std::size_t n, uint32_t* out) const;
+
+  // Raw CDF view for the batch kernels (src/sampling/batch_kernels.h).
+  std::span<const double> Cdf() const { return cdf_; }
+
   std::size_t Size() const { return cdf_.size(); }
   double TotalWeight() const { return cdf_.empty() ? 0.0 : cdf_.back(); }
 

@@ -1,0 +1,65 @@
+#include "src/util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bingo::util {
+
+namespace {
+
+// >0 while one or more ScopedForceScalar objects are alive.
+std::atomic<int> force_scalar_depth{0};
+
+bool DetectAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool Avx2DisabledByEnv() {
+  const char* value = std::getenv("BINGO_DISABLE_AVX2");
+  if (value == nullptr || value[0] == '\0') {
+    return false;
+  }
+  return std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+const char* ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+bool CpuSupportsAvx2() {
+  static const bool supported = DetectAvx2();
+  return supported;
+}
+
+SimdLevel ActiveSimdLevel() {
+  // Hardware capability and the environment kill-switch are immutable for
+  // the process lifetime; only the test override is dynamic.
+  static const bool enabled = DetectAvx2() && !Avx2DisabledByEnv();
+  if (!enabled || force_scalar_depth.load(std::memory_order_relaxed) > 0) {
+    return SimdLevel::kScalar;
+  }
+  return SimdLevel::kAvx2;
+}
+
+ScopedForceScalar::ScopedForceScalar() {
+  force_scalar_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedForceScalar::~ScopedForceScalar() {
+  force_scalar_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace bingo::util

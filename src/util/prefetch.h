@@ -1,0 +1,40 @@
+// Software prefetch helpers for the fused walk hot path.
+//
+// The fused multi-query driver (src/walk/fused.h) knows, while sampling for
+// walker i, which vertex walker i+D will sample from next — the classic
+// setting for software prefetching: issue a non-blocking load of that
+// vertex's sampler/adjacency metadata now so the line is resident when the
+// walker reaches it. __builtin_prefetch compiles to PREFETCHT0 on x86 and
+// PRFM on aarch64; on compilers without it this degrades to a no-op, which
+// is always correct (prefetching is a pure hint, never semantics).
+
+#ifndef BINGO_SRC_UTIL_PREFETCH_H_
+#define BINGO_SRC_UTIL_PREFETCH_H_
+
+#include <cstddef>
+
+namespace bingo::util {
+
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+// Prefetches the first cache lines of an array region (capped: streaming a
+// long adjacency through the prefetcher would evict more than it warms).
+inline void PrefetchReadRange(const void* addr, std::size_t bytes) {
+  constexpr std::size_t kLine = 64;
+  constexpr std::size_t kMaxLines = 4;
+  const char* p = static_cast<const char*>(addr);
+  const std::size_t lines = (bytes + kLine - 1) / kLine;
+  for (std::size_t i = 0; i < (lines < kMaxLines ? lines : kMaxLines); ++i) {
+    PrefetchRead(p + i * kLine);
+  }
+}
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_PREFETCH_H_

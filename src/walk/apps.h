@@ -38,6 +38,11 @@ namespace internal {
 
 template <SamplingStore Store>
 struct FirstOrderStepper {
+  // Declares that Next is exactly one store.SampleNeighbor(cur, rng) —
+  // no prev dependence, no extra variates — so the fused driver
+  // (walk/fused.h) may resolve same-vertex walker groups through
+  // SampleNeighborBatch without changing any walker's variate sequence.
+  static constexpr bool kFirstOrder = true;
   const Store& store;
   graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
                        util::Rng& rng) const {
@@ -48,6 +53,9 @@ struct FirstOrderStepper {
 
 template <SamplingStore Store>
 struct PprStepper {
+  // Next is one SampleNeighbor; the stop draw happens in Terminate, after
+  // the step, so batched Next resolution keeps per-walker draw order.
+  static constexpr bool kFirstOrder = true;
   const Store& store;
   double stop_probability;
   graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
@@ -59,6 +67,9 @@ struct PprStepper {
 
 template <AdjacencyStore Store>
 struct Node2vecStepper {
+  // Second-order: Next's draw count depends on prev (rejection loop), so
+  // the fused driver keeps it scalar per walker (prefetch still applies).
+  static constexpr bool kFirstOrder = false;
   const Store& store;
   Node2vecParams params;
   double f_max;
@@ -123,6 +134,7 @@ struct Node2vecStepper {
 
 template <AdjacencyStore Store>
 struct UniformStepper {
+  static constexpr bool kFirstOrder = false;
   const Store& store;
   graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
                        util::Rng& rng) const {

@@ -1,0 +1,10 @@
+#include "src/walk/query_batcher.h"
+
+namespace bingo::walk {
+
+// Compiled once; every other TU links against these (see the extern
+// template declarations in the header).
+template class QueryBatcherT<WalkService>;
+template class QueryBatcherT<ShardedWalkService>;
+
+}  // namespace bingo::walk

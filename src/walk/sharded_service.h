@@ -136,6 +136,17 @@ class ShardedWalkServiceT {
     graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
       return ShardFor(v).SampleNeighbor(v, rng);
     }
+    void SampleNeighborBatch(graph::VertexId v, util::Rng* const* rngs,
+                             std::size_t n, graph::VertexId* out) const
+      requires BatchSamplingStore<Store>
+    {
+      ShardFor(v).SampleNeighborBatch(v, rngs, n, out);
+    }
+    void PrefetchVertex(graph::VertexId v) const
+      requires BatchSamplingStore<Store>
+    {
+      ShardFor(v).PrefetchVertex(v);
+    }
     bool HasEdge(graph::VertexId src, graph::VertexId dst) const
       requires AdjacencyStore<Store>
     {

@@ -43,6 +43,20 @@ concept SamplingStore =
       { cs.NumVertices() } -> std::convertible_to<graph::VertexId>;
     };
 
+// Stores that additionally expose a lane-batched draw — out[i] must be
+// bit-identical to SampleNeighbor(v, *rngs[i]) evaluated sequentially —
+// plus an advisory prefetch hook. The fused walk passes (walk/fused.h) use
+// these when present and fall back to per-walker SampleNeighbor otherwise,
+// so modeling this concept is an optimization, never a requirement.
+template <typename S>
+concept BatchSamplingStore =
+    SamplingStore<S> &&
+    requires(const S& cs, graph::VertexId v, util::Rng* const* rngs,
+             std::size_t n, graph::VertexId* out) {
+      { cs.SampleNeighborBatch(v, rngs, n, out) };
+      { cs.PrefetchVertex(v) };
+    };
+
 // Stores that can additionally answer adjacency probes: needed by
 // node2vec's distance test (HasEdge) and uniform sampling (NeighborsOf).
 template <typename S>

@@ -29,6 +29,7 @@
 //               [--walkers W] [--length L] [--seed S]
 //               [--kind mixed|insert|delete] [--pin] [--numa] [--json]
 //               [--wal DIR] [--fsync] [--compact-fraction F]
+//               [--open-loop --qps Q --duration S --front batched|direct]
 //       Drive the concurrent serving front-end: N query threads issue walk
 //       queries against snapshot epochs while one writer streams B update
 //       batches. Reports samples/sec, update latency, and snapshot
@@ -45,6 +46,16 @@
 //       batch is journaled before it applies, a final incremental
 //       checkpoint runs after the stream, and the tool then recovers a
 //       second service from DIR and reports the recovery time.
+//       --open-loop switches serve-bench to an open-loop load generator:
+//       N client threads issue DeepWalk queries with Poisson arrivals at a
+//       combined offered rate of --qps for --duration seconds, and each
+//       query's latency is measured from its SCHEDULED arrival time
+//       (coordinated-omission-free), recorded into an HDR-style histogram.
+//       --front batched routes queries through the coalescing QueryBatcher
+//       (fused walk passes, one snapshot per dispatch); --front direct
+//       issues one service query per request. Same seeds => identical walk
+//       results either way; the JSON line reports offered vs achieved QPS
+//       and p50/p90/p99/p999 for the QPS-vs-tail-latency trajectory.
 //
 //   checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]
 //               [--compact-fraction F]
@@ -64,13 +75,21 @@
 //   bingo_cli stats --graph g.bin
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/bingo.h"
+#include "src/util/cpu_features.h"
+#include "src/util/histogram.h"
 
 namespace {
 
@@ -107,6 +126,10 @@ struct Args {
   std::string wal_dir;   // serve-bench --wal
   bool fsync = false;
   double compact_fraction = 0.5;
+  bool open_loop = false;        // serve-bench: open-loop load generator
+  double qps = 200.0;            // combined offered arrival rate
+  double duration = 5.0;         // seconds of offered load
+  std::string front = "batched"; // batched (QueryBatcher) | direct
 };
 
 void PrintUsage() {
@@ -132,9 +155,13 @@ void PrintUsage() {
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete] [--pin] [--numa] [--json]\n"
       "              [--wal DIR] [--fsync] [--compact-fraction F]\n"
+      "              [--open-loop --qps Q --duration S --front batched|direct]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
       "               where 0 = one walker per vertex; --wal journals every\n"
-      "               batch and reports recovery time afterwards)\n"
+      "               batch and reports recovery time afterwards;\n"
+      "               --open-loop issues Poisson arrivals at Q queries/sec\n"
+      "               and reports coordinated-omission-free p50/p99/p999,\n"
+      "               through the QueryBatcher or one query per request)\n"
       "  checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]\n"
       "              [--compact-fraction F]\n"
       "  restore     --dir DIR [--out FILE.bin]\n"
@@ -151,8 +178,8 @@ bool Parse(int argc, char** argv, Args& args) {
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     // Every flag except the booleans (--undirected, --batcher, --pin,
-    // --numa, --json, --fsync) takes a value; the next token must exist
-    // and not itself be a flag.
+    // --numa, --json, --fsync, --open-loop) takes a value; the next token
+    // must exist and not itself be a flag.
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
         missing_value = true;
@@ -228,6 +255,24 @@ bool Parse(int argc, char** argv, Args& args) {
       args.dir = next();
     } else if (flag == "--wal") {
       args.wal_dir = next();
+    } else if (flag == "--open-loop") {
+      args.open_loop = true;
+    } else if (flag == "--qps") {
+      const double value = std::atof(next());
+      if (!missing_value && !(value > 0.0)) {
+        std::fprintf(stderr, "--qps must be > 0\n");
+        return false;
+      }
+      args.qps = value;
+    } else if (flag == "--duration") {
+      const double value = std::atof(next());
+      if (!missing_value && !(value > 0.0)) {
+        std::fprintf(stderr, "--duration must be > 0\n");
+        return false;
+      }
+      args.duration = value;
+    } else if (flag == "--front") {
+      args.front = next();
     } else if (flag == "--compact-fraction") {
       const double value = std::atof(next());
       if (!missing_value && (value < 0.0 || !(value < 1e18))) {
@@ -798,6 +843,202 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
   return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
 }
 
+// --------------------------------------------------- open-loop serving --
+
+// One client thread's slice of the open-loop run. Arrivals are an
+// independent Poisson process at rate qps/threads (their superposition is
+// Poisson at the full offered rate); latency is measured from the
+// SCHEDULED arrival, so queuing delay from an overloaded service is part
+// of the number rather than silently omitted.
+struct OpenLoopThreadResult {
+  util::LatencyHistogram latency;
+  uint64_t queries = 0;
+};
+
+// `issue` submits one query and returns a std::future<walk::WalkResult>;
+// the client never blocks on a result while arrivals are due, which is
+// what makes the loop open rather than closed.
+template <typename IssueFn>
+OpenLoopThreadResult OpenLoopClient(const Args& args, int thread,
+                                    std::chrono::steady_clock::time_point t0,
+                                    IssueFn&& issue) {
+  using Clock = std::chrono::steady_clock;
+  const auto to_duration = [](double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  };
+  OpenLoopThreadResult result;
+  util::Rng arrivals = util::Rng::ForStream(args.seed ^ 0x6f70656e6c6f6fULL,
+                                            static_cast<uint64_t>(thread));
+  const double rate = args.qps / std::max(args.threads, 1);
+  const auto next_delay = [&] {
+    return -std::log(1.0 - arrivals.NextUnit()) / rate;
+  };
+  double next_arrival_s = next_delay();
+  uint64_t issued = 0;
+  std::deque<std::pair<Clock::time_point, std::future<walk::WalkResult>>>
+      pending;
+  while (next_arrival_s < args.duration || !pending.empty()) {
+    const auto next_arrival = t0 + to_duration(next_arrival_s);
+    if (next_arrival_s < args.duration && Clock::now() >= next_arrival) {
+      walk::WalkConfig cfg;
+      cfg.num_walkers = args.walkers == 0 ? 1024 : args.walkers;
+      cfg.walk_length = args.length;
+      cfg.seed = args.seed + static_cast<uint64_t>(thread) * 1'000'003 + issued;
+      pending.emplace_back(next_arrival, issue(cfg));
+      ++issued;
+      next_arrival_s += next_delay();
+      continue;
+    }
+    if (pending.empty()) {
+      std::this_thread::sleep_until(next_arrival);
+      continue;
+    }
+    // Drain the oldest in-flight query while waiting out the gap; wake in
+    // time for the next arrival so submission never falls behind on our
+    // account.
+    const auto wake = next_arrival_s < args.duration
+                          ? next_arrival
+                          : Clock::now() + to_duration(0.010);
+    if (pending.front().second.wait_until(wake) == std::future_status::ready) {
+      pending.front().second.get();
+      result.latency.RecordSeconds(std::chrono::duration<double>(
+                                       Clock::now() - pending.front().first)
+                                       .count());
+      pending.pop_front();
+    }
+  }
+  result.queries = issued;
+  return result;
+}
+
+template <typename Service>
+int RunOpenLoopBench(const Args& args, Service& service,
+                     util::ThreadPool* pool) {
+  const bool batched = args.front == "batched";
+  std::optional<walk::QueryBatcherT<Service>> batcher;
+  if (batched) {
+    batcher.emplace(service, walk::QueryBatcherOptions{}, pool);
+  }
+  std::printf(
+      "open-loop: %d clients, %.0f qps offered for %.1fs, front %s, "
+      "%llu walkers x %u steps per query, simd %s\n",
+      args.threads, args.qps, args.duration, args.front.c_str(),
+      static_cast<unsigned long long>(args.walkers == 0 ? 1024 : args.walkers),
+      args.length, util::ToString(util::ActiveSimdLevel()));
+
+  std::vector<OpenLoopThreadResult> slices(args.threads);
+  util::Timer wall;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(args.threads);
+    for (int t = 0; t < args.threads; ++t) {
+      clients.emplace_back([&, t] {
+        slices[t] = OpenLoopClient(args, t, t0, [&](const walk::WalkConfig& cfg) {
+          if (batched) {
+            walk::WalkQuery query;
+            query.cfg = cfg;
+            return batcher->Submit(query);
+          }
+          // Direct front-end: one service query per request, same pool.
+          std::promise<walk::WalkResult> done;
+          std::future<walk::WalkResult> future = done.get_future();
+          done.set_value(service.DeepWalk(cfg, pool));
+          return future;
+        });
+      });
+    }
+    for (auto& c : clients) {
+      c.join();
+    }
+  }
+  const double wall_seconds = wall.Seconds();
+
+  util::LatencyHistogram latency;
+  uint64_t queries = 0;
+  for (const auto& slice : slices) {
+    latency.Merge(slice.latency);
+    queries += slice.queries;
+  }
+  const double achieved = queries / wall_seconds;
+  std::printf("queries:          %llu in %.2fs (offered %.0f/s, achieved "
+              "%.1f/s)\n",
+              static_cast<unsigned long long>(queries), wall_seconds, args.qps,
+              achieved);
+  std::printf(
+      "query latency:    p50 %.2fms, p90 %.2fms, p99 %.2fms, p999 %.2fms\n",
+      latency.QuantileSeconds(0.50) * 1e3, latency.QuantileSeconds(0.90) * 1e3,
+      latency.QuantileSeconds(0.99) * 1e3,
+      latency.QuantileSeconds(0.999) * 1e3);
+  std::printf("                  mean %.2fms, max %.2fms\n",
+              latency.MeanSeconds() * 1e3, latency.MaxSeconds() * 1e3);
+  double coalesce = 0.0;
+  if (batched) {
+    const auto stats = batcher->Stats();
+    coalesce = stats.CoalesceRatio();
+    std::printf(
+        "batcher:          %llu dispatches (%llu size, %llu time), %llu "
+        "fused groups, %.2f queries/dispatch, max batch %llu\n",
+        static_cast<unsigned long long>(stats.dispatches),
+        static_cast<unsigned long long>(stats.size_dispatches),
+        static_cast<unsigned long long>(stats.time_dispatches),
+        static_cast<unsigned long long>(stats.fused_groups), coalesce,
+        static_cast<unsigned long long>(stats.max_batch));
+  }
+  if (args.json) {
+    std::printf(
+        "{\"bench\":\"serve-open-loop\",\"store\":\"%s\",\"shards\":%d,"
+        "\"front\":\"%s\",\"clients\":%d,\"simd\":\"%s\","
+        "\"qps_offered\":%.1f,\"qps_achieved\":%.1f,\"queries\":%llu,"
+        "\"p50_ms\":%.4f,\"p90_ms\":%.4f,\"p99_ms\":%.4f,\"p999_ms\":%.4f,"
+        "\"mean_ms\":%.4f,\"max_ms\":%.4f,\"coalesce\":%.2f}\n",
+        args.store.c_str(), args.store == "sharded" ? args.shards : 1,
+        args.front.c_str(), args.threads,
+        util::ToString(util::ActiveSimdLevel()), args.qps, achieved,
+        static_cast<unsigned long long>(queries),
+        latency.QuantileSeconds(0.50) * 1e3, latency.QuantileSeconds(0.90) * 1e3,
+        latency.QuantileSeconds(0.99) * 1e3,
+        latency.QuantileSeconds(0.999) * 1e3, latency.MeanSeconds() * 1e3,
+        latency.MaxSeconds() * 1e3, coalesce);
+  }
+  return 0;
+}
+
+// Open-loop entry: builds the requested service over the full graph (no
+// update stream; this benchmark isolates the read-serving path).
+int ServeOpenLoop(const Args& args) {
+  if (args.front != "batched" && args.front != "direct") {
+    std::fprintf(stderr, "--front must be batched or direct (got %s)\n",
+                 args.front.c_str());
+    return 2;
+  }
+  graph::WeightedEdgeList edges;
+  if (!LoadGraphArg(args, edges)) {
+    return args.graph_path.empty() ? 2 : 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  util::PoolOptions pool_options;
+  pool_options.pin_threads = args.pin;
+  pool_options.numa_interleave = args.numa;
+  util::ThreadPool serve_pool(pool_options);
+  PrintExecutorBanner(args, serve_pool);
+  util::Timer build_timer;
+  if (args.store == "sharded") {
+    auto service = walk::MakeShardedWalkService(edges, n, args.shards, {},
+                                                &serve_pool, &serve_pool);
+    std::printf("serve-bench[sharded]: %u vertices, %zu edges, %d shards "
+                "built in %.2fs\n",
+                n, edges.size(), args.shards, build_timer.Seconds());
+    return RunOpenLoopBench(args, *service, &serve_pool);
+  }
+  auto service =
+      walk::MakeWalkService(edges, n, {}, &serve_pool, &serve_pool);
+  std::printf("serve-bench: %u vertices, %zu edges built in %.2fs\n", n,
+              edges.size(), build_timer.Seconds());
+  return RunOpenLoopBench(args, *service, &serve_pool);
+}
+
 int ServeBench(const Args& args) {
   if (args.store != "bingo" && args.store != "sharded") {
     std::fprintf(
@@ -829,6 +1070,9 @@ int ServeBench(const Args& args) {
       !ValidatePositive("--batch-size",
                         static_cast<long long>(args.batch_size))) {
     return 2;  // fail fast, before paying for the graph load
+  }
+  if (args.open_loop) {
+    return ServeOpenLoop(args);
   }
   graph::UpdateWorkloadParams params;
   params.batch_size = args.batch_size;
