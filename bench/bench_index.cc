@@ -1,0 +1,185 @@
+// bench_index — the always-fresh walk index end to end: repair throughput
+// while an update stream flows through WalkIndexService, then index-served
+// vs re-walk query latency over the same store.
+//
+// Sections:
+//   repair   stream §6.1 mixed update batches through ApplyBatch (always-
+//            fresh contract: one corpus repair per batch) and report
+//            updates/sec ingested, walks repaired and steps resampled per
+//            batch, and the repair-latency p50/p99 from the service's own
+//            LatencyHistogram.
+//   serve    closed-loop query latency for the same read — `--walkers`
+//            stored walks per query — served two ways: a corpus read from
+//            the index (QueryWalks, no sampling) vs re-walking from a live
+//            snapshot (RunDeepWalk). The acceptance criterion for the
+//            index front is p50/p99 strictly below the re-walk front.
+//
+// --json OUT.json dumps one flat object (BENCH_index in the perf
+// trajectory). Environment knobs: BINGO_BENCH_SCALE / ROUNDS / BATCH
+// (bench/common.h), BINGO_BENCH_QREPS queries per serving front (default
+// 200).
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "bench/common.h"
+#include "src/util/histogram.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/apps.h"
+#include "src/walk/index_service.h"
+#include "src/walk/service.h"
+
+namespace bingo {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::TuneAllocator();
+  std::string json_path;
+  int threads = 4;
+  uint64_t walkers = 256;
+  uint32_t length = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--walkers") == 0 && i + 1 < argc) {
+      walkers = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--length") == 0 && i + 1 < argc) {
+      length = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_index [--threads N] [--walkers W] "
+                   "[--length L] [--json OUT.json]\n");
+      return 2;
+    }
+  }
+  const int rounds = bench::BenchRounds();
+  const uint64_t batch = bench::BenchBatch();
+  const int query_reps =
+      static_cast<int>(bench::EnvInt("BINGO_BENCH_QREPS", 200));
+
+  const bench::Dataset dataset = bench::StandardDatasets()[0];  // AM stand-in
+  const auto workload = bench::PrepareWorkload(
+      dataset, graph::UpdateKind::kMixed, {}, /*seed=*/42, batch, rounds);
+
+  util::PoolOptions pool_options;
+  pool_options.num_threads = threads;
+  util::ThreadPool pool(pool_options);
+  auto service = walk::MakeWalkService(workload.initial_edges,
+                                       workload.num_vertices, {}, &pool, &pool);
+
+  walk::WalkIndexService::Options index_options;
+  index_options.corpus.walk_length = length;
+  walk::WalkIndexService index(*service, index_options, &pool);
+  {
+    const walk::WalkIndexStats s = index.Stats();
+    std::printf("bench_index: %s stand-in, %u vertices, %zu edges; corpus "
+                "%llu walks x %u generated in %.2fs (%.1f MiB)\n",
+                dataset.abbr, workload.num_vertices,
+                workload.initial_edges.size(),
+                static_cast<unsigned long long>(s.corpus_walks), length,
+                s.generate_seconds, bench::ToMiB(s.corpus_memory_bytes));
+  }
+
+  // --- repair throughput --------------------------------------------------
+  util::Timer repair_wall;
+  for (const graph::UpdateList& round : workload.batches) {
+    index.ApplyBatch(round);
+  }
+  const double repair_seconds = repair_wall.Seconds();
+  const walk::WalkIndexStats stats = index.Stats();
+  const double updates_per_sec =
+      static_cast<double>(stats.updates_observed) / repair_seconds;
+  const double steps_per_sec =
+      static_cast<double>(stats.steps_resampled) / repair_seconds;
+  std::printf(
+      "repair:  %llu updates in %d batches, %.2fs wall (%.0f updates/s)\n",
+      static_cast<unsigned long long>(stats.updates_observed), rounds,
+      repair_seconds, updates_per_sec);
+  std::printf(
+      "         %llu walks repaired, %llu steps resampled (%.2f Msteps/s), "
+      "repair p50 %.2fms p99 %.2fms\n",
+      static_cast<unsigned long long>(stats.walks_repaired),
+      static_cast<unsigned long long>(stats.steps_resampled),
+      steps_per_sec / 1e6, stats.repair_p50_seconds * 1e3,
+      stats.repair_p99_seconds * 1e3);
+
+  // --- index-served vs re-walk query latency ------------------------------
+  util::LatencyHistogram index_hist;
+  util::LatencyHistogram rewalk_hist;
+  for (int i = 0; i < query_reps; ++i) {
+    util::Timer timer;
+    const walk::WalkResult served =
+        index.QueryWalks(static_cast<uint64_t>(i) * walkers, walkers);
+    index_hist.RecordSeconds(timer.Seconds());
+    if (served.path_offsets.size() != walkers + 1 &&
+        served.path_offsets.size() != index.NumWalks() + 1) {
+      std::fprintf(stderr, "index front returned a malformed result\n");
+      return 1;
+    }
+  }
+  for (int i = 0; i < query_reps; ++i) {
+    walk::WalkConfig cfg;
+    cfg.num_walkers = walkers;
+    cfg.walk_length = length;
+    cfg.record_paths = true;  // the index front returns paths; compare fairly
+    cfg.seed = 42 + static_cast<uint64_t>(i);
+    util::Timer timer;
+    const auto snap = service->Acquire();
+    const walk::WalkResult walked = walk::RunDeepWalk(snap.store(), cfg, &pool);
+    rewalk_hist.RecordSeconds(timer.Seconds());
+    if (walked.path_offsets.size() != walkers + 1) {
+      std::fprintf(stderr, "re-walk front returned a malformed result\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "serve:   %llu walks/query x %d queries\n"
+      "         index  p50 %.3fms p99 %.3fms max %.3fms\n"
+      "         rewalk p50 %.3fms p99 %.3fms max %.3fms\n",
+      static_cast<unsigned long long>(walkers), query_reps,
+      index_hist.QuantileSeconds(0.50) * 1e3,
+      index_hist.QuantileSeconds(0.99) * 1e3, index_hist.MaxSeconds() * 1e3,
+      rewalk_hist.QuantileSeconds(0.50) * 1e3,
+      rewalk_hist.QuantileSeconds(0.99) * 1e3, rewalk_hist.MaxSeconds() * 1e3);
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\"bench\":\"index\",\"dataset\":\"" << dataset.abbr
+         << "\",\"threads\":" << threads
+         << ",\"corpus_walks\":" << stats.corpus_walks
+         << ",\"walk_length\":" << length
+         << ",\"generate_seconds\":" << stats.generate_seconds
+         << ",\"updates\":" << stats.updates_observed
+         << ",\"repairs\":" << stats.repairs
+         << ",\"updates_per_sec\":" << updates_per_sec
+         << ",\"walks_repaired\":" << stats.walks_repaired
+         << ",\"steps_resampled_per_sec\":" << steps_per_sec
+         << ",\"repair_p50_ms\":" << stats.repair_p50_seconds * 1e3
+         << ",\"repair_p99_ms\":" << stats.repair_p99_seconds * 1e3
+         << ",\"walkers_per_query\":" << walkers
+         << ",\"index_p50_ms\":" << index_hist.QuantileSeconds(0.50) * 1e3
+         << ",\"index_p99_ms\":" << index_hist.QuantileSeconds(0.99) * 1e3
+         << ",\"rewalk_p50_ms\":" << rewalk_hist.QuantileSeconds(0.50) * 1e3
+         << ",\"rewalk_p99_ms\":" << rewalk_hist.QuantileSeconds(0.99) * 1e3
+         << "}";
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("json:    %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bingo
+
+int main(int argc, char** argv) { return bingo::Run(argc, argv); }

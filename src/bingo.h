@@ -37,6 +37,7 @@
 #include "src/walk/batcher.h"
 #include "src/walk/engine.h"
 #include "src/walk/incremental.h"
+#include "src/walk/index_service.h"
 #include "src/walk/fused.h"
 #include "src/walk/partitioned.h"
 #include "src/walk/query_batcher.h"

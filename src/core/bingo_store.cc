@@ -28,6 +28,12 @@ BingoStore::BingoStore(graph::DynamicGraph graph, BingoConfig config,
 
 void BingoStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
                                  double bias) {
+  // An insert may reference vertices the store has never seen; grow the
+  // vertex set so both endpoints are materialized (walks sample dst next).
+  const graph::VertexId needed = std::max(src, dst);
+  if (needed >= NumVertices()) {
+    AddVertices(needed + 1 - NumVertices());
+  }
   const uint32_t idx = graph_.Insert(src, dst, bias);
   VertexSampler& sampler = samplers_[src];
   sampler.InsertEdge(graph_.Neighbors(src), idx);
@@ -35,6 +41,9 @@ void BingoStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
 }
 
 bool BingoStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
+  if (src >= NumVertices()) {
+    return false;  // unmaterialized vertex owns no edges
+  }
   const auto idx = graph_.FindEarliest(src, dst);
   if (!idx.has_value()) {
     return false;
@@ -52,6 +61,9 @@ bool BingoStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
 
 bool BingoStore::UpdateBias(graph::VertexId src, graph::VertexId dst,
                             double bias) {
+  if (src >= NumVertices()) {
+    return false;
+  }
   const auto idx = graph_.FindEarliest(src, dst);
   if (!idx.has_value()) {
     return false;
@@ -68,6 +80,9 @@ bool BingoStore::UpdateBias(graph::VertexId src, graph::VertexId dst,
 }
 
 uint32_t BingoStore::DeleteVertexOutEdges(graph::VertexId v) {
+  if (v >= NumVertices()) {
+    return 0;
+  }
   const uint32_t degree = graph_.Degree(v);
   if (degree == 0) {
     return 0;
@@ -201,6 +216,18 @@ void BingoStore::ApplyVertexBatch(graph::VertexId v,
 
 BatchResult BingoStore::ApplyBatch(const graph::UpdateList& updates,
                                    util::ThreadPool* pool) {
+  // Grow the vertex set up front so every referenced id is materialized
+  // before the parallel per-vertex phase touches samplers_. Replicas and
+  // WAL replay apply identical batches, so growth is deterministic and
+  // recovery-safe. Deletes grow too: harmless (the delete then skips), and
+  // uniform growth keeps replica vertex counts comparable.
+  graph::VertexId max_id = 0;
+  for (const graph::Update& u : updates) {
+    max_id = std::max({max_id, u.src, u.dst});
+  }
+  if (!updates.empty() && max_id >= NumVertices()) {
+    AddVertices(max_id + 1 - NumVertices());
+  }
   const GroupedUpdates grouped = GroupUpdatesByVertex(updates);
 
   std::atomic<uint64_t> inserted{0};

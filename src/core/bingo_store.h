@@ -8,6 +8,7 @@
 #ifndef BINGO_SRC_CORE_BINGO_STORE_H_
 #define BINGO_SRC_CORE_BINGO_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -39,24 +40,34 @@ class BingoStore {
 
   graph::VertexId NumVertices() const { return graph_.NumVertices(); }
   uint64_t NumEdges() const { return graph_.NumEdges(); }
+  // Vertex ids at or past NumVertices() read as isolated: update batches
+  // grow the vertex set lazily (see ApplyBatch), and in the sharded service
+  // a new vertex's home shard may not have grown yet when a walk reaches
+  // it — an id with no materialized slot has, by definition, no out-edges.
   bool HasEdge(graph::VertexId src, graph::VertexId dst) const {
-    return graph_.HasEdge(src, dst);
+    return src < NumVertices() && graph_.HasEdge(src, dst);
   }
   std::span<const graph::Edge> NeighborsOf(graph::VertexId v) const {
-    return graph_.Neighbors(v);
+    return v < NumVertices() ? graph_.Neighbors(v)
+                             : std::span<const graph::Edge>{};
   }
 
   // --- sampling -----------------------------------------------------------
 
   // One O(1) biased neighbor draw; kInvalidVertex if v has no out-weight.
   graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
+    if (v >= samplers_.size()) {
+      return graph::kInvalidVertex;  // unmaterialized vertex: no out-edges
+    }
     const uint32_t idx = samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
     return idx == VertexSampler::kNoNeighbor ? graph::kInvalidVertex
                                              : graph_.NeighborAt(v, idx).dst;
   }
 
   uint32_t SampleNeighborIndex(graph::VertexId v, util::Rng& rng) const {
-    return samplers_[v].SampleIndex(graph_.Neighbors(v), rng);
+    return v < samplers_.size()
+               ? samplers_[v].SampleIndex(graph_.Neighbors(v), rng)
+               : VertexSampler::kNoNeighbor;
   }
 
   // Batched draws at one vertex: out[i] is exactly what
@@ -65,6 +76,10 @@ class BingoStore {
   // the same bit pattern, so the no-out-weight case passes through.
   void SampleNeighborBatch(graph::VertexId v, util::Rng* const* rngs,
                            std::size_t n, graph::VertexId* out) const {
+    if (v >= samplers_.size()) {
+      std::fill(out, out + n, graph::kInvalidVertex);
+      return;
+    }
     const std::span<const graph::Edge> adj = graph_.Neighbors(v);
     samplers_[v].SampleIndexBatch(adj, rngs, n, out);
     static_assert(VertexSampler::kNoNeighbor == graph::kInvalidVertex);
@@ -78,6 +93,9 @@ class BingoStore {
   // Advisory prefetch of v's sampler state and adjacency head, so a fused
   // walk pass can hide the pointer chase of the next step's draw.
   void PrefetchVertex(graph::VertexId v) const {
+    if (v >= samplers_.size()) {
+      return;
+    }
     util::PrefetchRead(&samplers_[v]);
     graph_.PrefetchVertex(v);
   }

@@ -19,8 +19,10 @@
 #ifndef BINGO_SRC_UTIL_HISTOGRAM_H_
 #define BINGO_SRC_UTIL_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -48,10 +50,19 @@ class LatencyHistogram {
   }
 
   void RecordSeconds(double seconds) {
+    if (std::isnan(seconds)) {
+      return;  // NaN carries no rank information; dropping beats poisoning
+    }
     if (seconds < 0.0) {
       seconds = 0.0;
     }
-    RecordNanos(static_cast<uint64_t>(seconds * 1e9));
+    // Saturate before the cast: double -> uint64_t is UB once the value
+    // exceeds what uint64_t can hold (DBL_MAX seconds is ~1.8e317 ns).
+    const double ns = seconds * 1e9;
+    constexpr double kMaxRepresentable = 18446744073709549568.0;  // < 2^64
+    RecordNanos(ns >= kMaxRepresentable
+                    ? std::numeric_limits<uint64_t>::max()
+                    : static_cast<uint64_t>(ns));
   }
 
   void Merge(const LatencyHistogram& other) {
@@ -94,7 +105,12 @@ class LatencyHistogram {
     for (std::size_t i = 0; i < kNumBuckets; ++i) {
       cumulative += counts_[i];
       if (cumulative > rank) {
-        return 1e-9 * static_cast<double>(BucketMidNanos(i));
+        // Clamp the representative midpoint into the observed range: the
+        // extreme buckets hold min/max samples whose midpoint can lie
+        // outside [min_ns_, max_ns_] (p99 must never exceed MaxSeconds).
+        const uint64_t mid =
+            std::clamp(BucketMidNanos(i), min_ns_, max_ns_);
+        return 1e-9 * static_cast<double>(mid);
       }
     }
     return 1e-9 * static_cast<double>(max_ns_);

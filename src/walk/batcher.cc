@@ -126,6 +126,13 @@ void UpdateBatcher::DrainLoop(int s) {
         stats_.dropped_updates += batch.size();
       }
     }
+    if (applied && options_.on_batch_applied) {
+      // After the stats update, outside every batcher lock: the callback
+      // may take its own (e.g. the walk-index mutex) without ordering
+      // against queue or stats mutexes. Dropped batches are not reported —
+      // the callback sees exactly the updates the service saw.
+      options_.on_batch_applied(s, batch);
+    }
   }
   // Retire. Notifying under the mutex makes it safe for a Flush caller to
   // destroy the batcher as soon as its wait returns.

@@ -39,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -65,6 +66,15 @@ struct BatcherOptions {
   // num_threads == 0 keeps the default heuristic (min(shards, 4));
   // pinning/NUMA flags pass straight to the executor.
   util::PoolOptions writer_pool;
+  // Invoked from the writer task after each batch is successfully applied,
+  // with no batcher lock held (the shard queue may already be refilling).
+  // Per-shard calls are ordered like the drains themselves; calls for
+  // different shards race. Intended consumer: WalkIndexService::
+  // NotifyApplied, which keeps the walk corpus' staleness accounting in
+  // step with batched writes. The callback must not Submit() back into the
+  // batcher or block on a live service Snapshot.
+  std::function<void(int shard, const graph::UpdateList& batch)>
+      on_batch_applied;
 };
 
 struct BatcherStats {

@@ -1,0 +1,89 @@
+#include "src/walk/index_service.h"
+
+#include <utility>
+#include <vector>
+
+namespace bingo::walk {
+
+template class WalkIndexServiceT<WalkService>;
+
+RecoveredWalkIndexService RecoverWalkIndexService(
+    const std::string& dir, WalkIndexService::Options index_options,
+    core::BingoConfig config, graph::VertexId num_vertices,
+    util::ThreadPool* build_pool, util::ThreadPool* update_pool,
+    WalPersistenceOptions options, WalkIndexRecoveryReport* report) {
+  WalkIndexRecoveryReport local;
+  RecoveredWalkIndexService out;
+  const auto finish = [&]() {
+    if (report != nullptr) {
+      *report = local;
+    }
+    return std::move(out);
+  };
+
+  // Parse the corpus checkpoint first: its wal_seq fence decides which
+  // replayed batches still owe the corpus a repair. `num_walks == 0` in
+  // the caller's config adopts the checkpoint's walk count (the usual
+  // one-walk-per-vertex default is only computable from a live store).
+  const std::string corpus_path = dir + "/" + kCorpusCheckpointFile;
+  WalkCorpusMeta meta;
+  std::vector<std::vector<graph::VertexId>> saved_walks;
+  const bool corpus_file_ok = LoadWalkCorpusFile(corpus_path, &meta,
+                                                 &saved_walks);
+  IncrementalWalkCorpus::Config corpus_config = index_options.corpus;
+  if (corpus_file_ok && corpus_config.num_walks == 0) {
+    corpus_config.num_walks = meta.num_walks;
+  }
+  std::optional<IncrementalWalkCorpus> corpus;
+  std::optional<uint64_t> fence;
+  if (corpus_file_ok) {
+    corpus.emplace(graph::VertexId{0}, corpus_config);
+    fence = corpus->Restore(meta, std::move(saved_walks));
+    if (!fence.has_value()) {
+      corpus.reset();  // config mismatch: treat like a missing checkpoint
+    }
+  }
+  local.corpus_restored = fence.has_value();
+  local.corpus_wal_seq = fence.value_or(0);
+
+  // Recover the service, re-running the corpus repair for every replayed
+  // batch past the fence — in WAL order, each against the snapshot that
+  // batch just produced, exactly as the uncrashed service did.
+  RecoveryBatchHook hook;
+  if (fence.has_value()) {
+    hook = [&](uint64_t seq, const graph::UpdateList& batch,
+               WalkService& service) {
+      if (seq <= *fence) {
+        return;  // the checkpointed corpus already reflects this batch
+      }
+      const WalkService::Snapshot snap = service.Acquire();
+      corpus->RepairAfterUpdates(snap.store(), batch, update_pool);
+      ++local.corpus_batches_replayed;
+    };
+  }
+  out.service =
+      RecoverWalkService(dir, config, num_vertices, build_pool, update_pool,
+                         options, &local.service, std::move(hook));
+  if (out.service == nullptr) {
+    return finish();
+  }
+
+  if (corpus.has_value()) {
+    out.index = std::make_unique<WalkIndexService>(
+        *out.service, index_options, update_pool, std::move(*corpus), dir);
+  } else {
+    // No usable checkpoint: regenerate from the recovered store. The
+    // corpus is fresh and internally consistent, but carries no repair
+    // history — only the checkpointed path is bit-identical to the
+    // uncrashed corpus.
+    const WalkService::Snapshot snap = out.service->Acquire();
+    IncrementalWalkCorpus fresh(snap.store().NumVertices(),
+                                index_options.corpus);
+    fresh.Generate(snap.store(), update_pool);
+    out.index = std::make_unique<WalkIndexService>(
+        *out.service, index_options, update_pool, std::move(fresh), dir);
+  }
+  return finish();
+}
+
+}  // namespace bingo::walk

@@ -1,0 +1,386 @@
+// Always-fresh walk index: a service layer that keeps an incremental walk
+// corpus (src/walk/incremental.h) mounted on a live WalkService or
+// ShardedWalkService and serves walk reads, visit counts, and PPR-style
+// scores FROM the corpus instead of re-walking per query.
+//
+// Contract
+//   * Updates flow through ApplyBatch (or are announced by NotifyApplied
+//     when an UpdateBatcher already applied them). Each observed update is
+//     queued; a repair pass drains the queue by resampling exactly the
+//     walks whose suffix crossed an updated vertex (the Wharf/FIRM
+//     maintenance step, with Bingo's O(1) redraws underneath).
+//   * Bounded staleness: with Options::max_pending_updates == 0 (default)
+//     every batch repairs synchronously — reads are always fresh. With a
+//     bound N > 0, reads may trail the live store by at most N updates;
+//     crossing the bound forces a repair before ApplyBatch/NotifyApplied
+//     returns. Refresh() forces the corpus fresh at any time.
+//   * Determinism: corpus contents depend only on (seed, sequence of
+//     repair drains), never on thread count — repairs parallelize per
+//     walk with per-walk ForStream RNG streams (see incremental.h). With
+//     the always-fresh default, the corpus is bit-identical to a
+//     standalone IncrementalWalkCorpus::ApplyUpdates over the same
+//     batches.
+//   * Persistence (unsharded service): AttachWal/Checkpoint write a
+//     versioned+CRC'd corpus checkpoint (corpus.walks) next to the
+//     service's base.snapshot + wal.log, fenced by the WAL sequence the
+//     service just made durable. RecoverWalkIndexService restores the
+//     corpus and replays repairs for WAL records past the fence — batch by
+//     batch, against the store state each batch produced — so a recovered
+//     index serves the identical corpus to one that never crashed.
+//
+// Thread safety: reads take a shared lock; ApplyBatch/NotifyApplied/
+// Refresh/checkpointing serialize on an exclusive lock. Do not mutate the
+// wrapped service directly while an index service is mounted on it — the
+// index would silently go stale past its bound.
+
+#ifndef BINGO_SRC_WALK_INDEX_SERVICE_H_
+#define BINGO_SRC_WALK_INDEX_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/histogram.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/engine.h"
+#include "src/walk/incremental.h"
+#include "src/walk/service.h"
+
+namespace bingo::walk {
+
+inline constexpr const char kCorpusCheckpointFile[] = "corpus.walks";
+
+// Counters + repair-latency quantiles for one WalkIndexServiceT.
+struct WalkIndexStats {
+  uint64_t batches_observed = 0;
+  uint64_t updates_observed = 0;
+  uint64_t repairs = 0;          // drain passes (one corpus epoch each)
+  uint64_t forced_repairs = 0;   // drains triggered by the staleness bound
+  uint64_t candidate_walks = 0;
+  uint64_t walks_repaired = 0;
+  uint64_t steps_resampled = 0;
+  uint64_t index_rebuilds = 0;
+  uint64_t pending_updates = 0;  // updates not yet reflected in the corpus
+  uint64_t corpus_walks = 0;
+  uint64_t corpus_steps = 0;
+  double generate_seconds = 0.0;
+  double repair_p50_seconds = 0.0;
+  double repair_p99_seconds = 0.0;
+  double repair_max_seconds = 0.0;
+  std::size_t corpus_memory_bytes = 0;
+};
+
+template <typename Service>
+class WalkIndexServiceT {
+ public:
+  struct Options {
+    IncrementalWalkCorpus::Config corpus;
+    // Staleness bound: maximum updates the corpus may trail the live
+    // store. 0 = repair on every observed batch (always fresh).
+    uint64_t max_pending_updates = 0;
+  };
+
+  // Generates the corpus from the service's current state.
+  explicit WalkIndexServiceT(Service& service, Options options = {},
+                             util::ThreadPool* pool = nullptr)
+      : service_(&service),
+        options_(options),
+        pool_(pool),
+        corpus_(ServiceNumVertices(service), options.corpus) {
+    util::Timer timer;
+    const auto snap = service_->Acquire();
+    corpus_.Generate(ViewOf(snap), pool_);
+    generate_seconds_ = timer.Seconds();
+  }
+
+  // Adopts an already-populated corpus (the recovery path). `wal_dir` is
+  // the durability directory the corpus checkpoint lives in (empty = not
+  // persisted yet).
+  WalkIndexServiceT(Service& service, Options options, util::ThreadPool* pool,
+                    IncrementalWalkCorpus corpus, std::string wal_dir)
+      : service_(&service),
+        options_(options),
+        pool_(pool),
+        corpus_(std::move(corpus)),
+        wal_dir_(std::move(wal_dir)) {}
+
+  WalkIndexServiceT(const WalkIndexServiceT&) = delete;
+  WalkIndexServiceT& operator=(const WalkIndexServiceT&) = delete;
+
+  Service& service() { return *service_; }
+
+  // --- update path --------------------------------------------------------
+
+  // Applies the batch through the wrapped service, then repairs the corpus
+  // per the staleness contract.
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const core::BatchResult result = service_->ApplyBatch(updates);
+    ObserveLocked(updates);
+    return result;
+  }
+
+  // Announces updates some other actor (an UpdateBatcher drain) already
+  // applied to the service; repairs per the staleness contract.
+  void NotifyApplied(const graph::UpdateList& updates) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    ObserveLocked(updates);
+  }
+
+  // Forces the corpus fresh; returns the drain's repair stats (zeroes when
+  // nothing was pending).
+  IncrementalWalkCorpus::RepairStats Refresh() {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return RepairPendingLocked();
+  }
+
+  uint64_t PendingUpdates() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return pending_.size();
+  }
+
+  // --- index-served reads (bounded staleness) -----------------------------
+
+  uint64_t NumWalks() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return corpus_.NumWalks();
+  }
+
+  uint64_t TotalSteps() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return corpus_.TotalSteps();
+  }
+
+  // `count` stored walks starting at `first_walk` (wrapping modulo the
+  // corpus size), in engine WalkResult shape: walker i of the result owns
+  // paths[path_offsets[i] .. path_offsets[i+1]). Serving cost is a copy of
+  // the requested rows — no sampling.
+  WalkResult QueryWalks(uint64_t first_walk, uint64_t count) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    WalkResult result;
+    const uint64_t n = corpus_.NumWalks();
+    if (n == 0 || count == 0) {
+      result.path_offsets.assign(1, 0);
+      return result;
+    }
+    count = std::min(count, n);
+    result.path_offsets.reserve(count + 1);
+    result.path_offsets.push_back(0);
+    for (uint64_t i = 0; i < count; ++i) {
+      const auto& walk = corpus_.Walk((first_walk + i) % n);
+      result.paths.insert(result.paths.end(), walk.begin(), walk.end());
+      result.path_offsets.push_back(result.paths.size());
+      if (walk.size() > 1) {
+        result.total_steps += walk.size() - 1;
+        ++result.finished_walkers;
+      }
+    }
+    return result;
+  }
+
+  // Visits per vertex across the whole corpus (position 0 included).
+  std::vector<uint64_t> VisitCounts() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return corpus_.VisitCounts();
+  }
+
+  // Normalized visit frequencies — the corpus's PPR-style score vector.
+  std::vector<double> PprScores() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto& counts = corpus_.VisitCounts();
+    std::vector<double> scores(counts.size(), 0.0);
+    const uint64_t total = corpus_.TotalVisits();
+    if (total == 0) {
+      return scores;
+    }
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      scores[v] = static_cast<double>(counts[v]) / static_cast<double>(total);
+    }
+    return scores;
+  }
+
+  // Audits every corpus transition against a live snapshot. Exact only
+  // when the corpus is fresh (Refresh() first if a staleness bound is
+  // set): a legally-stale corpus may hold walks through deleted edges.
+  std::string CheckValid() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto snap = service_->Acquire();
+    return corpus_.CheckWalksValid(ViewOf(snap));
+  }
+
+  // Direct corpus access for tests/tools; take no concurrent writers.
+  const IncrementalWalkCorpus& corpus() const { return corpus_; }
+
+  WalkIndexStats Stats() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    WalkIndexStats out = counters_;
+    out.pending_updates = pending_.size();
+    out.corpus_walks = corpus_.NumWalks();
+    out.corpus_steps = corpus_.TotalSteps();
+    out.generate_seconds = generate_seconds_;
+    out.repair_p50_seconds = repair_hist_.QuantileSeconds(0.5);
+    out.repair_p99_seconds = repair_hist_.QuantileSeconds(0.99);
+    out.repair_max_seconds = repair_hist_.MaxSeconds();
+    out.corpus_memory_bytes = corpus_.MemoryBytes();
+    return out;
+  }
+
+  const util::LatencyHistogram& RepairHistogram() const {
+    return repair_hist_;
+  }
+
+  // --- persistence (unsharded service) ------------------------------------
+  //
+  // The corpus checkpoint rides along with the service's durability dir:
+  // repair pending first (so corpus state == store state at the fence),
+  // checkpoint the service, then write corpus.walks fenced at the WAL
+  // sequence the service call reported durable.
+
+  CheckpointResult AttachWal(const std::string& dir,
+                             WalPersistenceOptions options = {})
+    requires requires(Service& s) {
+      s.Checkpoint(std::optional<bool>{});
+    }
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    RepairPendingLocked();
+    CheckpointResult result = service_->AttachWal(dir, options);
+    if (result.ok) {
+      wal_dir_ = dir;
+      if (!corpus_.SaveTo(dir + "/" + kCorpusCheckpointFile,
+                          result.wal_seq)) {
+        result.ok = false;
+      }
+    }
+    return result;
+  }
+
+  CheckpointResult Checkpoint(std::optional<bool> force_compact = std::nullopt)
+    requires requires(Service& s) {
+      s.Checkpoint(std::optional<bool>{});
+    }
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    RepairPendingLocked();
+    CheckpointResult result = service_->Checkpoint(force_compact);
+    if (result.ok && !wal_dir_.empty()) {
+      if (!corpus_.SaveTo(wal_dir_ + "/" + kCorpusCheckpointFile,
+                          result.wal_seq)) {
+        result.ok = false;
+      }
+    }
+    return result;
+  }
+
+ private:
+  template <typename Snap>
+  static decltype(auto) ViewOf(const Snap& snap) {
+    // WalkServiceT snapshots expose the store; the sharded composite
+    // snapshot models the store concepts itself.
+    if constexpr (requires { snap.store(); }) {
+      return snap.store();
+    } else {
+      return (snap);
+    }
+  }
+
+  static graph::VertexId ServiceNumVertices(Service& service) {
+    const auto snap = service.Acquire();
+    return static_cast<graph::VertexId>(ViewOf(snap).NumVertices());
+  }
+
+  void ObserveLocked(const graph::UpdateList& updates) {
+    ++counters_.batches_observed;
+    counters_.updates_observed += updates.size();
+    pending_.insert(pending_.end(), updates.begin(), updates.end());
+    if (pending_.empty()) {
+      return;
+    }
+    if (options_.max_pending_updates == 0) {
+      RepairPendingLocked();
+    } else if (pending_.size() >= options_.max_pending_updates) {
+      ++counters_.forced_repairs;
+      RepairPendingLocked();
+    }
+  }
+
+  IncrementalWalkCorpus::RepairStats RepairPendingLocked() {
+    IncrementalWalkCorpus::RepairStats stats;
+    if (pending_.empty()) {
+      return stats;
+    }
+    util::Timer timer;
+    {
+      const auto snap = service_->Acquire();
+      stats = corpus_.RepairAfterUpdates(ViewOf(snap), pending_, pool_);
+    }
+    repair_hist_.RecordSeconds(timer.Seconds());
+    pending_.clear();
+    ++counters_.repairs;
+    counters_.candidate_walks += stats.candidate_walks;
+    counters_.walks_repaired += stats.walks_repaired;
+    counters_.steps_resampled += stats.steps_resampled;
+    counters_.index_rebuilds += stats.index_rebuilt ? 1 : 0;
+    return stats;
+  }
+
+  Service* service_;
+  Options options_;
+  util::ThreadPool* pool_;
+
+  mutable std::shared_mutex mutex_;
+  IncrementalWalkCorpus corpus_;
+  graph::UpdateList pending_;
+  WalkIndexStats counters_;
+  util::LatencyHistogram repair_hist_;
+  double generate_seconds_ = 0.0;
+  std::string wal_dir_;
+};
+
+using WalkIndexService = WalkIndexServiceT<WalkService>;
+
+extern template class WalkIndexServiceT<WalkService>;
+
+// ------------------------------------------------------------- recovery --
+
+struct WalkIndexRecoveryReport {
+  RecoveryReport service;            // base + WAL replay outcome
+  bool corpus_restored = false;      // checkpoint adopted (else regenerated)
+  uint64_t corpus_wal_seq = 0;       // fence of the restored checkpoint
+  uint64_t corpus_batches_replayed = 0;  // repairs re-run past the fence
+};
+
+struct RecoveredWalkIndexService {
+  std::unique_ptr<WalkService> service;
+  std::unique_ptr<WalkIndexService> index;
+
+  explicit operator bool() const {
+    return service != nullptr && index != nullptr;
+  }
+};
+
+// Rebuilds a WalkService + mounted index from a durability directory
+// written through WalkIndexService::AttachWal/Checkpoint. The service
+// recovers as RecoverWalkService does; the corpus checkpoint is restored
+// and, for every WAL record past its fence, the repair is re-run against
+// the exact store state that batch produced — so the recovered corpus is
+// bit-identical to the uncrashed one. A missing/corrupt/mismatched corpus
+// checkpoint falls back to regenerating from the recovered store (reported
+// via corpus_restored = false).
+RecoveredWalkIndexService RecoverWalkIndexService(
+    const std::string& dir, WalkIndexService::Options index_options = {},
+    core::BingoConfig config = {}, graph::VertexId num_vertices = 0,
+    util::ThreadPool* build_pool = nullptr,
+    util::ThreadPool* update_pool = nullptr, WalPersistenceOptions options = {},
+    WalkIndexRecoveryReport* report = nullptr);
+
+}  // namespace bingo::walk
+
+#endif  // BINGO_SRC_WALK_INDEX_SERVICE_H_

@@ -51,6 +51,13 @@ core::BatchResult PartitionedBingoStore::ApplyBatch(
       run_shard(s);
     }
   }
+  // A slice referencing brand-new vertex ids grows its owning shard store
+  // (BingoStore::ApplyBatch materializes every referenced id); mirror the
+  // widest shard so the composite reports the same vertex count as the
+  // whole-graph store would after the same batch.
+  for (const auto& shard : shards_) {
+    num_vertices_ = std::max(num_vertices_, shard->NumVertices());
+  }
   return core::BatchResult{inserted.load(), deleted.load(), skipped.load()};
 }
 

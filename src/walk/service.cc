@@ -31,7 +31,7 @@ std::unique_ptr<WalkService> RecoverWalkService(
     const std::string& dir, core::BingoConfig config,
     graph::VertexId num_vertices, util::ThreadPool* build_pool,
     util::ThreadPool* update_pool, WalPersistenceOptions options,
-    RecoveryReport* report) {
+    RecoveryReport* report, RecoveryBatchHook batch_hook) {
   RecoveryReport local;
   const auto fail = [&]() -> std::unique_ptr<WalkService> {
     if (report != nullptr) {
@@ -62,8 +62,11 @@ std::unique_ptr<WalkService> RecoverWalkService(
   const std::string wal_path = dir + "/wal.log";
   const core::WalReplayResult replay = core::ReplayWal(
       wal_path, info.wal_seq,
-      [&](uint64_t, const graph::UpdateList& batch) {
+      [&](uint64_t seq, const graph::UpdateList& batch) {
         service->ApplyBatch(batch);
+        if (batch_hook) {
+          batch_hook(seq, batch, *service);
+        }
       });
   const core::WalOptions wal_options{options.fsync_on_commit};
   std::unique_ptr<core::WalWriter> wal;

@@ -595,11 +595,20 @@ std::unique_ptr<WalkService> MakeWalkService(
 // had applied exactly the recovered batches. Returns nullptr when the base
 // is missing/corrupt, the WAL header is corrupt, or `config` does not match
 // the base's fingerprint. `num_vertices` 0 = the base header's count.
+// `batch_hook`, when set, observes every replayed batch right after the
+// service applied it (in WAL order, with its sequence number). The walk
+// index layer uses this to re-run corpus repairs against the exact store
+// state each batch produced — the step that makes a recovered corpus
+// bit-identical to one that never crashed.
+using RecoveryBatchHook =
+    std::function<void(uint64_t seq, const graph::UpdateList& batch,
+                       WalkService& service)>;
+
 std::unique_ptr<WalkService> RecoverWalkService(
     const std::string& dir, core::BingoConfig config = {},
     graph::VertexId num_vertices = 0, util::ThreadPool* build_pool = nullptr,
     util::ThreadPool* update_pool = nullptr, WalPersistenceOptions options = {},
-    RecoveryReport* report = nullptr);
+    RecoveryReport* report = nullptr, RecoveryBatchHook batch_hook = {});
 
 // ------------------------------------------------------- stress driving --
 //

@@ -131,7 +131,17 @@ class ShardedWalkServiceT {
     Snapshot& operator=(Snapshot&&) = delete;
 
     graph::VertexId NumVertices() const {
-      return static_cast<graph::VertexId>(shards_[0].store().NumVertices());
+      // Shards grow lazily when a batch slice references brand-new vertex
+      // ids, so a new vertex materializes only on the shards whose slices
+      // mention it; the widest shard carries the true count (reads of an
+      // id a shard has not materialized answer "isolated", matching the
+      // whole-graph store).
+      graph::VertexId n = 0;
+      for (const auto& snap : shards_) {
+        n = std::max(n,
+                     static_cast<graph::VertexId>(snap.store().NumVertices()));
+      }
+      return n;
     }
     graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const {
       return ShardFor(v).SampleNeighbor(v, rng);

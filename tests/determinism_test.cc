@@ -4,8 +4,12 @@
 // keeps results independent of steal order and CPU placement.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/bingo_store.h"
@@ -14,6 +18,7 @@
 #include "src/graph/generators.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
+#include "src/walk/incremental.h"
 #include "src/walk/partitioned.h"
 
 namespace bingo::walk {
@@ -151,6 +156,71 @@ TEST(DeterminismTest, MatrixAcrossThreadsPinningAndDrivers) {
         ExpectIdentical(reference, run_engine(&pool));
         ExpectIdentical(reference, run_superstep(&pool));
       }
+    }
+  }
+}
+
+// The incremental walk corpus carries the same contract: corpus contents
+// depend only on (seed, update sequence) — never on the repair thread
+// count, and never on whether the corpus lived through a checkpoint/
+// restore cycle mid-stream.
+TEST(DeterminismTest, CorpusMatrixAcrossThreadsAndCheckpointRestore) {
+  const uint64_t kSeed = 6;
+  IncrementalWalkCorpus::Config config;
+  config.walk_length = 16;
+
+  // Shared update stream: 4 mixed batches, fixed ahead of the matrix.
+  std::vector<graph::UpdateList> batches;
+  {
+    util::Rng rng(99);
+    for (int round = 0; round < 4; ++round) {
+      graph::UpdateList batch;
+      for (int i = 0; i < 50; ++i) {
+        const auto src = static_cast<graph::VertexId>(rng.NextBounded(256));
+        const auto dst = static_cast<graph::VertexId>(rng.NextBounded(256));
+        if (rng.NextBool(0.25)) {
+          batch.push_back({graph::Update::Kind::kDelete, src, dst, 0.0});
+        } else {
+          batch.push_back({graph::Update::Kind::kInsert, src, dst,
+                           1.0 + rng.NextBounded(16)});
+        }
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  const auto corpus_walks = [&](util::ThreadPool* pool,
+                                bool checkpoint_mid_stream) {
+    BingoStore store = TestStore(kSeed);
+    IncrementalWalkCorpus corpus(store, config);
+    corpus.Generate(store, pool);
+    for (std::size_t round = 0; round < batches.size(); ++round) {
+      corpus.ApplyUpdates(store, batches[round], pool);
+      if (checkpoint_mid_stream && round == 1) {
+        const std::string path = ::testing::TempDir() +
+                                 "corpus_matrix_" +
+                                 std::to_string(::getpid()) + ".walks";
+        EXPECT_TRUE(corpus.SaveTo(path, /*wal_seq=*/round + 1));
+        IncrementalWalkCorpus restored(store, config);
+        EXPECT_TRUE(restored.LoadFrom(path).has_value());
+        corpus = std::move(restored);
+        std::remove(path.c_str());
+      }
+    }
+    std::vector<std::vector<graph::VertexId>> walks;
+    walks.reserve(corpus.NumWalks());
+    for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+      walks.push_back(corpus.Walk(w));
+    }
+    return walks;
+  };
+
+  const auto reference = corpus_walks(nullptr, false);
+  for (const int threads : {1, 4, 16}) {
+    util::ThreadPool pool(threads);
+    for (const bool restore : {false, true}) {
+      EXPECT_EQ(reference, corpus_walks(&pool, restore))
+          << threads << " threads, restore=" << restore;
     }
   }
 }

@@ -2,9 +2,14 @@
 // tracking with Bingo's O(K) update + O(1) resampling underneath).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/core/bingo_store.h"
@@ -208,6 +213,165 @@ TEST(IncrementalTest, MemoryAccountingIsPositive) {
   IncrementalWalkCorpus corpus(store, SmallConfig());
   corpus.Generate(store);
   EXPECT_GT(corpus.MemoryBytes(), 0u);
+}
+
+// Regression: an update batch may reference vertex ids the store has never
+// seen. The store must grow, and the corpus's vertex-indexed tables must
+// grow with it — the old code indexed repaired suffixes straight into
+// index_[v] for v >= index_.size() (heap overflow under ASan).
+TEST(IncrementalTest, RepairThroughBrandNewVerticesGrowsIndex) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(9)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+
+  // A chain of fresh ids hanging off a well-visited hub, each edge heavy
+  // enough that repaired walks actually route through the new vertices.
+  const VertexId hub = [&] {
+    VertexId best = 0;
+    for (VertexId v = 0; v < 256; ++v) {
+      if (store.Graph().Degree(v) > store.Graph().Degree(best)) {
+        best = v;
+      }
+    }
+    return best;
+  }();
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, hub, 300, 1e9});
+  updates.push_back({Update::Kind::kInsert, 300, 301, 1.0});
+  updates.push_back({Update::Kind::kInsert, 301, 302, 1.0});
+  const auto stats = corpus.ApplyUpdates(store, updates);
+  EXPECT_GT(stats.walks_repaired, 0u);
+  ASSERT_GE(store.NumVertices(), 303u);
+  ASSERT_TRUE(corpus.CheckWalksValid(store).empty())
+      << corpus.CheckWalksValid(store);
+
+  // Walks really went through the fresh ids, and a follow-up batch touching
+  // one of them repairs through the grown index.
+  const auto& counts = corpus.VisitCounts();
+  ASSERT_GE(counts.size(), 303u);
+  EXPECT_GT(counts[300], 0u);
+  graph::UpdateList second;
+  second.push_back({Update::Kind::kInsert, 300, 303, 1e9});
+  const auto stats2 = corpus.ApplyUpdates(store, second);
+  EXPECT_GT(stats2.walks_repaired, 0u);
+  ASSERT_TRUE(corpus.CheckWalksValid(store).empty())
+      << corpus.CheckWalksValid(store);
+}
+
+// The visit-count table is maintained incrementally under repairs; it must
+// match a from-scratch recount, including for vertices born mid-stream.
+TEST(IncrementalTest, VisitCountsStayExactUnderChurn) {
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(10)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+  util::Rng rng(13);
+  for (int round = 0; round < 8; ++round) {
+    graph::UpdateList updates;
+    for (int i = 0; i < 50; ++i) {
+      // Mostly existing ids, occasionally a brand-new one.
+      const auto span = rng.NextBool(0.1) ? 280u : 256u;
+      updates.push_back({Update::Kind::kInsert,
+                         static_cast<VertexId>(rng.NextBounded(span)),
+                         static_cast<VertexId>(rng.NextBounded(span)),
+                         1.0 + rng.NextBounded(8)});
+    }
+    corpus.ApplyUpdates(store, updates);
+
+    std::vector<uint64_t> expected(corpus.VisitCounts().size(), 0);
+    uint64_t expected_total = 0;
+    for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+      for (const VertexId v : corpus.Walk(w)) {
+        ASSERT_LT(v, expected.size());
+        ++expected[v];
+        ++expected_total;
+      }
+    }
+    ASSERT_EQ(corpus.VisitCounts(), expected) << "round " << round;
+    ASSERT_EQ(corpus.TotalVisits(), expected_total);
+  }
+}
+
+// Index accounting: the pivot walk[first] keeps its live entry across a
+// repair — it must be neither counted stale nor re-appended as a duplicate.
+TEST(IncrementalTest, RepairAccountingExcludesPivot) {
+  // Two-vertex cycle: every walk alternates a<->b forever, so a repair at
+  // vertex a pivots at position 0 or 1 and resamples a suffix that revisits
+  // only {a, b}.
+  graph::WeightedEdgeList edges;
+  edges.push_back({0, 1, 1.0});
+  edges.push_back({1, 0, 1.0});
+  IncrementalWalkCorpus::Config config;
+  config.num_walks = 4;
+  config.walk_length = 8;
+  BingoStore store(graph::DynamicGraph::FromEdges(2, edges));
+  IncrementalWalkCorpus corpus(store, config);
+  corpus.Generate(store);
+  // 4 walks x 2 distinct vertices, one entry each.
+  EXPECT_EQ(corpus.live_index_entries(), 8u);
+  EXPECT_EQ(corpus.stale_index_entries(), 0u);
+
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, 0, 1, 2.0});  // reweight only
+  const auto stats = corpus.ApplyUpdates(store, updates);
+  EXPECT_EQ(stats.walks_repaired, 4u);
+  // Per walk: the old suffix's only non-pivot vertex (1) goes stale and the
+  // new suffix re-indexes it — +4 stale, +4 appended. The pivot (vertex 0)
+  // is neither: its entry stays live and IndexWalkSuffix skips it, so the
+  // old code's +1 stale (pivot miscount) and duplicate pivot append would
+  // show up here as stale == 8 and live == 16.
+  EXPECT_EQ(corpus.live_index_entries(), 12u);
+  EXPECT_EQ(corpus.stale_index_entries(), 4u);
+  ASSERT_TRUE(corpus.CheckWalksValid(store).empty());
+}
+
+// Checkpoint round-trip: SaveTo/LoadFrom restores walks, epoch, fence, and
+// the derived tables bit-identically.
+TEST(IncrementalTest, CorpusCheckpointRoundTrips) {
+  const std::string path = ::testing::TempDir() + "corpus_roundtrip_" +
+                           std::to_string(::getpid()) + ".walks";
+  BingoStore store(graph::DynamicGraph::FromEdges(256, DenseEdges(11)));
+  IncrementalWalkCorpus corpus(store, SmallConfig());
+  corpus.Generate(store);
+  graph::UpdateList updates;
+  updates.push_back({Update::Kind::kInsert, 3, 9, 4.0});
+  corpus.ApplyUpdates(store, updates);
+
+  std::string error;
+  uint64_t bytes = 0;
+  ASSERT_TRUE(corpus.SaveTo(path, /*wal_seq=*/77, &bytes, &error)) << error;
+  EXPECT_GT(bytes, 0u);
+
+  IncrementalWalkCorpus restored(store, SmallConfig());
+  const auto fence = restored.LoadFrom(path, &error);
+  ASSERT_TRUE(fence.has_value()) << error;
+  EXPECT_EQ(*fence, 77u);
+  EXPECT_EQ(restored.repair_epoch(), corpus.repair_epoch());
+  ASSERT_EQ(restored.NumWalks(), corpus.NumWalks());
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    ASSERT_EQ(restored.Walk(w), corpus.Walk(w)) << "walk " << w;
+  }
+  EXPECT_EQ(restored.VisitCounts(), corpus.VisitCounts());
+  EXPECT_EQ(restored.TotalVisits(), corpus.TotalVisits());
+
+  // Config mismatches are rejected without touching the corpus.
+  IncrementalWalkCorpus::Config other = SmallConfig();
+  other.walk_length = 7;
+  IncrementalWalkCorpus mismatched(store, other);
+  EXPECT_FALSE(mismatched.LoadFrom(path).has_value());
+
+  // A truncated file fails its checksum, not the process.
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+  }
+  IncrementalWalkCorpus truncated(store, SmallConfig());
+  EXPECT_FALSE(truncated.LoadFrom(path, &error).has_value());
+  std::remove(path.c_str());
 }
 
 }  // namespace

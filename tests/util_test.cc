@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "src/util/bitops.h"
+#include "src/util/histogram.h"
 #include "src/util/memory_pool.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -398,6 +400,56 @@ TEST(TimerTest, TimerIsMonotonic) {
   const double a = t.Seconds();
   const double b = t.Seconds();
   EXPECT_GE(b, a);
+}
+
+TEST(HistogramTest, QuantilesStayWithinObservedRange) {
+  LatencyHistogram hist;
+  hist.RecordSeconds(0.010);
+  hist.RecordSeconds(0.020);
+  hist.RecordSeconds(0.500);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_GE(hist.QuantileSeconds(q), hist.MinSeconds()) << "q=" << q;
+    EXPECT_LE(hist.QuantileSeconds(q), hist.MaxSeconds()) << "q=" << q;
+  }
+  // A single sample collapses the clamp: every quantile IS the sample,
+  // with no bucket-midpoint error.
+  LatencyHistogram single;
+  single.RecordSeconds(1.0);
+  EXPECT_DOUBLE_EQ(single.QuantileSeconds(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(single.QuantileSeconds(0.99), 1.0);
+}
+
+TEST(HistogramTest, RecordSecondsDropsNanClampsNegative) {
+  LatencyHistogram hist;
+  hist.RecordSeconds(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hist.Count(), 0u);
+  hist.RecordSeconds(-5.0);  // a backwards clock step records as zero
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.QuantileSeconds(0.5), 0.0);
+}
+
+TEST(HistogramTest, RecordSecondsSaturatesHugeValues) {
+  LatencyHistogram hist;
+  hist.RecordSeconds(1e300);  // would be UB cast to uint64_t nanoseconds
+  hist.RecordSeconds(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.Count(), 2u);
+  const double cap = 1e-9 * 18446744073709551615.0;  // 2^64-1 ns in seconds
+  EXPECT_NEAR(hist.MaxSeconds(), cap, 1.0);
+  EXPECT_LE(hist.QuantileSeconds(0.99), hist.MaxSeconds());
+}
+
+TEST(HistogramTest, MergePreservesBoundsAndRanks) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordSeconds(0.001);
+  b.RecordSeconds(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.MinSeconds(), 0.001);
+  EXPECT_DOUBLE_EQ(a.MaxSeconds(), 1.0);
+  EXPECT_LE(a.QuantileSeconds(0.5), a.MaxSeconds());
+  EXPECT_GE(a.QuantileSeconds(0.5), a.MinSeconds());
 }
 
 }  // namespace

@@ -29,7 +29,8 @@
 //               [--walkers W] [--length L] [--seed S]
 //               [--kind mixed|insert|delete] [--pin] [--numa] [--json]
 //               [--wal DIR] [--fsync] [--compact-fraction F]
-//               [--open-loop --qps Q --duration S --front batched|direct]
+//               [--open-loop --qps Q --duration S
+//                --front batched|direct|index]
 //       Drive the concurrent serving front-end: N query threads issue walk
 //       queries against snapshot epochs while one writer streams B update
 //       batches. Reports samples/sec, update latency, and snapshot
@@ -53,9 +54,12 @@
 //       (coordinated-omission-free), recorded into an HDR-style histogram.
 //       --front batched routes queries through the coalescing QueryBatcher
 //       (fused walk passes, one snapshot per dispatch); --front direct
-//       issues one service query per request. Same seeds => identical walk
-//       results either way; the JSON line reports offered vs achieved QPS
-//       and p50/p90/p99/p999 for the QPS-vs-tail-latency trajectory.
+//       issues one service query per request; --front index mounts a
+//       WalkIndexService and serves each query as a corpus read (no
+//       sampling on the query path — the always-fresh walk index). Same
+//       seeds => identical walk results for batched vs direct; the JSON
+//       line reports offered vs achieved QPS and p50/p90/p99/p999 for the
+//       QPS-vs-tail-latency trajectory.
 //
 //   checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]
 //               [--compact-fraction F]
@@ -155,13 +159,15 @@ void PrintUsage() {
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete] [--pin] [--numa] [--json]\n"
       "              [--wal DIR] [--fsync] [--compact-fraction F]\n"
-      "              [--open-loop --qps Q --duration S --front batched|direct]\n"
+      "              [--open-loop --qps Q --duration S\n"
+      "               --front batched|direct|index]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
       "               where 0 = one walker per vertex; --wal journals every\n"
       "               batch and reports recovery time afterwards;\n"
       "               --open-loop issues Poisson arrivals at Q queries/sec\n"
       "               and reports coordinated-omission-free p50/p99/p999,\n"
-      "               through the QueryBatcher or one query per request)\n"
+      "               through the QueryBatcher, one query per request, or\n"
+      "               corpus reads from the always-fresh walk index)\n"
       "  checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]\n"
       "              [--compact-fraction F]\n"
       "  restore     --dir DIR [--out FILE.bin]\n"
@@ -916,9 +922,23 @@ template <typename Service>
 int RunOpenLoopBench(const Args& args, Service& service,
                      util::ThreadPool* pool) {
   const bool batched = args.front == "batched";
+  const bool index_front = args.front == "index";
   std::optional<walk::QueryBatcherT<Service>> batcher;
   if (batched) {
     batcher.emplace(service, walk::QueryBatcherOptions{}, pool);
+  }
+  std::optional<walk::WalkIndexServiceT<Service>> index;
+  if (index_front) {
+    typename walk::WalkIndexServiceT<Service>::Options index_options;
+    index_options.corpus.walk_length = args.length;
+    index_options.corpus.seed = args.seed;
+    index.emplace(service, index_options, pool);
+    const walk::WalkIndexStats istats = index->Stats();
+    std::printf("index front: corpus %llu walks x %u steps generated in "
+                "%.2fs (%.1f MiB)\n",
+                static_cast<unsigned long long>(istats.corpus_walks),
+                args.length, istats.generate_seconds,
+                static_cast<double>(istats.corpus_memory_bytes) / (1u << 20));
   }
   std::printf(
       "open-loop: %d clients, %.0f qps offered for %.1fs, front %s, "
@@ -941,10 +961,17 @@ int RunOpenLoopBench(const Args& args, Service& service,
             query.cfg = cfg;
             return batcher->Submit(query);
           }
-          // Direct front-end: one service query per request, same pool.
           std::promise<walk::WalkResult> done;
           std::future<walk::WalkResult> future = done.get_future();
-          done.set_value(service.DeepWalk(cfg, pool));
+          if (index_front) {
+            // Index front-end: the query is a read of stored walks (the
+            // rotating window keeps requests spread over the corpus); no
+            // sampling happens on the query path.
+            done.set_value(index->QueryWalks(cfg.seed, cfg.num_walkers));
+          } else {
+            // Direct front-end: one service query per request, same pool.
+            done.set_value(service.DeepWalk(cfg, pool));
+          }
           return future;
         });
       });
@@ -1008,8 +1035,9 @@ int RunOpenLoopBench(const Args& args, Service& service,
 // Open-loop entry: builds the requested service over the full graph (no
 // update stream; this benchmark isolates the read-serving path).
 int ServeOpenLoop(const Args& args) {
-  if (args.front != "batched" && args.front != "direct") {
-    std::fprintf(stderr, "--front must be batched or direct (got %s)\n",
+  if (args.front != "batched" && args.front != "direct" &&
+      args.front != "index") {
+    std::fprintf(stderr, "--front must be batched, direct, or index (got %s)\n",
                  args.front.c_str());
     return 2;
   }
