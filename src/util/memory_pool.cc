@@ -51,7 +51,7 @@ void* MemoryPool::Allocate(std::size_t bytes) {
   Shard& shard = shards_[self];
   const int class_index = ClassIndex(bytes);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     ++shard.allocations;
     shard.live_bytes += static_cast<std::ptrdiff_t>(cls);
     if (cls > kMaxClassBytes) {
@@ -78,7 +78,7 @@ void* MemoryPool::Allocate(std::size_t bytes) {
     Shard& victim = shards_[(self + i) % kNumShards];
     void* block = nullptr;
     {
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       auto& free_list = victim.free_lists[class_index];
       if (!free_list.empty()) {
         block = free_list.back();
@@ -86,13 +86,13 @@ void* MemoryPool::Allocate(std::size_t bytes) {
       }
     }
     if (block != nullptr) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       ++shard.free_list_hits;
       return block;
     }
   }
   // Carve from the shard's newest arena; start a new arena if it won't fit.
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const std::size_t arena_size = std::max(cls, kArenaBytes);
   if (shard.arenas.empty() || shard.arena_used + cls > kArenaBytes ||
       cls > kArenaBytes) {
@@ -112,7 +112,7 @@ void MemoryPool::Deallocate(void* ptr, std::size_t bytes) {
   }
   const std::size_t cls = ClassSize(bytes);
   Shard& shard = LocalShard();
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.live_bytes -= static_cast<std::ptrdiff_t>(cls);
   if (cls > kMaxClassBytes) {
     shard.reserved_bytes -= static_cast<std::ptrdiff_t>(cls);
@@ -125,7 +125,7 @@ void MemoryPool::Deallocate(void* ptr, std::size_t bytes) {
 std::size_t MemoryPool::ReservedBytes() const {
   std::ptrdiff_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.reserved_bytes;
   }
   return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, total));
@@ -134,7 +134,7 @@ std::size_t MemoryPool::ReservedBytes() const {
 std::size_t MemoryPool::LiveBytes() const {
   std::ptrdiff_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.live_bytes;
   }
   return static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, total));
@@ -143,7 +143,7 @@ std::size_t MemoryPool::LiveBytes() const {
 MemoryPool::AllocStats MemoryPool::Stats() const {
   AllocStats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     stats.allocations += shard.allocations;
     stats.free_list_hits += shard.free_list_hits;
     stats.carves += shard.carves;

@@ -31,8 +31,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace bingo::util {
 
@@ -89,19 +90,20 @@ class MemoryPool {
   static constexpr int kNumClasses = 23;  // 16 B ... 64 MiB
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<std::unique_ptr<std::byte[]>> arenas;
-    std::size_t arena_used = 0;  // bytes used in the newest arena
+    mutable Mutex mutex;
+    std::vector<std::unique_ptr<std::byte[]>> arenas BINGO_GUARDED_BY(mutex);
+    // Bytes used in the newest arena.
+    std::size_t arena_used BINGO_GUARDED_BY(mutex) = 0;
     // Signed deltas: a block (or oversize allocation) may be freed via a
     // different shard than it was taken from; only the cross-shard sums are
     // meaningful, and those are always the true totals.
-    std::ptrdiff_t reserved_bytes = 0;
-    std::ptrdiff_t live_bytes = 0;
-    uint64_t allocations = 0;
-    uint64_t free_list_hits = 0;
-    uint64_t carves = 0;
-    uint64_t oversize = 0;
-    std::vector<void*> free_lists[kNumClasses];
+    std::ptrdiff_t reserved_bytes BINGO_GUARDED_BY(mutex) = 0;
+    std::ptrdiff_t live_bytes BINGO_GUARDED_BY(mutex) = 0;
+    uint64_t allocations BINGO_GUARDED_BY(mutex) = 0;
+    uint64_t free_list_hits BINGO_GUARDED_BY(mutex) = 0;
+    uint64_t carves BINGO_GUARDED_BY(mutex) = 0;
+    uint64_t oversize BINGO_GUARDED_BY(mutex) = 0;
+    std::vector<void*> free_lists[kNumClasses] BINGO_GUARDED_BY(mutex);
   };
 
   static int ClassIndex(std::size_t bytes);

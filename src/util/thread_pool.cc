@@ -85,10 +85,10 @@ ThreadPool::ThreadPool(const PoolOptions& options)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     stop_ = true;
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (auto& w : workers_) {
     w.join();
   }
@@ -112,8 +112,8 @@ void ThreadPool::NotifyOne() {
   // Empty critical section: a worker between its predicate check and its
   // wait holds sleep_mutex_, so taking it here orders this notify after
   // that worker is actually waiting (no lost wakeup).
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-  sleep_cv_.notify_one();
+  { MutexLock lock(sleep_mutex_); }
+  sleep_cv_.NotifyOne();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
@@ -129,7 +129,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_seq_cst);
   {
     WorkerQueue& q = *queues_[target];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     q.tasks.push_back(std::move(task));
     q.size.store(q.tasks.size(), std::memory_order_relaxed);
   }
@@ -143,7 +143,7 @@ bool ThreadPool::TryRunOneTask(std::size_t self) {
   {
     // Local LIFO pop: the most recently pushed task is the cache-warm one.
     WorkerQueue& q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -159,7 +159,7 @@ bool ThreadPool::TryRunOneTask(std::size_t self) {
       if (q.size.load(std::memory_order_relaxed) == 0) {
         continue;
       }
-      std::lock_guard<std::mutex> lock(q.mutex);
+      MutexLock lock(q.mutex);
       if (!q.tasks.empty()) {
         task = std::move(q.tasks.front());
         q.tasks.pop_front();
@@ -204,7 +204,7 @@ void ThreadPool::WorkerLoop(std::size_t id) {
     if (TryRunOneTask(id)) {
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     if (stop_ && pending_.load(std::memory_order_seq_cst) == 0) {
       return;  // drained: queued work (and work it posted) has run
     }
@@ -213,9 +213,9 @@ void ThreadPool::WorkerLoop(std::size_t id) {
     // or its pending_ increment is visible to our predicate — never
     // neither. That is what lets NotifyOne skip the mutex on busy pools.
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
-    sleep_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_seq_cst) > 0;
-    });
+    while (!(stop_ || pending_.load(std::memory_order_seq_cst) > 0)) {
+      sleep_cv_.Wait(sleep_mutex_);
+    }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     if (stop_ && pending_.load(std::memory_order_seq_cst) == 0) {
       return;
@@ -238,10 +238,10 @@ struct ChunkContext {
   std::size_t num_chunks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex error_mutex;
+  std::exception_ptr first_error BINGO_GUARDED_BY(error_mutex);
+  Mutex done_mutex;
+  CondVar done_cv;
 };
 
 // The claim loop: every participant — enqueued runners AND the caller —
@@ -262,7 +262,7 @@ void RunClaimLoop(ChunkContext& ctx) {
       try {
         (*ctx.fn)(c, lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(ctx.error_mutex);
+        MutexLock lock(ctx.error_mutex);
         if (!ctx.first_error) {
           ctx.first_error = std::current_exception();
         }
@@ -270,8 +270,8 @@ void RunClaimLoop(ChunkContext& ctx) {
     }
     if (ctx.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         ctx.num_chunks) {
-      std::lock_guard<std::mutex> lock(ctx.done_mutex);
-      ctx.done_cv.notify_all();
+      MutexLock lock(ctx.done_mutex);
+      ctx.done_cv.NotifyAll();
     }
   }
 }
@@ -304,13 +304,21 @@ void ThreadPool::ParallelForChunks(
   }
   RunClaimLoop(*ctx);
   {
-    std::unique_lock<std::mutex> lock(ctx->done_mutex);
-    ctx->done_cv.wait(lock, [&] {
-      return ctx->done.load(std::memory_order_acquire) == ctx->num_chunks;
-    });
+    MutexLock lock(ctx->done_mutex);
+    while (ctx->done.load(std::memory_order_acquire) != ctx->num_chunks) {
+      ctx->done_cv.Wait(ctx->done_mutex);
+    }
   }
-  if (ctx->first_error) {
-    std::rethrow_exception(ctx->first_error);
+  // Read the error under its mutex: the chunk that recorded it may have run
+  // on a worker, and the done-counter handshake alone does not make the
+  // unguarded read well-ordered for the analysis (or for TSan).
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(ctx->error_mutex);
+    first_error = ctx->first_error;
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -45,15 +45,15 @@
 #define BINGO_SRC_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace bingo::util {
 
@@ -166,8 +166,8 @@ class ThreadPool {
   // mirrors tasks.size() (updated under the mutex, read lock-free) so a
   // steal sweep can skip empty victims without touching their locks.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks BINGO_GUARDED_BY(mutex);
     std::atomic<std::size_t> size{0};
   };
 
@@ -187,10 +187,10 @@ class ThreadPool {
   std::atomic<uint64_t> post_errors_{0};
   std::atomic<uint64_t> pin_failures_{0};
   std::atomic<std::size_t> workers_started_{0};  // pin attempts completed
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
-  std::atomic<int> sleepers_{0};  // workers inside sleep_cv_.wait
-  bool stop_ = false;  // guarded by sleep_mutex_
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
+  std::atomic<int> sleepers_{0};  // workers inside sleep_cv_.Wait
+  bool stop_ BINGO_GUARDED_BY(sleep_mutex_) = false;
 
   std::unique_ptr<MemoryPool> scratch_;
 };

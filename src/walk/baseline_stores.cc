@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "src/walk/store.h"
 
@@ -21,25 +20,30 @@ core::BatchResult ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
                                        const graph::UpdateList& updates,
                                        util::ThreadPool* pool) {
   core::BatchResult result;
-  std::unordered_set<graph::VertexId> touched;
+  // Sorted+uniqued below instead of a hash set: the rebuild loop iterates
+  // this, and rebuild order must not depend on hash order (determinism
+  // contract; bingo_lint rule unordered-iteration).
+  std::vector<graph::VertexId> touched;
   touched.reserve(updates.size());
   for (const graph::Update& u : updates) {
     if (u.kind == graph::Update::Kind::kInsert) {
       g.Insert(u.src, u.dst, u.bias);
-      touched.insert(u.src);
+      touched.push_back(u.src);
       ++result.inserted;
     } else {
       const auto idx = g.FindEarliest(u.src, u.dst);
       if (idx.has_value()) {
         g.SwapRemove(u.src, *idx);
-        touched.insert(u.src);
+        touched.push_back(u.src);
         ++result.deleted;
       } else {
         ++result.skipped_deletes;
       }
     }
   }
-  std::vector<graph::VertexId> order(touched.begin(), touched.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  const std::vector<graph::VertexId>& order = touched;
   const auto rebuild_range = [&store, &order](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       store.RebuildVertexPublic(order[i]);

@@ -32,10 +32,10 @@ UpdateBatcher::UpdateBatcher(ShardedWalkService& service, BatcherOptions options
 UpdateBatcher::~UpdateBatcher() {
   if (flusher_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(flusher_mutex_);
+      util::MutexLock lock(flusher_mutex_);
       stopping_ = true;
     }
-    flusher_cv_.notify_all();
+    flusher_cv_.NotifyAll();
     flusher_.join();
   }
   // Drain the leftovers. After Flush returns no writer task of ours is
@@ -46,11 +46,11 @@ UpdateBatcher::~UpdateBatcher() {
 
 void UpdateBatcher::ScheduleDrain(int shard, uint64_t BatcherStats::*reason) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++(stats_.*reason);
   }
   {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    util::MutexLock lock(idle_mutex_);
     ++active_drainers_;
   }
   pool_->Post([this, shard] { DrainLoop(shard); });
@@ -66,7 +66,7 @@ void UpdateBatcher::Submit(const graph::Update& update) {
   queue_depth_.fetch_add(1, std::memory_order_relaxed);
   bool start_drain = false;
   {
-    std::lock_guard<std::mutex> lock(q.mutex);
+    util::MutexLock lock(q.mutex);
     if (q.pending.empty()) {
       q.oldest.Reset();  // staleness clock starts at the first queued update
     }
@@ -92,7 +92,7 @@ void UpdateBatcher::DrainLoop(int s) {
   for (;;) {
     graph::UpdateList batch;
     {
-      std::lock_guard<std::mutex> lock(q.mutex);
+      util::MutexLock lock(q.mutex);
       if (q.pending.empty()) {
         q.drain_active = false;
         break;
@@ -114,7 +114,7 @@ void UpdateBatcher::DrainLoop(int s) {
     queue_depth_.fetch_sub(static_cast<int64_t>(batch.size()),
                            std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.batches;
       stats_.flush_seconds_total += seconds;
       stats_.flush_seconds_max = std::max(stats_.flush_seconds_max, seconds);
@@ -136,9 +136,9 @@ void UpdateBatcher::DrainLoop(int s) {
   }
   // Retire. Notifying under the mutex makes it safe for a Flush caller to
   // destroy the batcher as soon as its wait returns.
-  std::lock_guard<std::mutex> lock(idle_mutex_);
+  util::MutexLock lock(idle_mutex_);
   --active_drainers_;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void UpdateBatcher::Flush() {
@@ -148,7 +148,7 @@ void UpdateBatcher::Flush() {
       ShardQueue& q = *queues_[s];
       bool start_drain = false;
       {
-        std::lock_guard<std::mutex> lock(q.mutex);
+        util::MutexLock lock(q.mutex);
         if (!q.drain_active && !q.pending.empty()) {
           q.drain_active = true;
           start_drain = true;
@@ -159,15 +159,17 @@ void UpdateBatcher::Flush() {
       }
     }
     {
-      std::unique_lock<std::mutex> lock(idle_mutex_);
-      idle_cv_.wait(lock, [this] { return active_drainers_ == 0; });
+      util::MutexLock lock(idle_mutex_);
+      while (active_drainers_ != 0) {
+        idle_cv_.Wait(idle_mutex_);
+      }
     }
     // A drainer may have retired just as new work landed (or a racing
     // Submit slipped in between its empty-check and our wait); re-scan and
     // go again until a fully idle pass.
     bool all_empty = true;
     for (const auto& queue : queues_) {
-      std::lock_guard<std::mutex> lock(queue->mutex);
+      util::MutexLock lock(queue->mutex);
       if (!queue->pending.empty() || queue->drain_active) {
         all_empty = false;
         break;
@@ -183,7 +185,7 @@ void UpdateBatcher::Flush() {
 }
 
 BatcherStats UpdateBatcher::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   BatcherStats stats = stats_;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<std::size_t>(
@@ -197,18 +199,18 @@ void UpdateBatcher::FlusherLoop() {
   // ~1.5x max_delay_seconds before its drain starts.
   const auto interval = std::chrono::duration<double>(
       std::max(options_.max_delay_seconds / 2.0, 1e-4));
-  std::unique_lock<std::mutex> lock(flusher_mutex_);
+  util::MutexLock lock(flusher_mutex_);
   while (!stopping_) {
-    flusher_cv_.wait_for(lock, interval);
+    flusher_cv_.WaitFor(flusher_mutex_, interval);
     if (stopping_) {
       return;
     }
-    lock.unlock();
+    lock.Unlock();
     for (int s = 0; s < service_.NumShards(); ++s) {
       ShardQueue& q = *queues_[s];
       bool start_drain = false;
       {
-        std::lock_guard<std::mutex> qlock(q.mutex);
+        util::MutexLock qlock(q.mutex);
         if (!q.drain_active && !q.pending.empty() &&
             q.oldest.Seconds() >= options_.max_delay_seconds) {
           q.drain_active = true;
@@ -219,7 +221,7 @@ void UpdateBatcher::FlusherLoop() {
         ScheduleDrain(s, &BatcherStats::time_flushes);
       }
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -37,16 +37,15 @@
 #define BINGO_SRC_WALK_BATCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/core/store_types.h"
 #include "src/graph/types.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/walk/sharded_service.h"
@@ -136,10 +135,12 @@ class UpdateBatcher {
 
  private:
   struct ShardQueue {
-    std::mutex mutex;
-    graph::UpdateList pending;
-    util::Timer oldest;        // age of the oldest pending update
-    bool drain_active = false; // one writer task in flight per shard
+    util::Mutex mutex;
+    graph::UpdateList pending BINGO_GUARDED_BY(mutex);
+    // Age of the oldest pending update.
+    util::Timer oldest BINGO_GUARDED_BY(mutex);
+    // One writer task in flight per shard.
+    bool drain_active BINGO_GUARDED_BY(mutex) = false;
   };
 
   // Posts a writer task for `shard` and charges the trigger to `reason`.
@@ -164,20 +165,20 @@ class UpdateBatcher {
   // only the drain-side aggregates.
   std::atomic<uint64_t> submitted_{0};
   std::atomic<int64_t> queue_depth_{0};
-  mutable std::mutex stats_mutex_;
-  BatcherStats stats_;
+  mutable util::Mutex stats_mutex_;
+  BatcherStats stats_ BINGO_GUARDED_BY(stats_mutex_);
 
   // Signaled whenever a drainer retires; Flush waits on it. A writer task
   // holds one active_drainers_ ref from post to retire, so zero means no
   // batcher code is running or queued on the pool.
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
-  int active_drainers_ = 0;
+  util::Mutex idle_mutex_;
+  util::CondVar idle_cv_;
+  int active_drainers_ BINGO_GUARDED_BY(idle_mutex_) = 0;
 
   // Background flusher (time trigger).
-  std::mutex flusher_mutex_;
-  std::condition_variable flusher_cv_;
-  bool stopping_ = false;
+  util::Mutex flusher_mutex_;
+  util::CondVar flusher_cv_;
+  bool stopping_ BINGO_GUARDED_BY(flusher_mutex_) = false;
   std::thread flusher_;
 };
 

@@ -47,7 +47,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/graph/types.h"
@@ -353,20 +352,29 @@ IncrementalWalkCorpusT<Store>::RepairAfterUpdates(
   // size the index and visit table before any unchecked suffix write.
   EnsureVertexCapacity(view.NumVertices());
 
-  // Updated source vertices = the distributions that changed.
-  std::unordered_set<graph::VertexId> touched;
+  // Updated source vertices = the distributions that changed. Kept as a
+  // sorted+uniqued vector (not a hash set): candidate discovery and the
+  // pivot scan below iterate it, and walk output must never depend on
+  // hash order (bingo_lint rule unordered-iteration).
+  std::vector<graph::VertexId> touched;
   touched.reserve(updates.size());
   for (const graph::Update& u : updates) {
-    touched.insert(u.src);
+    touched.push_back(u.src);
   }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   // Candidate walks from the index; dedup across touched vertices.
-  std::unordered_set<uint32_t> candidates;
+  std::vector<uint32_t> candidates;
   for (const graph::VertexId v : touched) {
     if (v < index_.size()) {
-      candidates.insert(index_[v].begin(), index_[v].end());
+      candidates.insert(candidates.end(), index_[v].begin(),
+                        index_[v].end());
     }
   }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   stats.candidate_walks = candidates.size();
 
   // Verify candidates and account for the suffixes about to be replaced
@@ -380,14 +388,13 @@ IncrementalWalkCorpusT<Store>::RepairAfterUpdates(
   };
   std::vector<RepairTask> tasks;
   tasks.reserve(candidates.size());
-  std::vector<uint32_t> to_repair(candidates.begin(), candidates.end());
-  std::sort(to_repair.begin(), to_repair.end());  // deterministic order
-  std::vector<graph::VertexId> old_suffix;        // scratch, reused per walk
+  const std::vector<uint32_t>& to_repair = candidates;  // already sorted
+  std::vector<graph::VertexId> old_suffix;  // scratch, reused per walk
   for (const uint32_t w : to_repair) {
     std::vector<graph::VertexId>& walk = walks_[w];
     std::size_t first = walk.size();
     for (std::size_t p = 0; p < walk.size(); ++p) {
-      if (touched.count(walk[p])) {
+      if (std::binary_search(touched.begin(), touched.end(), walk[p])) {
         first = p;
         break;
       }

@@ -38,15 +38,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/graph/types.h"
 #include "src/util/histogram.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/walk/engine.h"
@@ -120,8 +119,9 @@ class WalkIndexServiceT {
 
   // Applies the batch through the wrapped service, then repairs the corpus
   // per the staleness contract.
-  core::BatchResult ApplyBatch(const graph::UpdateList& updates) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates)
+      BINGO_EXCLUDES(mutex_) {
+    util::WriterLock lock(mutex_);
     const core::BatchResult result = service_->ApplyBatch(updates);
     ObserveLocked(updates);
     return result;
@@ -129,32 +129,32 @@ class WalkIndexServiceT {
 
   // Announces updates some other actor (an UpdateBatcher drain) already
   // applied to the service; repairs per the staleness contract.
-  void NotifyApplied(const graph::UpdateList& updates) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  void NotifyApplied(const graph::UpdateList& updates) BINGO_EXCLUDES(mutex_) {
+    util::WriterLock lock(mutex_);
     ObserveLocked(updates);
   }
 
   // Forces the corpus fresh; returns the drain's repair stats (zeroes when
   // nothing was pending).
-  IncrementalWalkCorpus::RepairStats Refresh() {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  IncrementalWalkCorpus::RepairStats Refresh() BINGO_EXCLUDES(mutex_) {
+    util::WriterLock lock(mutex_);
     return RepairPendingLocked();
   }
 
-  uint64_t PendingUpdates() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  uint64_t PendingUpdates() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     return pending_.size();
   }
 
   // --- index-served reads (bounded staleness) -----------------------------
 
-  uint64_t NumWalks() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  uint64_t NumWalks() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     return corpus_.NumWalks();
   }
 
-  uint64_t TotalSteps() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  uint64_t TotalSteps() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     return corpus_.TotalSteps();
   }
 
@@ -162,8 +162,9 @@ class WalkIndexServiceT {
   // corpus size), in engine WalkResult shape: walker i of the result owns
   // paths[path_offsets[i] .. path_offsets[i+1]). Serving cost is a copy of
   // the requested rows — no sampling.
-  WalkResult QueryWalks(uint64_t first_walk, uint64_t count) const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  WalkResult QueryWalks(uint64_t first_walk, uint64_t count) const
+      BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     WalkResult result;
     const uint64_t n = corpus_.NumWalks();
     if (n == 0 || count == 0) {
@@ -186,14 +187,14 @@ class WalkIndexServiceT {
   }
 
   // Visits per vertex across the whole corpus (position 0 included).
-  std::vector<uint64_t> VisitCounts() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<uint64_t> VisitCounts() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     return corpus_.VisitCounts();
   }
 
   // Normalized visit frequencies — the corpus's PPR-style score vector.
-  std::vector<double> PprScores() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<double> PprScores() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     const auto& counts = corpus_.VisitCounts();
     std::vector<double> scores(counts.size(), 0.0);
     const uint64_t total = corpus_.TotalVisits();
@@ -209,17 +210,22 @@ class WalkIndexServiceT {
   // Audits every corpus transition against a live snapshot. Exact only
   // when the corpus is fresh (Refresh() first if a staleness bound is
   // set): a legally-stale corpus may hold walks through deleted edges.
-  std::string CheckValid() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::string CheckValid() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     const auto snap = service_->Acquire();
     return corpus_.CheckWalksValid(ViewOf(snap));
   }
 
-  // Direct corpus access for tests/tools; take no concurrent writers.
-  const IncrementalWalkCorpus& corpus() const { return corpus_; }
+  // Direct corpus access for tests/tools; take no concurrent writers. The
+  // analysis is off here on purpose: handing out an unlocked reference is
+  // exactly the single-threaded escape hatch the comment above demands, and
+  // annotating it away would just push the suppression to every test.
+  const IncrementalWalkCorpus& corpus() const BINGO_NO_THREAD_SAFETY_ANALYSIS {
+    return corpus_;
+  }
 
-  WalkIndexStats Stats() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  WalkIndexStats Stats() const BINGO_EXCLUDES(mutex_) {
+    util::ReaderLock lock(mutex_);
     WalkIndexStats out = counters_;
     out.pending_updates = pending_.size();
     out.corpus_walks = corpus_.NumWalks();
@@ -230,10 +236,6 @@ class WalkIndexServiceT {
     out.repair_max_seconds = repair_hist_.MaxSeconds();
     out.corpus_memory_bytes = corpus_.MemoryBytes();
     return out;
-  }
-
-  const util::LatencyHistogram& RepairHistogram() const {
-    return repair_hist_;
   }
 
   // --- persistence (unsharded service) ------------------------------------
@@ -249,7 +251,7 @@ class WalkIndexServiceT {
       s.Checkpoint(std::optional<bool>{});
     }
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(mutex_);
     RepairPendingLocked();
     CheckpointResult result = service_->AttachWal(dir, options);
     if (result.ok) {
@@ -267,7 +269,7 @@ class WalkIndexServiceT {
       s.Checkpoint(std::optional<bool>{});
     }
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(mutex_);
     RepairPendingLocked();
     CheckpointResult result = service_->Checkpoint(force_compact);
     if (result.ok && !wal_dir_.empty()) {
@@ -296,7 +298,7 @@ class WalkIndexServiceT {
     return static_cast<graph::VertexId>(ViewOf(snap).NumVertices());
   }
 
-  void ObserveLocked(const graph::UpdateList& updates) {
+  void ObserveLocked(const graph::UpdateList& updates) BINGO_REQUIRES(mutex_) {
     ++counters_.batches_observed;
     counters_.updates_observed += updates.size();
     pending_.insert(pending_.end(), updates.begin(), updates.end());
@@ -311,7 +313,8 @@ class WalkIndexServiceT {
     }
   }
 
-  IncrementalWalkCorpus::RepairStats RepairPendingLocked() {
+  IncrementalWalkCorpus::RepairStats RepairPendingLocked()
+      BINGO_REQUIRES(mutex_) {
     IncrementalWalkCorpus::RepairStats stats;
     if (pending_.empty()) {
       return stats;
@@ -335,13 +338,13 @@ class WalkIndexServiceT {
   Options options_;
   util::ThreadPool* pool_;
 
-  mutable std::shared_mutex mutex_;
-  IncrementalWalkCorpus corpus_;
-  graph::UpdateList pending_;
-  WalkIndexStats counters_;
-  util::LatencyHistogram repair_hist_;
-  double generate_seconds_ = 0.0;
-  std::string wal_dir_;
+  mutable util::SharedMutex mutex_;
+  IncrementalWalkCorpus corpus_ BINGO_GUARDED_BY(mutex_);
+  graph::UpdateList pending_ BINGO_GUARDED_BY(mutex_);
+  WalkIndexStats counters_ BINGO_GUARDED_BY(mutex_);
+  util::LatencyHistogram repair_hist_ BINGO_GUARDED_BY(mutex_);
+  double generate_seconds_ = 0.0;  // written once in the ctor, then const
+  std::string wal_dir_ BINGO_GUARDED_BY(mutex_);
 };
 
 using WalkIndexService = WalkIndexServiceT<WalkService>;

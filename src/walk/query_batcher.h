@@ -40,10 +40,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -51,6 +49,7 @@
 #include <vector>
 
 #include "src/graph/types.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/fused.h"
 #include "src/walk/service.h"
@@ -110,10 +109,10 @@ class QueryBatcherT {
   // Completes every pending query, then stops the dispatcher.
   ~QueryBatcherT() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     dispatcher_.join();
   }
 
@@ -135,11 +134,11 @@ class QueryBatcherT {
     }
     std::future<WalkResult> future = pending.promise.get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       queue_.push_back(std::move(pending));
       submitted_ += 1;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     return future;
   }
 
@@ -147,13 +146,15 @@ class QueryBatcherT {
   WalkResult Run(WalkQuery query) { return Submit(std::move(query)).get(); }
 
   // Returns once every query Submit()ed before this call has completed.
-  void Flush() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  void Flush() BINGO_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!(queue_.empty() && in_flight_ == 0)) {
+      idle_cv_.Wait(mutex_);
+    }
   }
 
-  QueryBatcherStats Stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  QueryBatcherStats Stats() const BINGO_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     QueryBatcherStats stats = stats_;
     stats.submitted = submitted_;
     stats.queue_depth = queue_.size() + in_flight_;
@@ -201,15 +202,16 @@ class QueryBatcherT {
     return a.shard < b.shard;  // shard-local chunk order within a group
   }
 
-  void DispatcherLoop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void DispatcherLoop() BINGO_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     while (true) {
       if (queue_.empty()) {
         if (stopping_) {
           break;
         }
-        cv_.wait(lock,
-                 [this] { return stopping_ || !queue_.empty(); });
+        while (!stopping_ && queue_.empty()) {
+          cv_.Wait(mutex_);
+        }
         continue;
       }
       uint64_t QueryBatcherStats::*trigger = &QueryBatcherStats::drain_dispatches;
@@ -218,9 +220,19 @@ class QueryBatcherT {
             queue_.front().arrival +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(options_.max_delay_seconds));
-        const bool sized = cv_.wait_until(lock, deadline, [this] {
-          return stopping_ || queue_.size() >= options_.max_batch_queries;
-        });
+        // wait_until-with-predicate, unrolled so the predicate's guarded
+        // reads stay inside this REQUIRES context (a lambda would not).
+        bool sized;
+        for (;;) {
+          sized = stopping_ || queue_.size() >= options_.max_batch_queries;
+          if (sized) {
+            break;
+          }
+          if (cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+            sized = stopping_ || queue_.size() >= options_.max_batch_queries;
+            break;
+          }
+        }
         trigger = sized && !stopping_ ? &QueryBatcherStats::size_dispatches
                                       : &QueryBatcherStats::time_dispatches;
         if (stopping_) {
@@ -235,15 +247,15 @@ class QueryBatcherT {
       stats_.dispatches += 1;
       stats_.*trigger += 1;
       stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
-      lock.unlock();
+      lock.Unlock();
       const uint64_t groups = RunBatch(batch);
-      lock.lock();
+      lock.Lock();
       stats_.fused_groups += groups;
       stats_.completed += batch.size();
       in_flight_ = 0;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 
   // Executes one dispatch batch against a single snapshot; returns the
@@ -317,14 +329,14 @@ class QueryBatcherT {
   const QueryBatcherOptions options_;
   util::ThreadPool* walk_pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;       // wakes the dispatcher
-  std::condition_variable idle_cv_;  // wakes Flush waiters
-  std::vector<Pending> queue_;
-  std::size_t in_flight_ = 0;
-  uint64_t submitted_ = 0;
-  QueryBatcherStats stats_;
-  bool stopping_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;       // wakes the dispatcher
+  util::CondVar idle_cv_;  // wakes Flush waiters
+  std::vector<Pending> queue_ BINGO_GUARDED_BY(mutex_);
+  std::size_t in_flight_ BINGO_GUARDED_BY(mutex_) = 0;
+  uint64_t submitted_ BINGO_GUARDED_BY(mutex_) = 0;
+  QueryBatcherStats stats_ BINGO_GUARDED_BY(mutex_);
+  bool stopping_ BINGO_GUARDED_BY(mutex_) = false;
   std::thread dispatcher_;
 };
 

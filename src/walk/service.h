@@ -43,7 +43,6 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -57,6 +56,7 @@
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
 #include "src/util/fileio.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
 #include "src/walk/store.h"
@@ -187,8 +187,8 @@ class WalkServiceT {
     uint64_t epoch_;
   };
 
-  Snapshot Acquire() const {
-    std::lock_guard<std::mutex> lock(front_mutex_);
+  Snapshot Acquire() const BINGO_EXCLUDES(front_mutex_) {
+    util::MutexLock lock(front_mutex_);
     const Replica& r = replicas_[front_];
     r.readers.fetch_add(1, std::memory_order_relaxed);
     queries_.fetch_add(1, std::memory_order_relaxed);
@@ -230,8 +230,9 @@ class WalkServiceT {
   // touched (write-ahead), so recovery never misses an applied batch; a
   // journaling failure poisons the WAL (surfaced by CheckInvariants) and
   // the next Checkpoint() repairs durability by compacting.
-  core::BatchResult ApplyBatch(const graph::UpdateList& updates) {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+  core::BatchResult ApplyBatch(const graph::UpdateList& updates)
+      BINGO_EXCLUDES(update_mutex_, front_mutex_) {
+    util::MutexLock wlock(update_mutex_);
     if (wal_ != nullptr) {
       if (wal_->Append(updates)) {
         wal_records_.fetch_add(1, std::memory_order_relaxed);
@@ -244,12 +245,12 @@ class WalkServiceT {
     }
     int back;
     {
-      std::lock_guard<std::mutex> lock(front_mutex_);
+      util::MutexLock lock(front_mutex_);
       back = 1 - front_;
     }
     const core::BatchResult result = MutateReplica(replicas_[back], updates);
     {
-      std::lock_guard<std::mutex> lock(front_mutex_);
+      util::MutexLock lock(front_mutex_);
       front_ = back;
       epoch_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -295,7 +296,7 @@ class WalkServiceT {
                              WalPersistenceOptions options = {})
     requires CheckpointableStore<Store>
   {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+    util::MutexLock wlock(update_mutex_);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     wal_dir_ = dir;
@@ -325,7 +326,7 @@ class WalkServiceT {
       std::optional<bool> force_compact = std::nullopt)
     requires CheckpointableStore<Store>
   {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+    util::MutexLock wlock(update_mutex_);
     CheckpointResult result;
     if (wal_ == nullptr) {
       return result;  // not attached
@@ -360,8 +361,8 @@ class WalkServiceT {
   }
 
   // fsyncs the attached WAL (true when none is attached).
-  bool SyncWal() {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+  bool SyncWal() BINGO_EXCLUDES(update_mutex_) {
+    util::MutexLock wlock(update_mutex_);
     if (wal_ == nullptr) {
       return true;
     }
@@ -372,8 +373,8 @@ class WalkServiceT {
     return true;
   }
 
-  bool WalAttached() const {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+  bool WalAttached() const BINGO_EXCLUDES(update_mutex_) {
+    util::MutexLock wlock(update_mutex_);
     return wal_ != nullptr;
   }
 
@@ -392,8 +393,9 @@ class WalkServiceT {
   // the caller rebuilt this service from dir's base + replayed its WAL.
   // Journaling resumes with the next ApplyBatch.
   void AdoptWal(std::unique_ptr<core::WalWriter> wal, const std::string& dir,
-                WalPersistenceOptions options, uint64_t updates_since_base) {
-    std::lock_guard<std::mutex> wlock(update_mutex_);
+                WalPersistenceOptions options, uint64_t updates_since_base)
+      BINGO_EXCLUDES(update_mutex_) {
+    util::MutexLock wlock(update_mutex_);
     wal_ = std::move(wal);
     wal_dir_ = dir;
     persist_options_ = options;
@@ -416,8 +418,8 @@ class WalkServiceT {
     return stats;
   }
 
-  core::StoreMemoryStats MemoryStats() const {
-    std::lock_guard<std::mutex> lock(update_mutex_);
+  core::StoreMemoryStats MemoryStats() const BINGO_EXCLUDES(update_mutex_) {
+    util::MutexLock lock(update_mutex_);
     core::StoreMemoryStats total = replicas_[0].store->MemoryStats();
     total += replicas_[1].store->MemoryStats();
     return total;
@@ -425,8 +427,8 @@ class WalkServiceT {
 
   // Audits both replicas and their agreement. Takes the writer lock, so it
   // must not race updates; queries may continue.
-  std::string CheckInvariants() const {
-    std::lock_guard<std::mutex> lock(update_mutex_);
+  std::string CheckInvariants() const BINGO_EXCLUDES(update_mutex_) {
+    util::MutexLock lock(update_mutex_);
     for (int i = 0; i < 2; ++i) {
       const std::string err = replicas_[i].store->CheckInvariants();
       if (!err.empty()) {
@@ -459,7 +461,11 @@ class WalkServiceT {
     std::atomic<uint64_t> version{0};
   };
 
-  core::BatchResult MutateReplica(Replica& r, const graph::UpdateList& updates) {
+  // Writers are serialized by update_mutex_; the replica itself is guarded
+  // by the drain/seqlock protocol (readers pin it via Snapshot), which a
+  // mutex annotation cannot express — the seqlock tests and TSan cover it.
+  core::BatchResult MutateReplica(Replica& r, const graph::UpdateList& updates)
+      BINGO_REQUIRES(update_mutex_) {
     // Drain: the release-decrement in ~Snapshot pairs with this acquire
     // load, ordering every reader access before our writes.
     while (r.readers.load(std::memory_order_acquire) != 0) {
@@ -477,6 +483,7 @@ class WalkServiceT {
   void RebuildReplica(Replica& r, const graph::WeightedEdgeList& edges)
     requires CheckpointableStore<Store>
   {
+    update_mutex_.AssertHeld();
     while (r.readers.load(std::memory_order_acquire) != 0) {
       drain_spins_.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
@@ -496,6 +503,7 @@ class WalkServiceT {
   CheckpointResult WriteBaseLocked(uint64_t wal_seq)
     requires CheckpointableStore<Store>
   {
+    update_mutex_.AssertHeld();
     CheckpointResult result;
     result.compacted = true;
     result.wal_seq = wal_seq;
@@ -506,12 +514,12 @@ class WalkServiceT {
         core::CanonicalEdgeList(replicas_[0].store->Graph());
     int back;
     {
-      std::lock_guard<std::mutex> lock(front_mutex_);
+      util::MutexLock lock(front_mutex_);
       back = 1 - front_;
     }
     RebuildReplica(replicas_[back], edges);
     {
-      std::lock_guard<std::mutex> lock(front_mutex_);
+      util::MutexLock lock(front_mutex_);
       front_ = back;
       epoch_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -549,10 +557,10 @@ class WalkServiceT {
   }
 
   Replica replicas_[2];
-  mutable std::mutex front_mutex_;  // guards front_ flips and Acquire
-  int front_ = 0;
+  mutable util::Mutex front_mutex_;  // guards front_ flips and Acquire
+  int front_ BINGO_GUARDED_BY(front_mutex_) = 0;
   std::atomic<uint64_t> epoch_{0};
-  mutable std::mutex update_mutex_;  // serializes writers
+  mutable util::Mutex update_mutex_;  // serializes writers
   util::ThreadPool* update_pool_;
   mutable std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
@@ -560,12 +568,12 @@ class WalkServiceT {
   std::atomic<uint64_t> drain_spins_{0};
   std::atomic<bool> replicas_diverged_{false};
 
-  // Persistence state (update_mutex_ guards mutation; counters are atomic
-  // so Stats() stays lock-free).
-  std::unique_ptr<core::WalWriter> wal_;
-  std::string wal_dir_;
-  WalPersistenceOptions persist_options_;
-  uint64_t wal_bytes_at_last_checkpoint_ = 0;
+  // Persistence state (update_mutex_ guards it; counters are atomic so
+  // Stats() stays lock-free).
+  std::unique_ptr<core::WalWriter> wal_ BINGO_GUARDED_BY(update_mutex_);
+  std::string wal_dir_ BINGO_GUARDED_BY(update_mutex_);
+  WalPersistenceOptions persist_options_ BINGO_GUARDED_BY(update_mutex_);
+  uint64_t wal_bytes_at_last_checkpoint_ BINGO_GUARDED_BY(update_mutex_) = 0;
   std::atomic<uint64_t> wal_updates_since_base_{0};
   std::atomic<uint64_t> wal_records_{0};
   std::atomic<uint64_t> wal_updates_{0};

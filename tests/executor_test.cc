@@ -6,9 +6,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +15,7 @@
 #include "src/util/memory_pool.h"
 #include "src/util/numa.h"
 #include "src/util/scratch.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace bingo::util {
@@ -97,23 +96,27 @@ TEST(ExecutorTest, NestedParallelForInsidePoolTaskCompletes) {
 
 TEST(ExecutorTest, PostFromPostedTaskRuns) {
   ThreadPool pool(2);
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   int stage = 0;
   pool.Post([&] {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stage = 1;
     }
     pool.Post([&] {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stage = 2;
-      cv.notify_all();
+      cv.NotifyAll();
     });
   });
-  std::unique_lock<std::mutex> lock(mutex);
-  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
-                          [&] { return stage == 2; }));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  MutexLock lock(mutex);
+  while (stage != 2 &&
+         cv.WaitUntil(mutex, deadline) != std::cv_status::timeout) {
+  }
+  EXPECT_EQ(stage, 2);
 }
 
 TEST(ExecutorTest, DestructionRunsQueuedWorkIncludingNestedPosts) {
@@ -157,20 +160,24 @@ TEST(ExecutorTest, ParallelForExceptionPropagatesUnderStealing) {
 TEST(ExecutorTest, ThrowingPostedTaskIsCountedNotFatal) {
   ThreadPool pool(2);
   EXPECT_EQ(pool.PostErrors(), 0u);
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   bool follow_up_ran = false;
   pool.Post([] { throw std::runtime_error("fire-and-forget boom"); });
   pool.Post([] { throw 42; });  // non-std exceptions too
   pool.Post([&] {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     follow_up_ran = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   {
-    std::unique_lock<std::mutex> lock(mutex);
-    EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
-                            [&] { return follow_up_ran; }));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    MutexLock lock(mutex);
+    while (!follow_up_ran &&
+           cv.WaitUntil(mutex, deadline) != std::cv_status::timeout) {
+    }
+    EXPECT_TRUE(follow_up_ran);
   }
   // The follow-up Post ran on a surviving worker; both throwers counted.
   // (Ordering: the counting happens before the next task is dequeued on
@@ -188,7 +195,7 @@ TEST(ExecutorTest, WorkerIdsAreDenseAndOffPoolThreadsHaveNone) {
   EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);
   EXPECT_EQ(ThreadPool::CurrentPool(), nullptr);
   ThreadPool pool(4);
-  std::mutex mutex;
+  Mutex mutex;
   std::set<int> ids;
   pool.ParallelFor(0, 1000, [&](std::size_t) {
     const int id = ThreadPool::CurrentWorkerId();
@@ -198,7 +205,7 @@ TEST(ExecutorTest, WorkerIdsAreDenseAndOffPoolThreadsHaveNone) {
     if (id >= 0) {
       EXPECT_LT(id, 4);
       EXPECT_EQ(current, &pool);
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       ids.insert(id);
     } else {
       EXPECT_EQ(current, nullptr);

@@ -1,0 +1,31 @@
+// Negative-compile case: calling a BINGO_EXCLUDES entry point while already
+// holding the excluded mutex (self-deadlock by re-entry) must fail under
+// clang -Wthread-safety -Werror.
+#include "src/util/sync.h"
+
+namespace {
+
+class Service {
+ public:
+  void Flush() BINGO_EXCLUDES(mu_) {
+    bingo::util::MutexLock lock(mu_);
+    ++flushes_;
+  }
+
+  void FlushWhileLocked() {
+    bingo::util::MutexLock lock(mu_);
+    Flush();  // error: Flush must not be entered with mu_ held
+  }
+
+ private:
+  bingo::util::Mutex mu_;
+  int flushes_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Service s;
+  s.FlushWhileLocked();
+  return 0;
+}

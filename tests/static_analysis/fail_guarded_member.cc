@@ -1,0 +1,26 @@
+// Negative-compile case: reading/writing a BINGO_GUARDED_BY member without
+// holding its mutex must fail under clang -Wthread-safety -Werror.
+// run_negcompile.py asserts this file does NOT compile and that the error
+// mentions thread safety.
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpUnlocked() {
+    ++value_;  // error: writing value_ requires holding mu_
+  }
+
+ private:
+  bingo::util::Mutex mu_;
+  int value_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.BumpUnlocked();
+  return 0;
+}

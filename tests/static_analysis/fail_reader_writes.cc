@@ -1,0 +1,26 @@
+// Negative-compile case: writing a guarded member while holding only the
+// SHARED (reader) side of a SharedMutex must fail under clang
+// -Wthread-safety -Werror.
+#include "src/util/sync.h"
+
+namespace {
+
+class Stats {
+ public:
+  void BumpUnderReaderLock() {
+    bingo::util::ReaderLock lock(mu_);
+    ++count_;  // error: writing count_ requires the EXCLUSIVE lock
+  }
+
+ private:
+  mutable bingo::util::SharedMutex mu_;
+  int count_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Stats s;
+  s.BumpUnderReaderLock();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Negative-compile case: calling a BINGO_REQUIRES method without holding
+// the mutex must fail under clang -Wthread-safety -Werror.
+#include "src/util/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Drain() {
+    DrainLocked();  // error: DrainLocked requires holding mu_
+  }
+
+ private:
+  void DrainLocked() BINGO_REQUIRES(mu_) { ++drained_; }
+
+  bingo::util::Mutex mu_;
+  int drained_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Drain();
+  return 0;
+}

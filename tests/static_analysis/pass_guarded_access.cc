@@ -1,0 +1,52 @@
+// Positive case: the idioms the codebase actually uses — scoped guards,
+// REQUIRES helpers called under the lock, explicit condition-wait loops,
+// and a relockable MutexLock — must compile CLEANLY under clang
+// -Wthread-safety -Werror. Guards the wrappers against annotation bugs
+// that would reject correct code.
+#include "src/util/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push() {
+    bingo::util::MutexLock lock(mu_);
+    ++size_;
+    cv_.NotifyOne();
+  }
+
+  void AwaitNonEmptyThenDrain() {
+    bingo::util::MutexLock lock(mu_);
+    while (size_ == 0) {
+      cv_.Wait(mu_);
+    }
+    DrainLocked();
+  }
+
+  // The dispatcher idiom: drop the lock around external work, re-take it.
+  void DrainThenWork() {
+    bingo::util::MutexLock lock(mu_);
+    DrainLocked();
+    lock.Unlock();
+    // ... lock-free work ...
+    lock.Lock();
+    ++size_;
+  }
+
+ private:
+  void DrainLocked() BINGO_REQUIRES(mu_) { size_ = 0; }
+
+  bingo::util::Mutex mu_;
+  bingo::util::CondVar cv_;
+  int size_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push();
+  q.AwaitNonEmptyThenDrain();
+  q.DrainThenWork();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Positive case: reader/writer discipline on SharedMutex — shared reads
+// under ReaderLock, writes under WriterLock, REQUIRES helpers — must
+// compile cleanly under clang -Wthread-safety -Werror.
+#include "src/util/sync.h"
+
+namespace {
+
+class Corpus {
+ public:
+  int Size() const {
+    bingo::util::ReaderLock lock(mu_);
+    return size_;
+  }
+
+  void Apply(int delta) {
+    bingo::util::WriterLock lock(mu_);
+    size_ += delta;
+    RepairLocked();
+  }
+
+ private:
+  void RepairLocked() BINGO_REQUIRES(mu_) {
+    if (size_ < 0) {
+      size_ = 0;
+    }
+  }
+
+  mutable bingo::util::SharedMutex mu_;
+  int size_ BINGO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Corpus c;
+  c.Apply(3);
+  return c.Size() == 3 ? 0 : 1;
+}

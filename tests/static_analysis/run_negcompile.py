@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the thread-safety annotations.
+
+Every fail_*.cc in this directory must FAIL to compile under
+  clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror
+with a diagnostic that mentions thread safety (so a syntax error can't
+masquerade as a passing test), and every pass_*.cc must compile cleanly.
+
+Clang is the only compiler that implements the analysis. When no clang is
+on PATH the suite exits 77 (the ctest SKIP_RETURN_CODE), so GCC-only
+environments skip rather than fail; CI's static-analysis job installs
+clang and runs it for real.
+
+Usage: run_negcompile.py [--clang CLANG] [--repo-root DIR]
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+HERE = pathlib.Path(__file__).resolve().parent
+
+THREAD_SAFETY_MARKERS = (
+    '-Wthread-safety', 'thread safety', 'requires holding',
+    'must not be held', 'excludes',
+)
+
+
+def find_clang(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ('clang++', 'clang++-19', 'clang++-18', 'clang++-17',
+                 'clang++-16', 'clang++-15', 'clang++-14'):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_case(clang, repo_root, path):
+    cmd = [clang, '-std=c++20', '-fsyntax-only', '-Wthread-safety',
+           '-Werror', f'-I{repo_root}', str(path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument('--clang', default=None)
+    parser.add_argument('--repo-root', default=str(HERE.parent.parent))
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print('run_negcompile: no clang on PATH; thread-safety analysis '
+              'is clang-only — SKIPPED (CI runs it with clang installed)')
+        return SKIP
+
+    failures = []
+    for path in sorted(HERE.glob('fail_*.cc')):
+        rc, stderr = compile_case(clang, args.repo_root, path)
+        if rc == 0:
+            failures.append(f'{path.name}: compiled, but must be REJECTED '
+                            'by -Wthread-safety -Werror')
+        elif not any(m in stderr for m in THREAD_SAFETY_MARKERS):
+            failures.append(f'{path.name}: rejected, but not for a '
+                            f'thread-safety reason:\n{stderr}')
+        else:
+            print(f'ok (rejected as intended): {path.name}')
+    for path in sorted(HERE.glob('pass_*.cc')):
+        rc, stderr = compile_case(clang, args.repo_root, path)
+        if rc != 0:
+            failures.append(f'{path.name}: must compile cleanly under '
+                            f'-Wthread-safety -Werror but failed:\n{stderr}')
+        else:
+            print(f'ok (compiled cleanly): {path.name}')
+
+    for failure in failures:
+        print(f'FAIL: {failure}')
+    if failures:
+        return 1
+    print('run_negcompile: all cases behave as expected')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,7 @@
+// expect: bare-allocation
+// Known-bad: bare new in steady-state walk code (zero-alloc contract).
+#include <cstdint>
+
+uint64_t* GrowBuffer(std::size_t n) {
+  return new uint64_t[n];
+}

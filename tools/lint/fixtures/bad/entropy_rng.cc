@@ -1,0 +1,9 @@
+// expect: nondeterministic-rng
+// Known-bad: entropy-seeded engine in a walk path; walks would not replay.
+#include <random>
+
+unsigned DrawStep() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}

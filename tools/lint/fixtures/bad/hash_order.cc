@@ -1,0 +1,14 @@
+// expect: unordered-iteration
+// Known-bad: hash-set iteration feeding (hypothetical) checkpoint bytes.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+std::vector<uint64_t> SerializeTouched(
+    const std::unordered_set<uint64_t>& touched) {
+  std::vector<uint64_t> bytes;
+  for (const uint64_t v : touched) {  // hash order leaks into the output
+    bytes.push_back(v);
+  }
+  return bytes;
+}

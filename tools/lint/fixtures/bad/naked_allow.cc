@@ -1,0 +1,7 @@
+// expect: suppression
+// Known-bad: a suppression without a justification is itself a finding.
+#include <cstdint>
+
+uint64_t* Grow(std::size_t n) {
+  return new uint64_t[n];  // bingo-lint: allow(bare-allocation)
+}

@@ -1,0 +1,12 @@
+// expect: raw-sync-primitive
+// Known-bad: declares a raw std::mutex outside src/util/sync.h.
+#include <mutex>
+
+struct Counter {
+  std::mutex mu;
+  int value = 0;
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+};

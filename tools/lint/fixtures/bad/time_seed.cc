@@ -1,0 +1,9 @@
+// expect: nondeterministic-rng
+// Known-bad: time-seeded rand() — different output every run.
+#include <cstdlib>
+#include <ctime>
+
+int NoisyPick(int n) {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand() % n;
+}

@@ -1,0 +1,11 @@
+// Known-good: a suppression WITH a justification is honored; mentioning
+// banned spellings inside comments or string literals is fine.
+#include <cstdint>
+
+// Comments may discuss std::mutex or rand() freely — the linter strips them.
+const char* kDoc = "never call rand() in walk code";
+
+uint64_t* ColdPathGrow(std::size_t n) {
+  // One-time cold-path table build, not steady-state walk code.
+  return new uint64_t[n];  // bingo-lint: allow(bare-allocation) -- one-shot startup table, freed in dtor
+}
