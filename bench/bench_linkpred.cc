@@ -1,0 +1,318 @@
+// bench_linkpred — end-to-end walk quality: temporal link prediction over
+// the bias pipeline's walk variants (per "Comparing biased random walks in
+// graph embedding", PAPERS.md), embedding-free.
+//
+// Protocol: edges of an R-MAT stand-in are stamped with logical epochs
+// 0..9; the newest band (epochs 8-9) is held out as test positives and the
+// rest becomes the train graph. Each variant grows a walk corpus over the
+// train store (one walk per vertex), the corpus induces a co-occurrence
+// neighborhood per vertex (vertices seen within --window hops of each
+// other), and a candidate pair (u, v) is scored by common walk-neighbors
+// |N(u) ∩ N(v)|. AUC ranks held-out positives against same-source random
+// non-edges.
+//
+// Variants:
+//   static    DeepWalk on the train store, decay off — the baseline.
+//   decayed   the same store built with --decay, clock advanced to the
+//             first test epoch via an ordinary AdvanceTime batch, so walks
+//             are recency-weighted exactly as a serving deployment's.
+//   metapath  typed walks (pattern 0,1 = two-mode bipartite) on the
+//             untouched train store.
+//
+// --json OUT.json dumps one flat object (BENCH_linkpred in the perf
+// trajectory). Environment knobs: BINGO_BENCH_SCALE (bench/common.h),
+// BINGO_BENCH_LP_PAIRS test positives cap (default 2000).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/bingo_store.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/apps.h"
+
+namespace bingo {
+namespace {
+
+using graph::VertexId;
+
+constexpr uint32_t kNumEpochs = 10;   // timestamps 0..9
+constexpr uint32_t kTestEpoch = 8;    // epochs 8-9 are held out
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Co-occurrence neighborhoods from a recorded walk corpus: v's neighborhood
+// is every vertex that appeared within `window` hops of v in some walk.
+std::vector<std::vector<VertexId>> WalkNeighborhoods(
+    const walk::WalkResult& corpus, VertexId num_vertices,
+    uint32_t window) {
+  std::vector<std::vector<VertexId>> nb(num_vertices);
+  const auto& offsets = corpus.path_offsets;
+  for (std::size_t w = 0; w + 1 < offsets.size(); ++w) {
+    const uint64_t begin = offsets[w];
+    const uint64_t end = offsets[w + 1];
+    for (uint64_t i = begin; i < end; ++i) {
+      const VertexId a = corpus.paths[i];
+      const uint64_t stop = std::min<uint64_t>(end, i + 1 + window);
+      for (uint64_t j = i + 1; j < stop; ++j) {
+        const VertexId b = corpus.paths[j];
+        if (a == b) {
+          continue;
+        }
+        nb[a].push_back(b);
+        nb[b].push_back(a);
+      }
+    }
+  }
+  for (auto& list : nb) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nb;
+}
+
+uint32_t CommonNeighbors(const std::vector<VertexId>& a,
+                         const std::vector<VertexId>& b) {
+  uint32_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+// Rank-based AUC with the standard tie correction: the probability a random
+// positive outscores a random negative (+ half for ties).
+double Auc(const std::vector<uint32_t>& pos, const std::vector<uint32_t>& neg) {
+  if (pos.empty() || neg.empty()) {
+    return 0.5;
+  }
+  std::vector<uint32_t> sorted_neg = neg;
+  std::sort(sorted_neg.begin(), sorted_neg.end());
+  double wins = 0.0;
+  for (const uint32_t p : pos) {
+    const auto lo = std::lower_bound(sorted_neg.begin(), sorted_neg.end(), p);
+    const auto hi = std::upper_bound(lo, sorted_neg.end(), p);
+    wins += static_cast<double>(lo - sorted_neg.begin()) +
+            0.5 * static_cast<double>(hi - lo);
+  }
+  return wins / (static_cast<double>(pos.size()) *
+                 static_cast<double>(sorted_neg.size()));
+}
+
+struct VariantResult {
+  std::string name;
+  double auc = 0.5;
+  double walk_seconds = 0.0;
+  uint64_t corpus_steps = 0;
+};
+
+int Run(int argc, char** argv) {
+  bench::TuneAllocator();
+  std::string json_path;
+  int threads = 4;
+  uint32_t length = 40;
+  uint32_t window = 5;
+  double decay = 0.8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--length") == 0 && i + 1 < argc) {
+      length = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--decay") == 0 && i + 1 < argc) {
+      decay = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_linkpred [--threads N] [--length L] "
+                   "[--window W] [--decay D] [--json OUT.json]\n");
+      return 2;
+    }
+  }
+  const auto max_pairs =
+      static_cast<std::size_t>(bench::EnvInt("BINGO_BENCH_LP_PAIRS", 2000));
+
+  // --- dataset: timestamped stand-in, newest band held out ----------------
+  const bench::Dataset dataset = bench::StandardDatasets()[0];  // AM stand-in
+  util::Rng rng(4242);
+  auto pairs = graph::GenerateRmat(dataset.rmat_scale, dataset.num_edges, rng);
+  graph::Canonicalize(pairs);
+  const VertexId n = VertexId{1} << dataset.rmat_scale;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  const auto biases = graph::GenerateBiases(csr, {}, rng);
+  auto edges = graph::ToWeightedEdges(csr, biases);
+  for (graph::WeightedEdge& e : edges) {
+    e.timestamp = static_cast<uint32_t>(rng.NextBounded(kNumEpochs));
+  }
+
+  graph::WeightedEdgeList train;
+  graph::WeightedEdgeList test;
+  std::unordered_set<uint64_t> all_edges;
+  all_edges.reserve(edges.size() * 2);
+  for (const graph::WeightedEdge& e : edges) {
+    all_edges.insert(PairKey(e.src, e.dst));
+    all_edges.insert(PairKey(e.dst, e.src));
+    (e.timestamp >= kTestEpoch ? test : train).push_back(e);
+  }
+  std::vector<uint32_t> train_degree(n, 0);
+  for (const graph::WeightedEdge& e : train) {
+    ++train_degree[e.src];
+  }
+
+  // Test positives: held-out newest edges whose endpoints both exist in the
+  // train graph (a walk corpus cannot score an unseen vertex). Negatives:
+  // same source, random non-edge destination.
+  std::vector<std::pair<VertexId, VertexId>> positives;
+  std::vector<std::pair<VertexId, VertexId>> negatives;
+  for (const graph::WeightedEdge& e : test) {
+    if (positives.size() >= max_pairs) {
+      break;
+    }
+    if (train_degree[e.src] == 0 || train_degree[e.dst] == 0) {
+      continue;
+    }
+    VertexId w = graph::kInvalidVertex;
+    for (int trial = 0; trial < 64; ++trial) {
+      const auto candidate = static_cast<VertexId>(rng.NextBounded(n));
+      if (candidate != e.src && train_degree[candidate] > 0 &&
+          all_edges.find(PairKey(e.src, candidate)) == all_edges.end()) {
+        w = candidate;
+        break;
+      }
+    }
+    if (w == graph::kInvalidVertex) {
+      continue;
+    }
+    positives.emplace_back(e.src, e.dst);
+    negatives.emplace_back(e.src, w);
+  }
+  std::printf(
+      "bench_linkpred: %s stand-in, %u vertices, %zu train / %zu test "
+      "edges, %zu candidate pairs\n",
+      dataset.abbr, n, train.size(), test.size(), positives.size());
+  if (positives.size() < 32) {
+    std::fprintf(stderr, "test split too small to rank\n");
+    return 1;
+  }
+
+  util::PoolOptions pool_options;
+  pool_options.num_threads = threads;
+  util::ThreadPool pool(pool_options);
+
+  walk::WalkConfig cfg;
+  cfg.num_walkers = n;  // one walk per vertex: full corpus coverage
+  cfg.walk_length = length;
+  cfg.record_paths = true;
+
+  const auto evaluate = [&](const walk::WalkResult& corpus) {
+    const auto nb = WalkNeighborhoods(corpus, n, window);
+    std::vector<uint32_t> pos_scores;
+    std::vector<uint32_t> neg_scores;
+    pos_scores.reserve(positives.size());
+    neg_scores.reserve(negatives.size());
+    for (const auto& [u, v] : positives) {
+      pos_scores.push_back(CommonNeighbors(nb[u], nb[v]));
+    }
+    for (const auto& [u, v] : negatives) {
+      neg_scores.push_back(CommonNeighbors(nb[u], nb[v]));
+    }
+    return Auc(pos_scores, neg_scores);
+  };
+
+  std::vector<VariantResult> results;
+
+  {  // static: plain DeepWalk over the train structure
+    const core::BingoStore store(graph::DynamicGraph::FromEdges(n, train));
+    VariantResult r{"static"};
+    r.walk_seconds = bench::TimeSec([&] {
+      const auto corpus = walk::RunDeepWalk(store, cfg, &pool);
+      r.corpus_steps = corpus.total_steps;
+      r.auc = evaluate(corpus);
+    });
+    results.push_back(r);
+  }
+  {  // decayed: recency-weighted biases at the first test epoch
+    core::BingoConfig config;
+    config.pipeline.decay = decay;
+    core::BingoStore store(graph::DynamicGraph::FromEdges(n, train), config);
+    store.ApplyBatch({graph::MakeAdvanceTime(kTestEpoch)}, &pool);
+    VariantResult r{"decayed"};
+    r.walk_seconds = bench::TimeSec([&] {
+      const auto corpus = walk::RunDeepWalk(store, cfg, &pool);
+      r.corpus_steps = corpus.total_steps;
+      r.auc = evaluate(corpus);
+    });
+    results.push_back(r);
+  }
+  {  // metapath: two-mode bipartite walks over the same train structure
+    const core::BingoStore store(graph::DynamicGraph::FromEdges(n, train));
+    VariantResult r{"metapath"};
+    r.walk_seconds = bench::TimeSec([&] {
+      const auto corpus = walk::RunMetapath(store, cfg, {}, &pool);
+      r.corpus_steps = corpus.total_steps;
+      r.auc = evaluate(corpus);
+    });
+    results.push_back(r);
+  }
+
+  bench::PrintRule(72);
+  std::printf("%-10s %8s %12s %14s\n", "variant", "auc", "walk_sec",
+              "corpus_steps");
+  bench::PrintRule(72);
+  for (const VariantResult& r : results) {
+    std::printf("%-10s %8.4f %12.3f %14llu\n", r.name.c_str(), r.auc,
+                r.walk_seconds, static_cast<unsigned long long>(r.corpus_steps));
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\"bench\":\"linkpred\",\"dataset\":\"" << dataset.abbr
+         << "\",\"vertices\":" << n << ",\"train_edges\":" << train.size()
+         << ",\"test_edges\":" << test.size()
+         << ",\"pairs\":" << positives.size() << ",\"threads\":" << threads
+         << ",\"walk_length\":" << length << ",\"window\":" << window
+         << ",\"decay\":" << decay << ",\"epoch\":" << kTestEpoch
+         << ",\"variants\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const VariantResult& r = results[i];
+      json << (i == 0 ? "" : ",") << "{\"variant\":\"" << r.name
+           << "\",\"auc\":" << r.auc << ",\"walk_seconds\":" << r.walk_seconds
+           << ",\"corpus_steps\":" << r.corpus_steps << "}";
+    }
+    json << "]}";
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("json:    %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bingo
+
+int main(int argc, char** argv) { return bingo::Run(argc, argv); }

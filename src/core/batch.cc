@@ -6,9 +6,14 @@ namespace bingo::core {
 
 GroupedUpdates GroupUpdatesByVertex(const graph::UpdateList& updates) {
   GroupedUpdates grouped;
-  grouped.order.resize(updates.size());
+  grouped.order.reserve(updates.size());
   for (uint32_t i = 0; i < updates.size(); ++i) {
-    grouped.order[i] = i;
+    // Clock ticks carry no edge (src = kInvalidVertex); ApplyBatch handles
+    // them before the per-vertex phase.
+    if (updates[i].kind == graph::Update::Kind::kAdvanceTime) {
+      continue;
+    }
+    grouped.order.push_back(i);
   }
   std::stable_sort(grouped.order.begin(), grouped.order.end(),
                    [&updates](uint32_t a, uint32_t b) {

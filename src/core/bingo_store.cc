@@ -40,6 +40,20 @@ void BingoStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
   sampler.FinishUpdate(graph_.Neighbors(src));
 }
 
+void BingoStore::StreamingInsert(graph::VertexId src, graph::VertexId dst,
+                                 double bias, uint32_t timestamp) {
+  const graph::VertexId needed = std::max(src, dst);
+  if (needed >= NumVertices()) {
+    AddVertices(needed + 1 - NumVertices());
+  }
+  const double effective = config_.pipeline.Compose(src, dst, bias, timestamp,
+                                                    config_.logical_epoch);
+  const uint32_t idx = graph_.Insert(src, dst, effective, timestamp);
+  VertexSampler& sampler = samplers_[src];
+  sampler.InsertEdge(graph_.Neighbors(src), idx);
+  sampler.FinishUpdate(graph_.Neighbors(src));
+}
+
 bool BingoStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
   if (src >= NumVertices()) {
     return false;  // unmaterialized vertex owns no edges
@@ -110,8 +124,10 @@ void BingoStore::AddVertices(graph::VertexId count) {
 BatchResult BingoStore::ApplyUpdatesStreaming(const graph::UpdateList& updates) {
   BatchResult result;
   for (const graph::Update& u : updates) {
-    if (u.kind == graph::Update::Kind::kInsert) {
-      StreamingInsert(u.src, u.dst, u.bias);
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      AdvanceEpoch(u.timestamp);
+    } else if (u.kind == graph::Update::Kind::kInsert) {
+      StreamingInsert(u.src, u.dst, u.bias, u.timestamp);
       ++result.inserted;
     } else if (StreamingDelete(u.src, u.dst)) {
       ++result.deleted;
@@ -120,6 +136,51 @@ BatchResult BingoStore::ApplyUpdatesStreaming(const graph::UpdateList& updates) 
     }
   }
   return result;
+}
+
+void BingoStore::AdvanceEpoch(uint32_t new_epoch, util::ThreadPool* pool) {
+  const uint32_t old_epoch = config_.logical_epoch;
+  if (new_epoch <= old_epoch) {
+    return;  // logical time is monotone; replays of old ticks are no-ops
+  }
+  config_.logical_epoch = new_epoch;
+  if (!config_.pipeline.DecayActive()) {
+    return;  // gate-only pipelines are age-independent
+  }
+  // Incremental rescale: each stored (already-composed) bias picks up
+  // decay^(age delta), via the same remove/rewrite/re-split sequence as
+  // UpdateBias so the radix groups re-bucket exactly once per edge, then
+  // one FinishUpdate per touched vertex. The multiply sequence is a pure
+  // function of (epochs, timestamps), so every replica and every WAL
+  // replay produces bit-identical biases.
+  const auto rescale_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t vi = lo; vi < hi; ++vi) {
+      const graph::VertexId v = static_cast<graph::VertexId>(vi);
+      const std::span<const graph::Edge> adj = graph_.Neighbors(v);
+      VertexSampler& sampler = samplers_[v];
+      bool touched = false;
+      for (uint32_t i = 0; i < adj.size(); ++i) {
+        const double factor = config_.pipeline.RescaleFactor(
+            old_epoch, new_epoch, adj[i].timestamp);
+        if (factor == 1.0) {
+          continue;  // at the horizon floor (or future-stamped)
+        }
+        const double rescaled = adj[i].bias * factor;
+        sampler.RemoveEdge(adj, i);
+        graph_.SetBias(v, i, rescaled);
+        sampler.InsertEdge(adj, i);
+        touched = true;
+      }
+      if (touched) {
+        sampler.FinishUpdate(adj);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, samplers_.size(), rescale_range, 1024);
+  } else {
+    rescale_range(0, samplers_.size());
+  }
 }
 
 void BingoStore::ApplyVertexBatch(graph::VertexId v,
@@ -133,7 +194,11 @@ void BingoStore::ApplyVertexBatch(graph::VertexId v,
   if (update_indices.size() == 1) {
     const graph::Update& u = updates[update_indices[0]];
     if (u.kind == graph::Update::Kind::kInsert) {
-      const uint32_t idx = graph_.Insert(v, u.dst, u.bias);
+      const uint32_t idx = graph_.Insert(
+          v, u.dst,
+          config_.pipeline.Compose(v, u.dst, u.bias, u.timestamp,
+                                   config_.logical_epoch),
+          u.timestamp);
       sampler.InsertEdge(graph_.Neighbors(v), idx);
       ++result.inserted;
     } else {
@@ -161,7 +226,11 @@ void BingoStore::ApplyVertexBatch(graph::VertexId v,
   for (const uint32_t i : update_indices) {
     const graph::Update& u = updates[i];
     if (u.kind == graph::Update::Kind::kInsert) {
-      const uint32_t idx = graph_.Insert(v, u.dst, u.bias);
+      const uint32_t idx = graph_.Insert(
+          v, u.dst,
+          config_.pipeline.Compose(v, u.dst, u.bias, u.timestamp,
+                                   config_.logical_epoch),
+          u.timestamp);
       sampler.InsertEdge(graph_.Neighbors(v), idx);
       ++result.inserted;
     } else {
@@ -216,16 +285,33 @@ void BingoStore::ApplyVertexBatch(graph::VertexId v,
 
 BatchResult BingoStore::ApplyBatch(const graph::UpdateList& updates,
                                    util::ThreadPool* pool) {
+  // Clock ticks apply FIRST: the remaining updates in this batch compose
+  // their biases at the new epoch, matching the streaming path's semantics
+  // whichever shard slice the batch arrives in.
+  uint32_t advance_to = 0;
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      advance_to = std::max(advance_to, u.timestamp);
+    }
+  }
+  if (advance_to != 0) {
+    AdvanceEpoch(advance_to, pool);
+  }
   // Grow the vertex set up front so every referenced id is materialized
   // before the parallel per-vertex phase touches samplers_. Replicas and
   // WAL replay apply identical batches, so growth is deterministic and
   // recovery-safe. Deletes grow too: harmless (the delete then skips), and
   // uniform growth keeps replica vertex counts comparable.
   graph::VertexId max_id = 0;
+  bool any_edge_update = false;
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      continue;  // carries no edge; src/dst are kInvalidVertex sentinels
+    }
     max_id = std::max({max_id, u.src, u.dst});
+    any_edge_update = true;
   }
-  if (!updates.empty() && max_id >= NumVertices()) {
+  if (any_edge_update && max_id >= NumVertices()) {
     AddVertices(max_id + 1 - NumVertices());
   }
   const GroupedUpdates grouped = GroupUpdatesByVertex(updates);

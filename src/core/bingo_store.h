@@ -35,6 +35,7 @@ class BingoStore {
 
   const graph::DynamicGraph& Graph() const { return graph_; }
   const BingoConfig& Config() const { return config_; }
+  uint32_t LogicalEpoch() const { return config_.logical_epoch; }
 
   // --- uniform store surface (src/walk/store.h concept) --------------------
 
@@ -102,7 +103,15 @@ class BingoStore {
 
   // --- streaming updates (§4.2) -------------------------------------------
 
+  // Legacy form: counter-stamped, no pipeline composition (static-bias
+  // workloads and the pre-temporal tests).
   void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias);
+
+  // Update-path form: the edge is stamped `timestamp` and its stored bias
+  // is the pipeline composition static × decay × gate at the store's
+  // current logical epoch.
+  void StreamingInsert(graph::VertexId src, graph::VertexId dst, double bias,
+                       uint32_t timestamp);
 
   // Deletes the earliest surviving copy of (src -> dst); false if absent.
   bool StreamingDelete(graph::VertexId src, graph::VertexId dst);
@@ -122,6 +131,13 @@ class BingoStore {
 
   // Applies a mixed stream one update at a time (the Fig 12 baseline).
   BatchResult ApplyUpdatesStreaming(const graph::UpdateList& updates);
+
+  // Advances the logical epoch (temporal decay). Every stored bias picks up
+  // decay^(age delta) and its vertex re-buckets — the "effective bias can
+  // change without an insert/delete" half of the pipeline contract. No-op
+  // when new_epoch <= current. Normally reached via a kAdvanceTime update
+  // inside ApplyBatch so journaling/recovery see an ordinary batch.
+  void AdvanceEpoch(uint32_t new_epoch, util::ThreadPool* pool = nullptr);
 
   // --- batched updates (§5.2) ---------------------------------------------
 

@@ -17,12 +17,27 @@ using util::AppendPod;
 using util::ReadPod;
 
 constexpr uint64_t kSnapshotMagic = 0x42494e474f534e50ULL;  // "BINGOSNP"
-constexpr uint32_t kSnapshotVersion = 2;
+// v3 adds the logical epoch to the header and the timestamp to each edge
+// record; v2 files (no temporal state) still load with epoch/timestamps 0.
+constexpr uint32_t kSnapshotVersion = 3;
 // magic, version, reserved, fingerprint, vertices, edges, wal_seq, crc
-constexpr std::size_t kSnapshotHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+constexpr std::size_t kSnapshotHeaderBytesV2 = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+// ... plus logical_epoch u64 before the crc
+constexpr std::size_t kSnapshotHeaderBytesV3 = kSnapshotHeaderBytesV2 + 8;
 
-static_assert(sizeof(graph::WeightedEdge) == 16,
-              "WeightedEdge must pack to 16 bytes");
+// v2 edge record: {src u32, dst u32, bias f64} — the pre-timestamp
+// WeightedEdge layout, serialized raw. The in-memory struct has grown past
+// it, so v2 decoding goes through this packed mirror.
+struct PackedEdgeV2 {
+  graph::VertexId src;
+  graph::VertexId dst;
+  double bias;
+};
+static_assert(sizeof(PackedEdgeV2) == 16,
+              "v2 record layout must stay 16 bytes");
+// v3 edge record: {src u32, dst u32, timestamp u32, bias f64}, packed
+// field-wise to 20 bytes (the in-memory struct carries padding).
+constexpr std::size_t kEdgeRecordBytesV3 = 4 + 4 + 4 + 8;
 
 }  // namespace
 
@@ -37,6 +52,9 @@ uint64_t ConfigFingerprint(const BingoConfig& config) {
   mix(std::bit_cast<uint64_t>(config.adaptive.beta_percent));
   mix(std::bit_cast<uint64_t>(config.lambda));
   mix(static_cast<uint64_t>(config.decimal_policy));
+  // The bias pipeline's static parameters shape every stored bias; the
+  // logical epoch is mutable state (snapshot header), deliberately absent.
+  mix(PipelineFingerprint(config.pipeline));
   return h;
 }
 
@@ -52,12 +70,15 @@ graph::WeightedEdgeList CanonicalEdgeList(const graph::DynamicGraph& g) {
     for (const graph::Edge& e : g.Neighbors(v)) {
       ordered.push_back(&e);
     }
-    std::sort(ordered.begin(), ordered.end(),
-              [](const graph::Edge* a, const graph::Edge* b) {
-                return a->timestamp < b->timestamp;
-              });
+    // Stable: epoch-stamped duplicates can share a timestamp, and ties must
+    // keep the adjacency order (the same (timestamp, index) order the
+    // duplicate-deletion rule consults).
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const graph::Edge* a, const graph::Edge* b) {
+                       return a->timestamp < b->timestamp;
+                     });
     for (const graph::Edge* e : ordered) {
-      edges.push_back(graph::WeightedEdge{v, e->dst, e->bias});
+      edges.push_back(graph::WeightedEdge{v, e->dst, e->bias, e->timestamp});
     }
   }
   return edges;
@@ -80,14 +101,35 @@ bool SaveGraphSnapshot(const graph::DynamicGraph& g, const BingoConfig& config,
   AppendPod(header, static_cast<uint64_t>(g.NumVertices()));
   AppendPod(header, static_cast<uint64_t>(edges.size()));
   AppendPod(header, wal_seq);
+  AppendPod(header, static_cast<uint64_t>(config.logical_epoch));
   AppendPod(header, util::Crc32c(header.data(), header.size()));
   if (!writer.Write(header.data(), header.size())) {
     return false;
   }
-  const std::size_t payload_bytes = edges.size() * sizeof(graph::WeightedEdge);
-  const uint32_t payload_crc = util::Crc32c(edges.data(), payload_bytes);
-  if (!writer.Write(edges.data(), payload_bytes) ||
-      !writer.Write(&payload_crc, sizeof(payload_crc))) {
+  // Packed 20-byte records, serialized field-wise in 1 MiB chunks with a
+  // streaming CRC (the in-memory struct's padding never reaches disk).
+  uint32_t payload_crc = 0;
+  std::string chunk;
+  for (const graph::WeightedEdge& e : edges) {
+    AppendPod(chunk, e.src);
+    AppendPod(chunk, e.dst);
+    AppendPod(chunk, e.timestamp);
+    AppendPod(chunk, e.bias);
+    if (chunk.size() >= (1u << 20)) {
+      payload_crc = util::Crc32c(chunk.data(), chunk.size(), payload_crc);
+      if (!writer.Write(chunk.data(), chunk.size())) {
+        return false;
+      }
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    payload_crc = util::Crc32c(chunk.data(), chunk.size(), payload_crc);
+    if (!writer.Write(chunk.data(), chunk.size())) {
+      return false;
+    }
+  }
+  if (!writer.Write(&payload_crc, sizeof(payload_crc))) {
     return false;
   }
   if (!writer.Commit()) {
@@ -116,8 +158,8 @@ bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
   const uint64_t file_size = static_cast<uint64_t>(in.tellg());
   in.seekg(0, std::ios::beg);
 
-  std::string header(static_cast<std::size_t>(
-                         std::min<uint64_t>(file_size, kSnapshotHeaderBytes)),
+  std::string header(static_cast<std::size_t>(std::min<uint64_t>(
+                         file_size, kSnapshotHeaderBytesV3)),
                      '\0');
   in.read(header.data(), static_cast<std::streamsize>(header.size()));
   if (!in) {
@@ -154,9 +196,12 @@ bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
       !ReadPod(header, offset, parsed.wal_seq)) {
     return false;
   }
+  if (parsed.version >= 3 && !ReadPod(header, offset, parsed.logical_epoch)) {
+    return false;
+  }
   const std::size_t crc_span = offset;
-  if (!ReadPod(header, offset, header_crc) ||
-      parsed.version != kSnapshotVersion ||
+  if (!ReadPod(header, offset, header_crc) || parsed.version < 2 ||
+      parsed.version > kSnapshotVersion ||
       header_crc != util::Crc32c(header.data(), crc_span) ||
       num_vertices > graph::kInvalidVertex) {
     return false;
@@ -165,21 +210,42 @@ bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
 
   // Untrusted count: bound it by the bytes actually present before
   // allocating anything.
-  const uint64_t remaining = file_size - kSnapshotHeaderBytes;
-  if (parsed.num_edges > remaining / sizeof(graph::WeightedEdge)) {
+  const std::size_t payload_offset = parsed.version >= 3
+                                         ? kSnapshotHeaderBytesV3
+                                         : kSnapshotHeaderBytesV2;
+  const std::size_t record_bytes =
+      parsed.version >= 3 ? kEdgeRecordBytesV3 : sizeof(PackedEdgeV2);
+  if (file_size < payload_offset) {
     return false;
   }
-  const std::streamsize payload_bytes = static_cast<std::streamsize>(
-      parsed.num_edges * sizeof(graph::WeightedEdge));
-  edges.resize(parsed.num_edges);
-  in.read(reinterpret_cast<char*>(edges.data()), payload_bytes);
+  const uint64_t remaining = file_size - payload_offset;
+  if (parsed.num_edges > remaining / record_bytes) {
+    return false;
+  }
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(parsed.num_edges) * record_bytes;
+  std::string payload(payload_bytes, '\0');
+  in.seekg(static_cast<std::streamoff>(payload_offset));
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
   uint32_t payload_crc = 0;
   in.read(reinterpret_cast<char*>(&payload_crc), sizeof(payload_crc));
-  if (!in ||
-      payload_crc != util::Crc32c(edges.data(),
-                                  static_cast<std::size_t>(payload_bytes))) {
-    edges.clear();
+  if (!in || payload_crc != util::Crc32c(payload.data(), payload.size())) {
     return false;
+  }
+  // Decode the packed records field-wise (the CRC above covers the packed
+  // bytes; the in-memory struct's padding never touches disk).
+  edges.clear();
+  edges.reserve(parsed.num_edges);
+  std::size_t pos = 0;
+  for (uint64_t i = 0; i < parsed.num_edges; ++i) {
+    graph::WeightedEdge e{};
+    ReadPod(payload, pos, e.src);
+    ReadPod(payload, pos, e.dst);
+    if (parsed.version >= 3) {
+      ReadPod(payload, pos, e.timestamp);
+    }
+    ReadPod(payload, pos, e.bias);
+    edges.push_back(e);
   }
   if (info != nullptr) {
     *info = parsed;
@@ -200,6 +266,9 @@ std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
       info.config_fingerprint != ConfigFingerprint(config)) {
     return nullptr;  // different config => different sampling structures
   }
+  // Temporal state rides in the header, not the fingerprint: resume the
+  // logical clock where the snapshot left it so decay composition matches.
+  config.logical_epoch = static_cast<uint32_t>(info.logical_epoch);
   const graph::VertexId n = std::max(
       {num_vertices, info.num_vertices, graph::ImpliedVertexCount(edges)});
   return std::make_unique<BingoStore>(graph::DynamicGraph::FromEdges(n, edges),

@@ -7,23 +7,26 @@
 // O(E·K) — the same cost as the initial bulk load.
 //
 // Snapshots are written in the *canonical edge order*: vertex-major, each
-// vertex's out-edges sorted by insertion timestamp. Bulk load assigns fresh
-// timestamps in emission order, so per-vertex relative timestamp order —
-// the only order the duplicate-edge deletion rule (§5.2) consults — is
-// preserved, and rebuilding from the same snapshot is fully deterministic:
-// two loads of one snapshot produce bit-identical stores, walks included.
-// The WAL-backed service layer (walk/service.h) leans on exactly this to
-// make crash recovery reproduce the live store bit for bit.
+// vertex's out-edges stably sorted by timestamp. Bulk load preserves the
+// stored timestamps, so per-vertex (timestamp, order) — exactly what the
+// duplicate-edge deletion rule (§5.2) and the temporal decay pipeline
+// consult — survives the round trip, and rebuilding from the same snapshot
+// is fully deterministic: two loads of one snapshot produce bit-identical
+// stores, walks included. The WAL-backed service layer (walk/service.h)
+// leans on exactly this to make crash recovery reproduce the live store bit
+// for bit.
 //
-// On-disk format (version 2): a checksummed header carrying the format
+// On-disk format (version 3): a checksummed header carrying the format
 // version, a fingerprint of the BingoConfig the store was built with (a
 // snapshot restored under a different config would imply different sampling
 // structures), the true vertex count (trailing isolated vertices survive
-// the round trip), the edge count, and the WAL sequence number the snapshot
-// covers; then the packed edge section with its own CRC. Files are written
+// the round trip), the edge count, the WAL sequence number the snapshot
+// covers, and the logical decay epoch; then the packed 20-byte edge records
+// {src, dst, timestamp, bias} with their own CRC. Files are written
 // atomically (temp + fsync + rename), so a crash mid-save never destroys
-// the previous good snapshot. Legacy version-1 files (raw edge dumps) are
-// still readable.
+// the previous good snapshot. Version-2 files (no epoch, 16-byte records —
+// timestamps load as 0) and legacy version-1 raw edge dumps are still
+// readable.
 
 #ifndef BINGO_SRC_CORE_SNAPSHOT_H_
 #define BINGO_SRC_CORE_SNAPSHOT_H_
@@ -45,6 +48,9 @@ struct SnapshotInfo {
   // Updates up to and including this WAL sequence number are folded into
   // the snapshot; recovery replays only records with seq > wal_seq.
   uint64_t wal_seq = 0;
+  // Logical decay epoch at save time (v3+; 0 for older files). Mutable
+  // temporal state: carried in the header, excluded from the fingerprint.
+  uint64_t logical_epoch = 0;
 };
 
 // Stable hash of the config knobs that shape sampling structures. Stored in

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/bias_pipeline.h"
 #include "src/core/decimal_group.h"
 #include "src/core/groups.h"
 #include "src/core/radix.h"
@@ -53,6 +54,13 @@ struct BingoConfig {
   double lambda = 1.0;      // amortization factor (§4.3); 1.0 for integers
   DecimalGroup::Policy decimal_policy = DecimalGroup::Policy::kRejection;
   ConversionStats* conversion_stats = nullptr;  // optional, for Table 4
+  // Composable bias pipeline (decay × type gate). Static configuration:
+  // part of the snapshot config fingerprint.
+  BiasPipeline pipeline;
+  // Current logical epoch. Mutable temporal state, NOT fingerprinted: it
+  // advances via graph::MakeAdvanceTime batches and round-trips through the
+  // snapshot header on recovery.
+  uint32_t logical_epoch = 0;
 };
 
 // Memory attribution for Fig 11.

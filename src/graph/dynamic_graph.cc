@@ -136,12 +136,17 @@ DynamicGraph DynamicGraph::FromEdges(VertexId num_vertices,
     s.edges = static_cast<Edge*>(
         g.pool_->Allocate(static_cast<std::size_t>(s.capacity) * sizeof(Edge)));
   }
+  // Bulk loads carry the caller's timestamps (logical epochs; loaders
+  // default them to 0). The insertion counter resumes past the maximum so
+  // counter-stamped edges always sort after the bulk load.
+  uint32_t max_ts = 0;
   for (const WeightedEdge& e : edges) {
     Slot& s = g.slots_[e.src];
-    s.edges[s.size++] =
-        Edge{e.dst, g.next_timestamp_.fetch_add(1, std::memory_order_relaxed),
-             e.bias};
+    s.edges[s.size++] = Edge{e.dst, e.timestamp, e.bias};
+    max_ts = std::max(max_ts, e.timestamp);
   }
+  g.next_timestamp_.store(edges.empty() ? 0 : max_ts + 1,
+                          std::memory_order_relaxed);
   g.num_edges_.store(edges.size(), std::memory_order_relaxed);
   for (VertexId v = 0; v < num_vertices; ++v) {
     if (g.slots_[v].size >= kFinderThreshold) {
@@ -189,13 +194,18 @@ void DynamicGraph::EnsureFinder(VertexId v) {
 }
 
 uint32_t DynamicGraph::Insert(VertexId src, VertexId dst, double bias) {
+  return Insert(src, dst, bias,
+                next_timestamp_.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint32_t DynamicGraph::Insert(VertexId src, VertexId dst, double bias,
+                              uint32_t timestamp) {
   Slot& s = slots_[src];
   if (s.size == s.capacity) {
     Grow(s);
   }
   const uint32_t index = s.size;
-  s.edges[s.size++] =
-      Edge{dst, next_timestamp_.fetch_add(1, std::memory_order_relaxed), bias};
+  s.edges[s.size++] = Edge{dst, timestamp, bias};
   num_edges_.fetch_add(1, std::memory_order_relaxed);
   if (s.finder != nullptr) {
     s.finder->Insert(dst, index);
@@ -252,8 +262,13 @@ std::vector<uint32_t> DynamicGraph::CollectMatches(VertexId src, VertexId dst) c
       }
     }
   }
+  // Equal timestamps (epoch-stamped duplicates) break ties by neighbor
+  // index so the order stays a pure function of the update sequence.
   std::sort(matches.begin(), matches.end(), [&s](uint32_t a, uint32_t b) {
-    return s.edges[a].timestamp < s.edges[b].timestamp;
+    if (s.edges[a].timestamp != s.edges[b].timestamp) {
+      return s.edges[a].timestamp < s.edges[b].timestamp;
+    }
+    return a < b;
   });
   return matches;
 }
@@ -325,7 +340,7 @@ std::optional<uint32_t> DynamicGraph::FindEarliest(VertexId src, VertexId dst) c
       const auto& e = f.table[pos];
       if (e.index != Finder::kTombstone && e.dst == dst) {
         const uint32_t ts = s.edges[e.index].timestamp;
-        if (ts < best_ts) {
+        if (ts < best_ts || (ts == best_ts && e.index < best_index)) {
           best_ts = ts;
           best_index = e.index;
         }

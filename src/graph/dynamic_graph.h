@@ -88,7 +88,14 @@ class DynamicGraph {
 
   // Appends edge (src -> dst, bias); returns its neighbor index. O(1)
   // amortized; growth allocates the next power-of-two block from the pool.
+  // Stamps the edge with the internal insertion counter.
   uint32_t Insert(VertexId src, VertexId dst, double bias);
+
+  // Same, with an explicit timestamp (logical epoch from an Update). Equal
+  // timestamps are legal; FindEarliest/CollectMatches break ties by the
+  // current neighbor index, which is a deterministic function of the update
+  // sequence.
+  uint32_t Insert(VertexId src, VertexId dst, double bias, uint32_t timestamp);
 
   // Removes the edge at `index` by swapping the tail into its place.
   // O(1) plus the finder patch. Index must be < Degree(src).

@@ -19,14 +19,28 @@ using util::ReadPod;
 
 // Legacy format (unchecksummed): magic, count, raw records. Still readable.
 constexpr uint64_t kMagicV1 = 0x42494e474f454447ULL;  // "BINGOEDG"
-// Current format: magic, version, count, header CRC, records, payload CRC.
+// v2: magic, version, count, header CRC, 16-byte records, payload CRC.
 constexpr uint64_t kMagicV2 = 0x42494e474f454432ULL;  // "BINGOED2"
-constexpr uint32_t kFormatVersion = 2;
+// Current format: same framing, 20-byte records carrying the timestamp.
+constexpr uint64_t kMagicV3 = 0x42494e474f454433ULL;  // "BINGOED3"
+constexpr uint32_t kFormatVersion = 3;
 constexpr std::size_t kHeaderBytesV1 = 8 + 8;
-constexpr std::size_t kHeaderBytesV2 = 8 + 4 + 4 + 8 + 4;
+constexpr std::size_t kHeaderBytesV23 = 8 + 4 + 4 + 8 + 4;
 
-// Records are dumped as raw structs; pin the layout the format relies on.
-static_assert(sizeof(WeightedEdge) == 16, "WeightedEdge must pack to 16 bytes");
+// v1/v2 record: {src u32, dst u32, bias f64}, the pre-timestamp
+// WeightedEdge layout. Kept as a local packed mirror — the in-memory struct
+// has grown (and padded) past it, so records are serialized field-wise
+// rather than dumped raw.
+struct PackedRecordV12 {
+  VertexId src;
+  VertexId dst;
+  double bias;
+};
+static_assert(sizeof(PackedRecordV12) == 16,
+              "v1/v2 record layout must stay 16 bytes");
+// v3 record: {src u32, dst u32, timestamp u32, bias f64}, packed to 20
+// bytes (the in-memory struct carries 4 bytes of padding).
+constexpr std::size_t kRecordBytesV3 = 4 + 4 + 4 + 8;
 
 // A bias that can never have been produced by a valid save: corrupt record.
 bool ValidBias(double bias) { return std::isfinite(bias) && bias >= 0.0; }
@@ -94,7 +108,7 @@ bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& ed
     return false;
   }
   std::string header;
-  AppendPod(header, kMagicV2);
+  AppendPod(header, kMagicV3);
   AppendPod(header, kFormatVersion);
   AppendPod(header, uint32_t{0});  // reserved
   AppendPod(header, static_cast<uint64_t>(edges.size()));
@@ -102,10 +116,29 @@ bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& ed
   if (!writer.Write(header.data(), header.size())) {
     return false;
   }
-  const std::size_t payload_bytes = edges.size() * sizeof(WeightedEdge);
-  const uint32_t payload_crc = util::Crc32c(edges.data(), payload_bytes);
-  if (!writer.Write(edges.data(), payload_bytes)) {
-    return false;
+  // Serialize field-wise in 1 MiB chunks, accumulating the payload CRC over
+  // the packed byte stream (the in-memory struct's padding never reaches
+  // disk).
+  uint32_t payload_crc = 0;
+  std::string chunk;
+  for (const WeightedEdge& e : edges) {
+    AppendPod(chunk, e.src);
+    AppendPod(chunk, e.dst);
+    AppendPod(chunk, e.timestamp);
+    AppendPod(chunk, e.bias);
+    if (chunk.size() >= (1u << 20)) {
+      payload_crc = util::Crc32c(chunk.data(), chunk.size(), payload_crc);
+      if (!writer.Write(chunk.data(), chunk.size())) {
+        return false;
+      }
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    payload_crc = util::Crc32c(chunk.data(), chunk.size(), payload_crc);
+    if (!writer.Write(chunk.data(), chunk.size())) {
+      return false;
+    }
   }
   if (!writer.Write(&payload_crc, sizeof(payload_crc))) {
     return false;
@@ -114,8 +147,9 @@ bool SaveWeightedEdgesBinary(const std::string& path, const WeightedEdgeList& ed
 }
 
 bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
-  // Stream the payload straight into the vector: loads sit on the
-  // cold-recovery path and must not hold a second whole-file buffer.
+  // The packed record is narrower than the in-memory struct, so the payload
+  // is read once into a byte buffer and decoded field-wise (the CRC covers
+  // the packed bytes, never padding).
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return false;
@@ -125,7 +159,7 @@ bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
   in.seekg(0, std::ios::beg);
 
   std::string header(
-      static_cast<std::size_t>(std::min<uint64_t>(file_size, kHeaderBytesV2)),
+      static_cast<std::size_t>(std::min<uint64_t>(file_size, kHeaderBytesV23)),
       '\0');
   in.read(header.data(), static_cast<std::streamsize>(header.size()));
   if (!in) {
@@ -139,7 +173,8 @@ bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
 
   uint64_t count = 0;
   std::size_t payload_offset = 0;
-  if (magic == kMagicV2) {
+  std::size_t record_bytes = sizeof(PackedRecordV12);
+  if (magic == kMagicV2 || magic == kMagicV3) {
     uint32_t version = 0;
     uint32_t reserved = 0;
     uint32_t header_crc = 0;
@@ -147,12 +182,16 @@ bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
         !ReadPod(header, offset, count)) {
       return false;
     }
+    const uint32_t expected_version = magic == kMagicV3 ? 3 : 2;
     const std::size_t crc_span = offset;
-    if (!ReadPod(header, offset, header_crc) || version != kFormatVersion ||
+    if (!ReadPod(header, offset, header_crc) || version != expected_version ||
         header_crc != util::Crc32c(header.data(), crc_span)) {
       return false;
     }
-    payload_offset = kHeaderBytesV2;
+    payload_offset = kHeaderBytesV23;
+    if (magic == kMagicV3) {
+      record_bytes = kRecordBytesV3;
+    }
   } else if (magic == kMagicV1) {
     if (!ReadPod(header, offset, count)) {
       return false;
@@ -166,33 +205,41 @@ bool LoadWeightedEdgesBinary(const std::string& path, WeightedEdgeList& edges) {
   // present before allocating, so a truncated or corrupt file cannot
   // trigger a multi-GB resize.
   const uint64_t remaining = file_size - payload_offset;
-  if (count > remaining / sizeof(WeightedEdge)) {
+  if (count > remaining / record_bytes) {
     return false;
   }
-  const std::streamsize payload_bytes =
-      static_cast<std::streamsize>(count * sizeof(WeightedEdge));
-  edges.resize(count);
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(count) * record_bytes;
+  std::string payload(payload_bytes, '\0');
   in.seekg(static_cast<std::streamoff>(payload_offset));
-  in.read(reinterpret_cast<char*>(edges.data()), payload_bytes);
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
   if (!in) {
-    edges.clear();
     return false;
   }
-  if (magic == kMagicV2) {
+  if (magic != kMagicV1) {
     uint32_t payload_crc = 0;
     in.read(reinterpret_cast<char*>(&payload_crc), sizeof(payload_crc));
-    if (!in || payload_crc != util::Crc32c(edges.data(),
-                                           static_cast<std::size_t>(
-                                               payload_bytes))) {
-      edges.clear();
+    if (!in ||
+        payload_crc != util::Crc32c(payload.data(), payload.size())) {
       return false;
     }
   }
-  for (const WeightedEdge& e : edges) {
+  edges.clear();
+  edges.reserve(count);
+  std::size_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    WeightedEdge e{};
+    ReadPod(payload, pos, e.src);
+    ReadPod(payload, pos, e.dst);
+    if (magic == kMagicV3) {
+      ReadPod(payload, pos, e.timestamp);
+    }
+    ReadPod(payload, pos, e.bias);
     if (!ValidBias(e.bias)) {
       edges.clear();
       return false;
     }
+    edges.push_back(e);
   }
   return true;
 }

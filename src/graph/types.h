@@ -33,23 +33,42 @@ struct EdgePair {
 
 using EdgePairList = std::vector<EdgePair>;
 
-// A weighted edge used for bulk construction.
+// A weighted edge used for bulk construction. `timestamp` is the edge's
+// creation time in logical epochs (see core/bias_pipeline.h); bulk loaders
+// default it to 0 = "as old as the graph".
 struct WeightedEdge {
   VertexId src;
   VertexId dst;
   double bias;
+  uint32_t timestamp = 0;
 };
 
 using WeightedEdgeList = std::vector<WeightedEdge>;
 
 // One dynamic-graph mutation request (§5.2 batched updates).
+//
+// kAdvanceTime is the temporal-decay clock tick: it carries no edge — src
+// and dst stay kInvalidVertex — and `timestamp` holds the NEW logical epoch.
+// Stores rescale every stored bias by decay^(age delta) and re-bucket, so
+// journaling/recovery/replication see it as an ordinary batched update.
 struct Update {
-  enum class Kind : uint8_t { kInsert, kDelete };
+  enum class Kind : uint8_t { kInsert, kDelete, kAdvanceTime };
   Kind kind = Kind::kInsert;
   VertexId src = kInvalidVertex;
   VertexId dst = kInvalidVertex;
-  double bias = 1.0;  // only meaningful for insertions
+  double bias = 1.0;           // only meaningful for insertions
+  uint32_t timestamp = 0;      // insert: creation epoch; advance: new epoch
 };
+
+// The clock-tick update: applied first within its batch, broadcast to every
+// shard, skipped by per-vertex grouping and vertex-growth scans.
+inline Update MakeAdvanceTime(uint32_t new_epoch) {
+  Update u;
+  u.kind = Update::Kind::kAdvanceTime;
+  u.bias = 0.0;
+  u.timestamp = new_epoch;
+  return u;
+}
 
 using UpdateList = std::vector<Update>;
 

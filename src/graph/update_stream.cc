@@ -67,7 +67,7 @@ UpdateWorkload BuildUpdateWorkload(const WeightedEdgeList& all_edges,
     if (is_insert[step] != 0 && reserve_cursor < reserve.size()) {
       const WeightedEdge& e = reserve[reserve_cursor++];
       workload.updates.push_back(
-          Update{Update::Kind::kInsert, e.src, e.dst, e.bias});
+          Update{Update::Kind::kInsert, e.src, e.dst, e.bias, e.timestamp});
       live.push_back(e);
     } else {
       assert(!live.empty() && "deletion requested on an empty live set");

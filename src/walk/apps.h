@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <limits>
 #include <span>
+#include <vector>
 
 #include "src/walk/engine.h"
 #include "src/walk/store.h"
@@ -32,6 +33,28 @@ namespace bingo::walk {
 struct Node2vecParams {
   double p = 0.5;  // return parameter
   double q = 2.0;  // in-out parameter
+};
+
+// Typed / metapath walks. Vertex types partition the id space modularly —
+// TypeOf(v) = v % num_types, the same rule core::BiasPipeline uses for its
+// type gate — and a walk follows a cyclic pattern of types: a walker's
+// step s (0-based) must land on a vertex of type pattern[(s + 1) %
+// pattern.size()], with the start conventionally occupying pattern[0].
+// Two-mode bipartite walks (user–item) are the two-type metapath {0, 1}.
+struct MetapathParams {
+  uint32_t num_types = 2;
+  std::vector<uint32_t> pattern = {0, 1};
+
+  uint32_t TypeOf(graph::VertexId v) const {
+    return num_types <= 1 ? 0 : static_cast<uint32_t>(v % num_types);
+  }
+  bool Valid() const {
+    if (num_types == 0 || pattern.empty()) {
+      return false;
+    }
+    return std::all_of(pattern.begin(), pattern.end(),
+                       [&](uint32_t t) { return t < num_types; });
+  }
 };
 
 namespace internal {
@@ -133,6 +156,48 @@ struct Node2vecStepper {
 };
 
 template <AdjacencyStore Store>
+struct MetapathStepper {
+  // Step-aware (Next takes the step index): the eligible target type is a
+  // function of the walk position, so the draw is an exact bias-weighted
+  // scan over the type-matching neighbors — like node2vec's ExactDraw, it
+  // stays scalar in the fused driver but gains the layout and prefetching.
+  static constexpr bool kFirstOrder = false;
+  const Store& store;
+  MetapathParams params;
+
+  graph::VertexId Next(graph::VertexId cur, graph::VertexId /*prev*/,
+                       uint32_t step, util::Rng& rng) const {
+    const uint32_t want =
+        params.pattern[(step + 1) % params.pattern.size()];
+    const std::span<const graph::Edge> adj = store.NeighborsOf(cur);
+    double total = 0.0;
+    for (const graph::Edge& e : adj) {
+      if (params.TypeOf(e.dst) == want) {
+        total += e.bias;
+      }
+    }
+    if (!(total > 0.0)) {
+      return graph::kInvalidVertex;  // no eligible neighbor: walker retires
+    }
+    double draw = rng.NextUnit() * total;
+    graph::VertexId last = graph::kInvalidVertex;
+    for (const graph::Edge& e : adj) {
+      if (params.TypeOf(e.dst) != want) {
+        continue;
+      }
+      last = e.dst;
+      draw -= e.bias;
+      if (draw < 0.0) {
+        return e.dst;
+      }
+    }
+    return last;  // float round-off: clamp to the last eligible cell
+  }
+
+  bool Terminate(util::Rng& /*rng*/) const { return false; }
+};
+
+template <AdjacencyStore Store>
 struct UniformStepper {
   static constexpr bool kFirstOrder = false;
   const Store& store;
@@ -197,6 +262,17 @@ template <AdjacencyStore Store>
 WalkResult RunSimpleSampling(const Store& store, const WalkConfig& cfg,
                              util::ThreadPool* pool = nullptr) {
   internal::UniformStepper<Store> stepper{store};
+  return RunWalks(store, cfg, stepper, pool);
+}
+
+// Metapath-constrained walks (two-mode bipartite with the default {0, 1}
+// pattern). Exact per-step draws over the type-matching neighbors; runs on
+// every AdjacencyStore backend and both execution models bit-identically.
+template <AdjacencyStore Store>
+WalkResult RunMetapath(const Store& store, const WalkConfig& cfg,
+                       const MetapathParams& params = {},
+                       util::ThreadPool* pool = nullptr) {
+  internal::MetapathStepper<Store> stepper{store, params};
   return RunWalks(store, cfg, stepper, pool);
 }
 

@@ -17,6 +17,7 @@ namespace {
 // apply all graph mutations, then rebuild each touched vertex once.
 template <typename Store>
 core::BatchResult ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
+                                       const core::BingoConfig& config,
                                        const graph::UpdateList& updates,
                                        util::ThreadPool* pool) {
   core::BatchResult result;
@@ -26,8 +27,14 @@ core::BatchResult ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
   std::vector<graph::VertexId> touched;
   touched.reserve(updates.size());
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      continue;  // handled by AdvanceEpochFromBatch before this loop
+    }
     if (u.kind == graph::Update::Kind::kInsert) {
-      g.Insert(u.src, u.dst, u.bias);
+      g.Insert(u.src, u.dst,
+               config.pipeline.Compose(u.src, u.dst, u.bias, u.timestamp,
+                                       config.logical_epoch),
+               u.timestamp);
       touched.push_back(u.src);
       ++result.inserted;
     } else {
@@ -58,10 +65,18 @@ core::BatchResult ApplyBatchRebuilding(Store& store, graph::DynamicGraph& g,
 }
 
 // Applies updates to the graph only (no sampling-structure maintenance).
-void ApplyUpdatesToGraph(graph::DynamicGraph& g, const graph::UpdateList& updates) {
+void ApplyUpdatesToGraph(graph::DynamicGraph& g,
+                         const core::BingoConfig& config,
+                         const graph::UpdateList& updates) {
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      continue;  // handled by AdvanceEpochFromBatch before this loop
+    }
     if (u.kind == graph::Update::Kind::kInsert) {
-      g.Insert(u.src, u.dst, u.bias);
+      g.Insert(u.src, u.dst,
+               config.pipeline.Compose(u.src, u.dst, u.bias, u.timestamp,
+                                       config.logical_epoch),
+               u.timestamp);
     } else {
       const auto idx = g.FindEarliest(u.src, u.dst);
       if (idx.has_value()) {
@@ -120,10 +135,46 @@ std::vector<double> BiasesOf(const graph::DynamicGraph& g, graph::VertexId v) {
 
 }  // namespace
 
+// ------------------------------------------------------- BaselineStoreBase --
+
+bool BaselineStoreBase::AdvanceEpochFromBatch(const graph::UpdateList& updates) {
+  uint32_t advance_to = config_.logical_epoch;
+  for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      advance_to = std::max(advance_to, u.timestamp);
+    }
+  }
+  const uint32_t old_epoch = config_.logical_epoch;
+  if (advance_to == old_epoch) {
+    return false;
+  }
+  config_.logical_epoch = advance_to;
+  if (!config_.pipeline.DecayActive()) {
+    return false;
+  }
+  bool changed = false;
+  for (graph::VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    const auto adj = graph_.Neighbors(v);
+    for (uint32_t i = 0; i < adj.size(); ++i) {
+      const double factor = config_.pipeline.RescaleFactor(
+          old_epoch, advance_to, adj[i].timestamp);
+      if (factor != 1.0) {
+        graph_.SetBias(v, i, adj[i].bias * factor);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
 // -------------------------------------------------------------- AliasStore --
 
 AliasStore::AliasStore(graph::DynamicGraph graph, util::ThreadPool* pool)
-    : BaselineStoreBase(std::move(graph)) {
+    : AliasStore(std::move(graph), core::BingoConfig{}, pool) {}
+
+AliasStore::AliasStore(graph::DynamicGraph graph, core::BingoConfig config,
+                       util::ThreadPool* pool)
+    : BaselineStoreBase(std::move(graph), std::move(config)) {
   tables_.resize(graph_.NumVertices());
   RebuildAll(pool);
 }
@@ -171,17 +222,21 @@ bool AliasStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
 
 void AliasStore::ApplyBatchReload(const graph::UpdateList& updates,
                                   util::ThreadPool* pool) {
-  ApplyUpdatesToGraph(graph_, updates);
+  AdvanceEpochFromBatch(updates);
+  ApplyUpdatesToGraph(graph_, config_, updates);
   RebuildAll(pool);
 }
 
 core::BatchResult AliasStore::ApplyBatch(const graph::UpdateList& updates,
                                          util::ThreadPool* pool) {
+  if (AdvanceEpochFromBatch(updates)) {
+    RebuildAll(pool);  // decay touched every table's weights
+  }
   struct Adapter {
     AliasStore& store;
     void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
   } adapter{*this};
-  return ApplyBatchRebuilding(adapter, graph_, updates, pool);
+  return ApplyBatchRebuilding(adapter, graph_, config_, updates, pool);
 }
 
 core::StoreMemoryStats AliasStore::MemoryStats() const {
@@ -201,7 +256,11 @@ std::string AliasStore::CheckInvariants() const {
 // ---------------------------------------------------------------- ItsStore --
 
 ItsStore::ItsStore(graph::DynamicGraph graph, util::ThreadPool* pool)
-    : BaselineStoreBase(std::move(graph)) {
+    : ItsStore(std::move(graph), core::BingoConfig{}, pool) {}
+
+ItsStore::ItsStore(graph::DynamicGraph graph, core::BingoConfig config,
+                   util::ThreadPool* pool)
+    : BaselineStoreBase(std::move(graph), std::move(config)) {
   cdfs_.resize(graph_.NumVertices());
   RebuildAll(pool);
 }
@@ -249,17 +308,21 @@ bool ItsStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
 
 void ItsStore::ApplyBatchReload(const graph::UpdateList& updates,
                                 util::ThreadPool* pool) {
-  ApplyUpdatesToGraph(graph_, updates);
+  AdvanceEpochFromBatch(updates);
+  ApplyUpdatesToGraph(graph_, config_, updates);
   RebuildAll(pool);
 }
 
 core::BatchResult ItsStore::ApplyBatch(const graph::UpdateList& updates,
                                        util::ThreadPool* pool) {
+  if (AdvanceEpochFromBatch(updates)) {
+    RebuildAll(pool);  // decay touched every CDF's weights
+  }
   struct Adapter {
     ItsStore& store;
     void RebuildVertexPublic(graph::VertexId v) { store.RebuildVertex(v); }
   } adapter{*this};
-  return ApplyBatchRebuilding(adapter, graph_, updates, pool);
+  return ApplyBatchRebuilding(adapter, graph_, config_, updates, pool);
 }
 
 core::StoreMemoryStats ItsStore::MemoryStats() const {
@@ -301,10 +364,18 @@ bool ReservoirStore::StreamingDelete(graph::VertexId src, graph::VertexId dst) {
 
 core::BatchResult ReservoirStore::ApplyBatch(const graph::UpdateList& updates,
                                              util::ThreadPool* /*pool*/) {
+  // Reservoir samples straight off the adjacency biases, so the epoch
+  // rescale alone is the whole re-bucketing step.
+  AdvanceEpochFromBatch(updates);
   core::BatchResult result;
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      continue;
+    }
     if (u.kind == graph::Update::Kind::kInsert) {
-      graph_.Insert(u.src, u.dst, u.bias);
+      graph_.Insert(u.src, u.dst,
+                    ComposeBias(u.src, u.dst, u.bias, u.timestamp),
+                    u.timestamp);
       ++result.inserted;
     } else {
       const auto idx = graph_.FindEarliest(u.src, u.dst);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/core/store_types.h"
+#include "src/core/vertex_sampler.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/types.h"
 #include "src/sampling/alias_table.h"
@@ -40,10 +41,15 @@ namespace bingo::walk {
 // graph half of the WalkStore / AdjacencyStore surface (src/walk/store.h).
 class BaselineStoreBase {
  public:
-  explicit BaselineStoreBase(graph::DynamicGraph graph)
-      : graph_(std::move(graph)) {}
+  explicit BaselineStoreBase(graph::DynamicGraph graph,
+                             core::BingoConfig config = {})
+      : config_(std::move(config)), graph_(std::move(graph)) {}
 
   const graph::DynamicGraph& Graph() const { return graph_; }
+  // Only the bias pipeline + logical epoch of the config are meaningful
+  // here; the radix knobs belong to BingoStore.
+  const core::BingoConfig& Config() const { return config_; }
+  uint32_t LogicalEpoch() const { return config_.logical_epoch; }
 
   graph::VertexId NumVertices() const { return graph_.NumVertices(); }
   uint64_t NumEdges() const { return graph_.NumEdges(); }
@@ -55,12 +61,27 @@ class BaselineStoreBase {
   }
 
  protected:
+  // Applies any kAdvanceTime ticks in `updates`: bumps the logical epoch
+  // and rescales every stored bias by decay^(age delta). Returns true when
+  // biases changed so the caller can rebuild its sampling structures (the
+  // baselines' O(n) rebuild is their Table 1 update cost model anyway).
+  bool AdvanceEpochFromBatch(const graph::UpdateList& updates);
+
+  double ComposeBias(graph::VertexId src, graph::VertexId dst, double bias,
+                     uint32_t timestamp) const {
+    return config_.pipeline.Compose(src, dst, bias, timestamp,
+                                    config_.logical_epoch);
+  }
+
+  core::BingoConfig config_;
   graph::DynamicGraph graph_;
 };
 
 class AliasStore : public BaselineStoreBase {
  public:
   explicit AliasStore(graph::DynamicGraph graph, util::ThreadPool* pool = nullptr);
+  AliasStore(graph::DynamicGraph graph, core::BingoConfig config,
+             util::ThreadPool* pool = nullptr);
 
   graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const;
 
@@ -91,6 +112,8 @@ class AliasStore : public BaselineStoreBase {
 class ItsStore : public BaselineStoreBase {
  public:
   explicit ItsStore(graph::DynamicGraph graph, util::ThreadPool* pool = nullptr);
+  ItsStore(graph::DynamicGraph graph, core::BingoConfig config,
+           util::ThreadPool* pool = nullptr);
 
   graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const;
 
@@ -120,6 +143,9 @@ class ReservoirStore : public BaselineStoreBase {
   explicit ReservoirStore(graph::DynamicGraph graph,
                           util::ThreadPool* /*pool*/ = nullptr)
       : BaselineStoreBase(std::move(graph)) {}
+  ReservoirStore(graph::DynamicGraph graph, core::BingoConfig config,
+                 util::ThreadPool* /*pool*/ = nullptr)
+      : BaselineStoreBase(std::move(graph), std::move(config)) {}
 
   graph::VertexId SampleNeighbor(graph::VertexId v, util::Rng& rng) const;
 

@@ -17,6 +17,13 @@
 //     bool Terminate(util::Rng& rng) const;
 //   };
 //
+// Step-aware steppers (metapath walks, whose eligible target type is a
+// function of the step index) instead expose
+//   Next(cur, prev, uint32_t step, rng)
+// where `step` is the 0-based index of the transition being taken. Every
+// driver dispatches through StepperNext below, so both shapes run on the
+// engine, the superstep model, and the fused pass without adaptation.
+//
 // Merging is lock-free end to end: step/walker totals and per-vertex visit
 // counts accumulate through relaxed atomics, and per-chunk path buffers
 // land in a pre-sized slot array indexed by chunk id — the executor's chunk
@@ -53,6 +60,20 @@ struct WalkConfig {
   // the same engine and merge path as whole-graph workloads.
   graph::VertexId start_vertex = graph::kInvalidVertex;
 };
+
+// Uniform dispatch over the two stepper shapes. `step` is the 0-based index
+// of the transition about to be taken (== number of hops already taken);
+// classic steppers never see it, so their variate sequences are untouched.
+template <typename Stepper>
+graph::VertexId StepperNext(const Stepper& stepper, graph::VertexId cur,
+                            graph::VertexId prev, uint32_t step,
+                            util::Rng& rng) {
+  if constexpr (requires { stepper.Next(cur, prev, step, rng); }) {
+    return stepper.Next(cur, prev, step, rng);
+  } else {
+    return stepper.Next(cur, prev, rng);
+  }
+}
 
 struct WalkResult {
   uint64_t total_steps = 0;       // edges traversed across all walkers
@@ -136,7 +157,7 @@ WalkResult RunWalks(graph::VertexId num_vertices, const WalkConfig& cfg,
       }
       uint32_t step = 0;
       for (; step < cfg.walk_length; ++step) {
-        const graph::VertexId next = stepper.Next(cur, prev, rng);
+        const graph::VertexId next = StepperNext(stepper, cur, prev, step, rng);
         if (next == graph::kInvalidVertex) {
           break;
         }

@@ -183,7 +183,7 @@ void RunFusedChunk(const Store& store, const Stepper& stepper,
         } else {
           for (std::size_t t = a; t < b; ++t) {
             const uint32_t i = static_cast<uint32_t>(order[t]);
-            nexts[i] = stepper.Next(curs[i], prevs[i], rngs[i]);
+            nexts[i] = StepperNext(stepper, curs[i], prevs[i], step, rngs[i]);
           }
         }
         a = b;
@@ -198,7 +198,7 @@ void RunFusedChunk(const Store& store, const Stepper& stepper,
           }
         }
         const uint32_t i = alive[j];
-        nexts[i] = stepper.Next(curs[i], prevs[i], rngs[i]);
+        nexts[i] = StepperNext(stepper, curs[i], prevs[i], step, rngs[i]);
       }
     }
     // Phase 2: apply the step. Dead ends drop out silently; survivors draw
@@ -440,6 +440,15 @@ void RunNode2vecFused(const Store& store, std::span<const WalkConfig> cfgs,
                       util::ThreadPool* pool = nullptr) {
   internal::Node2vecStepper<Store> stepper{store, params,
                                            Node2vecFMax(params)};
+  RunFusedQueries(store, cfgs, stepper, results, pool);
+}
+
+template <AdjacencyStore Store>
+void RunMetapathFused(const Store& store, std::span<const WalkConfig> cfgs,
+                      std::span<WalkResult> results,
+                      const MetapathParams& params = {},
+                      util::ThreadPool* pool = nullptr) {
+  internal::MetapathStepper<Store> stepper{store, params};
   RunFusedQueries(store, cfgs, stepper, results, pool);
 }
 

@@ -359,6 +359,12 @@ IncrementalWalkCorpusT<Store>::RepairAfterUpdates(
   std::vector<graph::VertexId> touched;
   touched.reserve(updates.size());
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      // A horizonless decay tick rescales every edge of a vertex by the
+      // same factor, so no per-vertex distribution changes — no repairs.
+      // (Its src is kInvalidVertex, not a real touched vertex.)
+      continue;
+    }
     touched.push_back(u.src);
   }
   std::sort(touched.begin(), touched.end());

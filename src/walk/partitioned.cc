@@ -31,6 +31,14 @@ core::BatchResult PartitionedBingoStore::ApplyBatch(
     const graph::UpdateList& updates, util::ThreadPool* pool) {
   std::vector<graph::UpdateList> per_shard(shards_.size());
   for (const graph::Update& u : updates) {
+    if (u.kind == graph::Update::Kind::kAdvanceTime) {
+      // The clock tick is global state: broadcast so every shard advances
+      // its epoch (src is kInvalidVertex and must not route).
+      for (auto& slice : per_shard) {
+        slice.push_back(u);
+      }
+      continue;
+    }
     per_shard[ShardOf(u.src)].push_back(u);
   }
   std::atomic<uint64_t> inserted{0};

@@ -216,8 +216,10 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
       uint64_t local_steps = 0;
       uint64_t local_finished = 0;
       for (Walker walker : queues[s]) {
-        const graph::VertexId next =
-            stepper.Next(walker.cur, walker.prev, walker.rng);
+        // walker.len counts hops already taken == the step index the engine
+        // would pass, so step-aware steppers stay bit-identical here.
+        const graph::VertexId next = StepperNext(
+            stepper, walker.cur, walker.prev, walker.len, walker.rng);
         if (next == graph::kInvalidVertex) {
           local_finished += walker.len > 0 ? 1 : 0;
           continue;  // dead end (or rejection-exhausted): walker retires
@@ -332,6 +334,16 @@ PartitionedWalkResult RunPartitionedSimpleSampling(
     const Store& store, const WalkConfig& cfg,
     util::ThreadPool* pool = nullptr) {
   internal::UniformStepper<Store> stepper{store};
+  return RunPartitionedWalks(store, cfg, stepper, pool);
+}
+
+template <ShardRoutedStore Store>
+  requires AdjacencyStore<Store>
+PartitionedWalkResult RunPartitionedMetapath(const Store& store,
+                                             const WalkConfig& cfg,
+                                             const MetapathParams& params = {},
+                                             util::ThreadPool* pool = nullptr) {
+  internal::MetapathStepper<Store> stepper{store, params};
   return RunPartitionedWalks(store, cfg, stepper, pool);
 }
 

@@ -49,6 +49,9 @@ std::unique_ptr<WalkService> RecoverWalkService(
       info.config_fingerprint != core::ConfigFingerprint(config)) {
     return fail();
   }
+  // Resume the decay clock where the snapshot left it; WAL replay then
+  // re-applies any AdvanceTime ticks journaled after the checkpoint.
+  config.logical_epoch = static_cast<uint32_t>(info.logical_epoch);
   const graph::VertexId n = std::max(
       {num_vertices, info.num_vertices, graph::ImpliedVertexCount(edges)});
   local.base_edges = edges.size();

@@ -265,6 +265,13 @@ class WalkServiceT {
     return result;
   }
 
+  // Advances the temporal-decay logical epoch as an ordinary one-update
+  // batch, so the tick is journaled, applied to both replicas, and replayed
+  // on recovery like any other mutation.
+  void AdvanceTime(uint32_t new_epoch) {
+    ApplyBatch({graph::MakeAdvanceTime(new_epoch)});
+  }
+
   // --- durability: WAL-backed incremental checkpointing --------------------
   //
   // AttachWal(dir) makes `dir` the service's durability directory: it

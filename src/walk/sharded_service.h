@@ -248,6 +248,15 @@ class ShardedWalkServiceT {
                                util::ThreadPool* pool = nullptr) {
     std::vector<graph::UpdateList> per_shard(shards_.size());
     for (const graph::Update& u : updates) {
+      if (u.kind == graph::Update::Kind::kAdvanceTime) {
+        // Global clock tick: every shard must advance (and journal the
+        // tick in its own WAL so per-shard recovery replays it). src is
+        // kInvalidVertex and must not route.
+        for (auto& slice : per_shard) {
+          slice.push_back(u);
+        }
+        continue;
+      }
       per_shard[ShardOf(u.src)].push_back(u);
     }
     if (pool == nullptr) {
@@ -282,6 +291,12 @@ class ShardedWalkServiceT {
   core::BatchResult ApplyShardBatch(int shard,
                                     const graph::UpdateList& updates) {
     return shards_[static_cast<std::size_t>(shard)]->ApplyBatch(updates);
+  }
+
+  // Advances the logical epoch on every shard (broadcast via ApplyBatch, so
+  // each shard journals and replica-applies the tick).
+  void AdvanceTime(uint32_t new_epoch, util::ThreadPool* pool = nullptr) {
+    ApplyBatch({graph::MakeAdvanceTime(new_epoch)}, pool);
   }
 
   // --- durability: per-shard base + WAL segments ---------------------------

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/graph/generators.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
+#include "src/walk/fused.h"
 #include "src/walk/incremental.h"
 #include "src/walk/partitioned.h"
 
@@ -156,6 +158,112 @@ TEST(DeterminismTest, MatrixAcrossThreadsPinningAndDrivers) {
         ExpectIdentical(reference, run_engine(&pool));
         ExpectIdentical(reference, run_superstep(&pool));
       }
+    }
+  }
+}
+
+// The temporal row of the acceptance matrix: walks over a decaying store —
+// threads {1, 4, 16} x drivers {engine, superstep, fused} — stay
+// bit-identical to the serial engine reference, both before and after an
+// AdvanceTime tick lands mid-run. The tick is an ordinary ApplyBatch, so
+// every replica (plain and sharded) rescales to identical bits.
+TEST(DeterminismTest, TemporalMatrixAcrossThreadsAndDrivers) {
+  util::Rng rng(13);
+  auto pairs = graph::GenerateRmat(8, 2400, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = 256;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams bias_params;
+  const auto biases = graph::GenerateBiases(csr, bias_params, rng);
+  auto edges = graph::ToWeightedEdges(csr, biases);
+  for (graph::WeightedEdge& e : edges) {
+    e.timestamp = static_cast<uint32_t>((e.src + e.dst) % 5);
+  }
+
+  core::BingoConfig config;
+  config.pipeline.decay = 0.9;
+  BingoStore store(graph::DynamicGraph::FromEdges(n, edges), config);
+  PartitionedBingoStore sharded(edges, n, 4, config);
+
+  WalkConfig cfg;
+  cfg.walk_length = 16;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  cfg.num_walkers = 2048;
+
+  const auto check_phase = [&](const std::string& phase) {
+    SCOPED_TRACE(phase);
+    const WalkResult reference = RunDeepWalk(store, cfg, nullptr);
+    EXPECT_GT(reference.total_steps, 0u);
+    ExpectIdentical(reference, RunPartitionedDeepWalk(sharded, cfg, nullptr));
+    WalkResult fused_serial;
+    RunDeepWalkFused(store, std::span<const WalkConfig>(&cfg, 1),
+                     std::span<WalkResult>(&fused_serial, 1), nullptr);
+    ExpectIdentical(reference, fused_serial);
+    for (const std::size_t threads : {1uL, 4uL, 16uL}) {
+      util::ThreadPool pool(threads);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ExpectIdentical(reference, RunDeepWalk(store, cfg, &pool));
+      ExpectIdentical(reference, RunPartitionedDeepWalk(sharded, cfg, &pool));
+      WalkResult fused;
+      RunDeepWalkFused(store, std::span<const WalkConfig>(&cfg, 1),
+                       std::span<WalkResult>(&fused, 1), &pool);
+      ExpectIdentical(reference, fused);
+    }
+  };
+
+  check_phase("epoch 0");
+  // The mid-run clock tick: a deterministic synthetic batch, applied to the
+  // plain store and broadcast across the sharded store's partitions.
+  store.ApplyBatch({graph::MakeAdvanceTime(5)}, nullptr);
+  sharded.ApplyBatch({graph::MakeAdvanceTime(5)}, nullptr);
+  check_phase("epoch 5");
+}
+
+// Metapath (typed / bipartite) walks across the same driver x thread grid:
+// the stepper is step-aware (the eligible type is a function of the walk
+// position), so this row proves all three drivers feed identical step
+// indices — engine loop counter, superstep walker.len, fused lockstep step.
+TEST(DeterminismTest, MetapathMatrixAcrossThreadsAndDrivers) {
+  util::Rng rng(17);
+  auto pairs = graph::GenerateRmat(8, 2400, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = 256;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams bias_params;
+  const auto biases = graph::GenerateBiases(csr, bias_params, rng);
+  const auto edges = graph::ToWeightedEdges(csr, biases);
+
+  const BingoStore store(graph::DynamicGraph::FromEdges(n, edges));
+  const PartitionedBingoStore sharded(edges, n, 4);
+
+  WalkConfig cfg;
+  cfg.walk_length = 16;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  cfg.num_walkers = 2048;
+
+  for (const MetapathParams& params :
+       {MetapathParams{},                      // bipartite {0, 1}
+        MetapathParams{3, {0, 1, 2, 1}}}) {    // longer cyclic pattern
+    ASSERT_TRUE(params.Valid());
+    SCOPED_TRACE("pattern size=" + std::to_string(params.pattern.size()));
+    const WalkResult reference = RunMetapath(store, cfg, params, nullptr);
+    EXPECT_GT(reference.total_steps, 0u);
+    ExpectIdentical(reference,
+                    RunPartitionedMetapath(sharded, cfg, params, nullptr));
+    for (const std::size_t threads : {1uL, 4uL, 16uL}) {
+      util::ThreadPool pool(threads);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ExpectIdentical(reference, RunMetapath(store, cfg, params, &pool));
+      ExpectIdentical(reference,
+                      RunPartitionedMetapath(sharded, cfg, params, &pool));
+      WalkResult fused;
+      RunMetapathFused(store, std::span<const WalkConfig>(&cfg, 1),
+                       std::span<WalkResult>(&fused, 1), params, &pool);
+      ExpectIdentical(reference, fused);
     }
   }
 }

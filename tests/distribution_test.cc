@@ -25,6 +25,7 @@
 #include "src/graph/generators.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/walk/apps.h"
 #include "src/walk/baseline_stores.h"
 #include "src/walk/partitioned.h"
 #include "src/walk/sharded_service.h"
@@ -167,6 +168,208 @@ TEST(DistributionTest, ReservoirStore) {
 TEST(DistributionTest, PartitionedBingoStore) {
   PartitionedBingoStore store(TestGraph(95), kNumVertices, 4);
   RunStoreDistributionCheck(store, "partitioned");
+}
+
+// ---------------------------------------------------------------------------
+// Temporal decay: the stored bias must equal static_weight x decay^age, and
+// sampling frequencies must follow it. Ground truth is computed OUTSIDE the
+// store from the original timestamped edge list and the pipeline math, so a
+// store that forgot to rescale (or rescaled twice) fails the fit even though
+// its own adjacency would self-consistently pass ExpectSamplingMatchesWeights.
+
+// Chi-square fit of sampling frequencies against externally supplied
+// per-source weight maps (dst -> expected weight; weight 0 = ineligible).
+template <typename SampleFn>
+void ExpectSamplingMatchesModel(
+    const std::vector<std::map<VertexId, double>>& weight_of,
+    const SampleFn& sample_of, const std::string& label, uint64_t seed) {
+  std::vector<VertexId> order(weight_of.size());
+  for (VertexId v = 0; v < static_cast<VertexId>(weight_of.size()); ++v) {
+    order[v] = v;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return weight_of[a].size() > weight_of[b].size();
+  });
+
+  int tested = 0;
+  for (VertexId v : order) {
+    if (weight_of[v].size() < 3) {
+      break;  // sorted by cell count: nothing interesting left
+    }
+    double total = 0.0;
+    for (const auto& [dst, weight] : weight_of[v]) {
+      total += weight;
+    }
+    ASSERT_GT(total, 0.0) << label << " vertex " << v;
+    std::vector<VertexId> cells;
+    std::vector<double> expected;
+    for (const auto& [dst, weight] : weight_of[v]) {
+      cells.push_back(dst);
+      expected.push_back(weight / total);
+    }
+
+    std::vector<uint64_t> observed(cells.size(), 0);
+    util::Rng rng(seed ^ (uint64_t{v} << 20));
+    for (uint64_t s = 0; s < kSamplesPerVertex; ++s) {
+      const VertexId drawn = sample_of(v, rng);
+      const auto it = std::lower_bound(cells.begin(), cells.end(), drawn);
+      ASSERT_TRUE(it != cells.end() && *it == drawn)
+          << label << ": vertex " << v << " sampled ineligible " << drawn;
+      ++observed[static_cast<std::size_t>(it - cells.begin())];
+    }
+    EXPECT_TRUE(util::ChiSquareTestPasses(observed, expected))
+        << label << ": sampling frequencies of vertex " << v
+        << " reject the model distribution (chi2="
+        << util::ChiSquareStatistic(observed, expected) << ", cells="
+        << cells.size() << ")";
+    if (++tested == kVerticesToTest) {
+      break;
+    }
+  }
+  EXPECT_GE(tested, 3) << label << ": graph too sparse to test";
+}
+
+// Timestamps 0..4 over the standard test graph: after advancing to epoch 6
+// the per-edge decay factors span decay^2..decay^6, a detectable spread.
+graph::WeightedEdgeList TemporalTestGraph(uint64_t seed) {
+  graph::WeightedEdgeList edges = TestGraph(seed);
+  for (graph::WeightedEdge& e : edges) {
+    e.timestamp = static_cast<uint32_t>((e.src + e.dst) % 5);
+  }
+  return edges;
+}
+
+std::vector<std::map<VertexId, double>> DecayedWeights(
+    const graph::WeightedEdgeList& edges, const core::BiasPipeline& pipeline,
+    uint64_t epoch) {
+  std::vector<std::map<VertexId, double>> weight_of(kNumVertices);
+  for (const graph::WeightedEdge& e : edges) {
+    weight_of[e.src][e.dst] += e.bias * pipeline.DecayFactor(epoch, e.timestamp);
+  }
+  return weight_of;
+}
+
+// At epoch 0 every edge is fresh (factor 1); after AdvanceTime(6) each bias
+// must carry decay^(6 - timestamp). Both phases check against the model.
+template <typename Store>
+void RunDecayedDistributionCheck(Store& store,
+                                 const graph::WeightedEdgeList& edges,
+                                 const core::BiasPipeline& pipeline,
+                                 const std::string& label) {
+  const auto sample = [&](VertexId v, util::Rng& rng) {
+    return store.SampleNeighbor(v, rng);
+  };
+  ExpectSamplingMatchesModel(DecayedWeights(edges, pipeline, 0), sample,
+                             label + " (epoch 0)", 0xdecaf00du);
+  store.ApplyBatch({graph::MakeAdvanceTime(6)}, nullptr);
+  ExpectSamplingMatchesModel(DecayedWeights(edges, pipeline, 6), sample,
+                             label + " (epoch 6)", 0xdecaf11du);
+}
+
+core::BingoConfig DecayConfig() {
+  core::BingoConfig config;
+  config.pipeline.decay = 0.7;
+  return config;
+}
+
+TEST(DistributionTest, DecayedBingoStore) {
+  const auto edges = TemporalTestGraph(191);
+  core::BingoStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges),
+                         DecayConfig());
+  RunDecayedDistributionCheck(store, edges, DecayConfig().pipeline,
+                              "bingo-decayed");
+}
+
+TEST(DistributionTest, DecayedBaselineStores) {
+  {
+    const auto edges = TemporalTestGraph(192);
+    AliasStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges),
+                     DecayConfig());
+    RunDecayedDistributionCheck(store, edges, DecayConfig().pipeline,
+                                "alias-decayed");
+  }
+  {
+    const auto edges = TemporalTestGraph(193);
+    ItsStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges),
+                   DecayConfig());
+    RunDecayedDistributionCheck(store, edges, DecayConfig().pipeline,
+                                "its-decayed");
+  }
+  {
+    const auto edges = TemporalTestGraph(194);
+    ReservoirStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges),
+                         DecayConfig());
+    RunDecayedDistributionCheck(store, edges, DecayConfig().pipeline,
+                                "reservoir-decayed");
+  }
+}
+
+TEST(DistributionTest, DecayedPartitionedStore) {
+  const auto edges = TemporalTestGraph(195);
+  PartitionedBingoStore store(edges, kNumVertices, 4, DecayConfig());
+  RunDecayedDistributionCheck(store, edges, DecayConfig().pipeline,
+                              "partitioned-decayed");
+}
+
+// ---------------------------------------------------------------------------
+// Metapath-constrained steps: at step s the walker must land on a vertex of
+// type pattern[(s + 1) % |pattern|], drawn proportionally to bias among the
+// type-matching neighbors only. The eligible set flips between steps, and
+// wrong-type draws are hard failures (the model map omits them).
+
+template <typename Store>
+void RunMetapathDistributionCheck(const Store& store,
+                                  const graph::WeightedEdgeList& edges,
+                                  const std::string& label) {
+  const MetapathParams params;  // two types, pattern {0, 1}
+  const internal::MetapathStepper<Store> stepper{store, params};
+  for (const uint32_t step : {0u, 1u}) {
+    const uint32_t want = params.pattern[(step + 1) % params.pattern.size()];
+    std::vector<std::map<VertexId, double>> weight_of(kNumVertices);
+    for (const graph::WeightedEdge& e : edges) {
+      if (params.TypeOf(e.dst) == want) {
+        weight_of[e.src][e.dst] += e.bias;
+      }
+    }
+    const auto sample = [&](VertexId v, util::Rng& rng) {
+      return stepper.Next(v, graph::kInvalidVertex, step, rng);
+    };
+    ExpectSamplingMatchesModel(
+        weight_of, sample,
+        label + " (step " + std::to_string(step) + ")", 0x3e7a9a7ull + step);
+  }
+}
+
+TEST(DistributionTest, MetapathBingoStore) {
+  const auto edges = TestGraph(291);
+  const core::BingoStore store(
+      graph::DynamicGraph::FromEdges(kNumVertices, edges));
+  RunMetapathDistributionCheck(store, edges, "bingo-metapath");
+}
+
+TEST(DistributionTest, MetapathBaselineStores) {
+  {
+    const auto edges = TestGraph(292);
+    const AliasStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    RunMetapathDistributionCheck(store, edges, "alias-metapath");
+  }
+  {
+    const auto edges = TestGraph(293);
+    const ItsStore store(graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    RunMetapathDistributionCheck(store, edges, "its-metapath");
+  }
+  {
+    const auto edges = TestGraph(294);
+    const ReservoirStore store(
+        graph::DynamicGraph::FromEdges(kNumVertices, edges));
+    RunMetapathDistributionCheck(store, edges, "reservoir-metapath");
+  }
+}
+
+TEST(DistributionTest, MetapathPartitionedStore) {
+  const auto edges = TestGraph(295);
+  const PartitionedBingoStore store(edges, kNumVertices, 4);
+  RunMetapathDistributionCheck(store, edges, "partitioned-metapath");
 }
 
 // The sharded service samples through its composite snapshot view; a fresh

@@ -522,14 +522,19 @@ TEST(IoTest, LegacyUnchecksummedBinaryStillLoads) {
   const std::string path = ::testing::TempDir() + "/bingo_io_legacy.dat";
   const WeightedEdgeList edges = {{0, 1, 2.0}, {1, 2, 5.5}};
   {
-    // Hand-write the pre-v2 format: magic, count, raw records, no CRCs.
+    // Hand-write the pre-v2 format: magic, count, packed 16-byte records
+    // {src, dst, bias}, no CRCs. (The in-memory struct has since grown a
+    // timestamp + padding, so the legacy layout is written field-wise.)
     std::ofstream out(path, std::ios::binary);
     const uint64_t magic = 0x42494e474f454447ULL;
     const uint64_t count = edges.size();
     out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
     out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    out.write(reinterpret_cast<const char*>(edges.data()),
-              static_cast<std::streamsize>(count * sizeof(WeightedEdge)));
+    for (const WeightedEdge& e : edges) {
+      out.write(reinterpret_cast<const char*>(&e.src), sizeof(e.src));
+      out.write(reinterpret_cast<const char*>(&e.dst), sizeof(e.dst));
+      out.write(reinterpret_cast<const char*>(&e.bias), sizeof(e.bias));
+    }
   }
   WeightedEdgeList loaded;
   ASSERT_TRUE(LoadWeightedEdgesBinary(path, loaded));

@@ -181,7 +181,7 @@ TEST(SnapshotTest, WalSeqAndHeaderRoundTrip) {
   graph::WeightedEdgeList edges;
   SnapshotInfo info;
   ASSERT_TRUE(LoadSnapshotEdges(path, edges, &info));
-  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.version, 3u);
   EXPECT_EQ(info.wal_seq, 41u);
   EXPECT_EQ(info.num_vertices, 256u);
   EXPECT_EQ(info.num_edges, edges.size());

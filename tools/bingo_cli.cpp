@@ -5,10 +5,13 @@
 //               [--undirected] --out FILE[.bin]
 //       Generate an R-MAT weighted edge list and save it.
 //
-//   walk        --graph FILE --app deepwalk|node2vec|ppr|simple
+//   walk        --graph FILE
+//               --app deepwalk|node2vec|ppr|simple|metapath|temporal
 //               [--store bingo|alias|its|reservoir|partitioned] [--shards S]
 //               [--driver engine|superstep] [--length L] [--walkers W]
 //               [--p P] [--q Q] [--seed S] [--paths OUT.txt]
+//               [--decay D] [--horizon H] [--epoch E]
+//               [--types T] [--metapath T0,T1,...]
 //               [--threads N] [--pin] [--numa]
 //       Load a graph, build the chosen sampler store, run the application
 //       through the store-generic engine, report steps/second (and
@@ -19,6 +22,15 @@
 //       shared-memory engine and additionally reports supersteps and
 //       cross-shard walker migrations per step — same per-walker RNG
 //       streams, so the paths stay identical to the engine's.
+//       --app temporal runs first-order walks over the temporally decayed
+//       bias pipeline: --decay D is the per-epoch factor in (0, 1),
+//       --horizon caps the decayed age (0 = unbounded), and --epoch E
+//       advances the store's logical clock to E after the build (as an
+//       ordinary AdvanceTime batch), so edge biases are pre-scaled by
+//       D^age before walking. --app metapath runs typed walks: vertex
+//       types are v mod --types, and each step must land on the next type
+//       of the cyclic --metapath pattern (default 0,1 = two-mode
+//       bipartite). Both run on every store and driver bit-identically.
 //
 //   stats       --graph FILE
 //       Load a graph and print structural + store statistics (degrees,
@@ -134,7 +146,49 @@ struct Args {
   double qps = 200.0;            // combined offered arrival rate
   double duration = 5.0;         // seconds of offered load
   std::string front = "batched"; // batched (QueryBatcher) | direct
+  // Bias-pipeline knobs (walk --app temporal/metapath, serve-bench decay).
+  double decay = 1.0;            // per-epoch temporal decay (1.0 = off)
+  uint32_t horizon = 0;          // decay age cap in epochs (0 = unbounded)
+  uint32_t epoch = 0;            // walk: advance the logical clock to E
+  uint32_t types = 2;            // metapath: vertex type count (v mod T)
+  std::string metapath = "0,1";  // metapath: cyclic type pattern
+  int advance_every = 0;         // serve-bench: AdvanceTime every K batches
 };
+
+// The pipeline-bearing store config the walk/serve flags describe.
+core::BingoConfig PipelineConfig(const Args& args) {
+  core::BingoConfig config;
+  config.pipeline.decay = args.decay;
+  config.pipeline.horizon = args.horizon;
+  return config;
+}
+
+// "0,1,2" -> pattern {0,1,2}; false on malformed text or out-of-range types.
+bool ParseMetapathPattern(const Args& args, walk::MetapathParams& params) {
+  params.num_types = args.types;
+  params.pattern.clear();
+  const std::string& s = args.metapath;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) {
+      end = s.size();
+    }
+    if (end == pos) {
+      return false;  // empty component
+    }
+    uint32_t type = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (s[i] < '0' || s[i] > '9') {
+        return false;
+      }
+      type = type * 10 + static_cast<uint32_t>(s[i] - '0');
+    }
+    params.pattern.push_back(type);
+    pos = end + (end < s.size() ? 1 : 0);
+  }
+  return params.Valid();
+}
 
 void PrintUsage() {
   std::fprintf(
@@ -144,21 +198,29 @@ void PrintUsage() {
       "commands:\n"
       "  generate    --scale N --edges M --out FILE[.bin]\n"
       "              [--bias degree|uniform|gauss|powerlaw] [--undirected]\n"
-      "  walk        --graph FILE [--app deepwalk|node2vec|ppr|simple]\n"
+      "  walk        --graph FILE\n"
+      "              [--app deepwalk|node2vec|ppr|simple|metapath|temporal]\n"
       "              [--store bingo|alias|its|reservoir|partitioned]\n"
       "              [--shards S] [--driver engine|superstep]\n"
       "              [--length L] [--walkers W] [--p P] [--q Q]\n"
       "              [--seed S] [--paths OUT.txt]\n"
+      "              [--decay D] [--horizon H] [--epoch E]\n"
+      "              [--types T] [--metapath T0,T1,...]\n"
       "              [--threads N] [--pin] [--numa]\n"
       "              (--driver superstep runs the walker-transfer driver on\n"
       "               the partitioned store and reports migrations/step;\n"
-      "               --pin/--numa shape the work-stealing executor)\n"
+      "               --pin/--numa shape the work-stealing executor;\n"
+      "               --app temporal decays edge biases by D^age with the\n"
+      "               clock advanced to --epoch; --app metapath constrains\n"
+      "               each step to the next type of the cyclic pattern,\n"
+      "               types being vertex id mod --types)\n"
       "  stats       --graph FILE\n"
       "  serve-bench --graph FILE [--store bingo|sharded] [--shards S]\n"
       "              [--batcher] [--threads N] [--batches B]\n"
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete] [--pin] [--numa] [--json]\n"
       "              [--wal DIR] [--fsync] [--compact-fraction F]\n"
+      "              [--decay D] [--horizon H] [--advance-every K]\n"
       "              [--open-loop --qps Q --duration S\n"
       "               --front batched|direct|index]\n"
       "              (--walkers = walkers per query, 0 = 1024; unlike walk,\n"
@@ -167,7 +229,10 @@ void PrintUsage() {
       "               --open-loop issues Poisson arrivals at Q queries/sec\n"
       "               and reports coordinated-omission-free p50/p99/p999,\n"
       "               through the QueryBatcher, one query per request, or\n"
-      "               corpus reads from the always-fresh walk index)\n"
+      "               corpus reads from the always-fresh walk index;\n"
+      "               --advance-every K interleaves an AdvanceTime tick\n"
+      "               into the stream every K batches — with --decay D the\n"
+      "               tick re-buckets every stored bias under live queries)\n"
       "  checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]\n"
       "              [--compact-fraction F]\n"
       "  restore     --dir DIR [--out FILE.bin]\n"
@@ -279,6 +344,33 @@ bool Parse(int argc, char** argv, Args& args) {
       args.duration = value;
     } else if (flag == "--front") {
       args.front = next();
+    } else if (flag == "--decay") {
+      const double value = std::atof(next());
+      if (!missing_value && !(value > 0.0 && value <= 1.0)) {
+        std::fprintf(stderr, "--decay must be in (0, 1]\n");
+        return false;
+      }
+      args.decay = value;
+    } else if (flag == "--horizon") {
+      args.horizon = static_cast<uint32_t>(std::atoll(next()));
+    } else if (flag == "--epoch") {
+      args.epoch = static_cast<uint32_t>(std::atoll(next()));
+    } else if (flag == "--types") {
+      const int value = std::atoi(next());
+      if (!missing_value && value <= 0) {
+        std::fprintf(stderr, "--types must be a positive integer\n");
+        return false;
+      }
+      args.types = static_cast<uint32_t>(value);
+    } else if (flag == "--metapath") {
+      args.metapath = next();
+    } else if (flag == "--advance-every") {
+      const int value = std::atoi(next());
+      if (!missing_value && value < 0) {
+        std::fprintf(stderr, "--advance-every must be >= 0\n");
+        return false;
+      }
+      args.advance_every = value;
     } else if (flag == "--compact-fraction") {
       const double value = std::atof(next());
       if (!missing_value && (value < 0.0 || !(value < 1e18))) {
@@ -431,7 +523,12 @@ int RunWalkApp(const Args& args, const Store& store, util::ThreadPool* pool) {
     result = walk::RunPpr(store, cfg, 1.0 / args.length, pool);
   } else if (args.app == "simple") {
     result = walk::RunSimpleSampling(store, cfg, pool);
-  } else {  // "deepwalk": Walk() validated the app name before building
+  } else if (args.app == "metapath") {
+    walk::MetapathParams params;
+    ParseMetapathPattern(args, params);  // validated in Walk()
+    result = walk::RunMetapath(store, cfg, params, pool);
+  } else {  // "deepwalk"/"temporal": first-order walks over the (possibly
+            // decayed) composed biases; Walk() validated the app name
     result = walk::RunDeepWalk(store, cfg, pool);
   }
   const double seconds = walk_timer.Seconds();
@@ -469,7 +566,11 @@ int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store,
     result = walk::RunPartitionedPpr(store, cfg, 1.0 / args.length, pool);
   } else if (args.app == "simple") {
     result = walk::RunPartitionedSimpleSampling(store, cfg, pool);
-  } else {  // "deepwalk": Walk() validated the app name before building
+  } else if (args.app == "metapath") {
+    walk::MetapathParams params;
+    ParseMetapathPattern(args, params);  // validated in Walk()
+    result = walk::RunPartitionedMetapath(store, cfg, params, pool);
+  } else {  // "deepwalk"/"temporal": Walk() validated the app name
     result = walk::RunPartitionedDeepWalk(store, cfg, pool);
   }
   const double seconds = walk_timer.Seconds();
@@ -497,9 +598,26 @@ int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store,
 int Walk(const Args& args) {
   // Reject bad names before paying for the graph load or store build.
   if (args.app != "deepwalk" && args.app != "node2vec" && args.app != "ppr" &&
-      args.app != "simple") {
+      args.app != "simple" && args.app != "metapath" &&
+      args.app != "temporal") {
     std::fprintf(stderr, "unknown app: %s\n", args.app.c_str());
     return 2;
+  }
+  if (args.app == "temporal" && args.decay >= 1.0) {
+    std::fprintf(stderr,
+                 "--app temporal needs --decay D in (0, 1) to have any "
+                 "temporal effect\n");
+    return 2;
+  }
+  if (args.app == "metapath") {
+    walk::MetapathParams params;
+    if (!ParseMetapathPattern(args, params)) {
+      std::fprintf(stderr,
+                   "--metapath must be comma-separated types, each < --types "
+                   "(got \"%s\" with %u types)\n",
+                   args.metapath.c_str(), args.types);
+      return 2;
+    }
   }
   if (args.store != "bingo" && args.store != "alias" && args.store != "its" &&
       args.store != "reservoir" && args.store != "partitioned") {
@@ -526,55 +644,72 @@ int Walk(const Args& args) {
   util::ThreadPool* pool = &walk_pool;
   PrintExecutorBanner(args, walk_pool);
 
+  // The bias pipeline the flags describe. Stores build at logical epoch 0
+  // (loaded biases are the stored effective biases); --epoch E then
+  // advances the clock through an ordinary AdvanceTime batch, re-bucketing
+  // every edge's bias by decay^age — the same path a live service takes.
+  const core::BingoConfig config = PipelineConfig(args);
+  const auto advance_clock = [&](auto& store) {
+    if (args.epoch > 0) {
+      store.ApplyBatch({graph::MakeAdvanceTime(args.epoch)}, pool);
+      std::printf("advanced logical clock to epoch %u (decay %.4f)\n",
+                  args.epoch, args.decay);
+    }
+  };
+
   // One build/report/run path for every backend; `make_store` returns the
   // freshly built store (copy-elided).
   const auto build_and_run = [&](const std::string& label,
                                  const auto& make_store) {
     util::Timer build_timer;
-    const auto store = make_store();
+    auto store = make_store();
     std::printf(
         "built %s store over %u vertices / %zu edges in %.2fs (%.1f MiB)\n",
         label.c_str(), n, edges.size(), build_timer.Seconds(),
         store.MemoryBytes() / 1024.0 / 1024.0);
+    advance_clock(store);
     return RunWalkApp(args, store, pool);
   };
 
   if (args.store == "bingo") {
     return build_and_run(args.store, [&] {
-      return core::BingoStore(graph::DynamicGraph::FromEdges(n, edges), {},
+      return core::BingoStore(graph::DynamicGraph::FromEdges(n, edges), config,
                               pool);
     });
   }
   if (args.store == "alias") {
     return build_and_run(args.store, [&] {
-      return walk::AliasStore(graph::DynamicGraph::FromEdges(n, edges), pool);
+      return walk::AliasStore(graph::DynamicGraph::FromEdges(n, edges), config,
+                              pool);
     });
   }
   if (args.store == "its") {
     return build_and_run(args.store, [&] {
-      return walk::ItsStore(graph::DynamicGraph::FromEdges(n, edges), pool);
+      return walk::ItsStore(graph::DynamicGraph::FromEdges(n, edges), config,
+                            pool);
     });
   }
   if (args.store == "reservoir") {
     return build_and_run(args.store, [&] {
       return walk::ReservoirStore(graph::DynamicGraph::FromEdges(n, edges),
-                                  pool);
+                                  config, pool);
     });
   }
   if (args.store == "partitioned") {
     if (args.driver == "superstep") {
       util::Timer build_timer;
-      const walk::PartitionedBingoStore store(edges, n, args.shards, {}, pool);
+      walk::PartitionedBingoStore store(edges, n, args.shards, config, pool);
       std::printf(
           "built partitioned(%d shards) store over %u vertices / %zu edges "
           "in %.2fs (%.1f MiB)\n",
           args.shards, n, edges.size(), build_timer.Seconds(),
           store.MemoryBytes() / 1024.0 / 1024.0);
+      advance_clock(store);
       return RunSuperstepApp(args, store, pool);
     }
     return build_and_run(
         "partitioned(" + std::to_string(args.shards) + " shards)",
-        [&] { return walk::PartitionedBingoStore(edges, n, args.shards, {},
+        [&] { return walk::PartitionedBingoStore(edges, n, args.shards, config,
                                                  pool); });
   }
   // Unreachable while the upfront name check and this chain stay in sync.
@@ -738,8 +873,8 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
                       const graph::UpdateWorkload& workload,
                       util::ThreadPool* pool) {
   util::Timer build_timer;
-  auto service = walk::MakeShardedWalkService(workload.initial_edges, n,
-                                              args.shards, {}, pool, pool);
+  auto service = walk::MakeShardedWalkService(
+      workload.initial_edges, n, args.shards, PipelineConfig(args), pool, pool);
   std::printf(
       "serve-bench[sharded]: %u vertices, %zu initial edges, %d shards x 2 "
       "replicas built in %.2fs (%.1f MiB)\n",
@@ -815,8 +950,11 @@ int ServeBenchSharded(const Args& args, const graph::VertexId n,
                 ckpt.compacted ? "compacted" : "incremental");
     walk::RecoveryReport recovery;
     util::Timer recover_timer;
-    auto recovered = walk::RecoverShardedWalkService(args.wal_dir, {}, 0, pool,
-                                                     pool, persist, &recovery);
+    // Recovery must present the same config: the snapshot fingerprint now
+    // covers the bias pipeline, so a mismatched decay would (correctly)
+    // refuse to load.
+    auto recovered = walk::RecoverShardedWalkService(
+        args.wal_dir, PipelineConfig(args), 0, pool, pool, persist, &recovery);
     recovery_ms = recover_timer.Seconds() * 1e3;
     if (recovered == nullptr) {
       std::fprintf(stderr, "recovery from %s failed\n", args.wal_dir.c_str());
@@ -1121,8 +1259,30 @@ int ServeBench(const Args& args) {
   }
   const graph::VertexId n = graph::ImpliedVertexCount(all_edges);
   util::Rng workload_rng(args.seed);
-  const auto workload = graph::BuildUpdateWorkload(all_edges, params,
-                                                   workload_rng);
+  auto workload = graph::BuildUpdateWorkload(all_edges, params, workload_rng);
+  if (args.advance_every > 0) {
+    // Interleave logical-clock ticks into the stream: one AdvanceTime every
+    // K batches' worth of updates. Each tick rides an ordinary batch, so it
+    // is journaled, broadcast to every shard, and (with --decay < 1)
+    // re-buckets all stored biases while query threads keep serving.
+    const uint64_t stride =
+        static_cast<uint64_t>(args.advance_every) * args.batch_size;
+    graph::UpdateList interleaved;
+    interleaved.reserve(workload.updates.size() +
+                        workload.updates.size() / std::max<uint64_t>(1, stride) +
+                        1);
+    uint32_t next_epoch = 0;
+    for (std::size_t i = 0; i < workload.updates.size(); ++i) {
+      if (i > 0 && i % stride == 0) {
+        interleaved.push_back(graph::MakeAdvanceTime(++next_epoch));
+      }
+      interleaved.push_back(workload.updates[i]);
+    }
+    workload.updates = std::move(interleaved);
+    std::printf("temporal ticks:   AdvanceTime every %d batches "
+                "(decay %.4f, %u epochs total)\n",
+                args.advance_every, args.decay, next_epoch);
+  }
   // The engine/update executor: hardware-concurrency workers, shaped by
   // --pin/--numa (query-thread count stays a separate knob).
   util::PoolOptions pool_options;
@@ -1138,8 +1298,9 @@ int ServeBench(const Args& args) {
   // replica rebuilds; the stress query threads deliberately run poolless,
   // so the writer has the pool to itself.
   util::Timer build_timer;
-  auto service = walk::MakeWalkService(workload.initial_edges, n, {},
-                                       &serve_pool, &serve_pool);
+  auto service = walk::MakeWalkService(workload.initial_edges, n,
+                                       PipelineConfig(args), &serve_pool,
+                                       &serve_pool);
   std::printf(
       "serve-bench: %u vertices, %zu initial edges, 2 replicas built in "
       "%.2fs (%.1f MiB)\n",

@@ -30,6 +30,16 @@ Rules (see README "Correctness tooling"):
                          contract, PR 5). Containers are fine; raw allocations
                          are not.
 
+  wall-clock-time        std::chrono::{system,steady,high_resolution}_clock,
+                         time(), and gettimeofday() are banned in src/walk/
+                         and src/core/: the temporal decay clock is logical
+                         (AdvanceTime epochs travel through ApplyBatch and the
+                         WAL), so a machine-clock read in a sampling path makes
+                         walk output depend on when the binary runs. The one
+                         exemption is src/walk/query_batcher.h, whose batching
+                         deadlines are wall-clock by design and never feed a
+                         sampling decision.
+
 Suppression: append to the offending line
     // bingo-lint: allow(<rule>) -- <justification>
 The justification is mandatory; a bare allow() is itself an error.
@@ -84,6 +94,20 @@ BARE_ALLOC = [
      "(zero-alloc contract)"),
 ]
 
+WALL_CLOCK = [
+    (re.compile(r'\bstd::chrono::(system_clock|steady_clock|'
+                r'high_resolution_clock)\b'),
+     "wall-clock std::chrono::{0} in a sampling path: the decay clock is "
+     "logical (AdvanceTime epochs); machine-clock reads make walk output "
+     "depend on when the binary runs"),
+    (re.compile(r'\b(?:std::)?time\s*\('),
+     "time() in a sampling path: advance the logical epoch via "
+     "graph::MakeAdvanceTime instead of reading the machine clock"),
+    (re.compile(r'\bgettimeofday\s*\('),
+     "gettimeofday() in a sampling path: the decay clock is logical "
+     "(AdvanceTime epochs); use graph::MakeAdvanceTime"),
+]
+
 ALLOW = re.compile(r'//\s*bingo-lint:\s*allow\(([a-z-]+)\)\s*(--\s*\S.*)?')
 
 COMMENT_OR_STRING = re.compile(
@@ -109,6 +133,12 @@ def rules_for(rel):
         applicable.append(('unordered-iteration', UNORDERED))
     if posix.startswith('src/walk/'):
         applicable.append(('bare-allocation', BARE_ALLOC))
+    # query_batcher's admission deadlines are wall-clock by design (they
+    # bound queueing latency, never a sampling decision), mirroring the
+    # sync.h whole-file exemption above.
+    if (posix.startswith(('src/walk/', 'src/core/'))
+            and posix != 'src/walk/query_batcher.h'):
+        applicable.append(('wall-clock-time', WALL_CLOCK))
     return applicable
 
 

@@ -1,0 +1,12 @@
+// expect: wall-clock-time
+// Reading the machine clock inside a sampling path makes the decayed bias
+// depend on when the binary runs; the decay clock must be the logical epoch
+// carried by AdvanceTime updates.
+#include <chrono>
+
+double DecayedBiasNow(double bias, double per_second_decay) {
+  const auto now = std::chrono::system_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(now.time_since_epoch()).count();
+  return bias * per_second_decay * seconds;
+}

@@ -1,0 +1,16 @@
+// A sampling path that keeps time logically: the decay epoch arrives as
+// data (an AdvanceTime update applied through ApplyBatch), never from the
+// machine clock, so replaying the same updates reproduces the same biases.
+#include <cstdint>
+
+double DecayedBias(double bias, double decay, uint32_t age_epochs) {
+  double factor = 1.0;
+  double base = decay;
+  for (uint32_t e = age_epochs; e != 0; e >>= 1) {
+    if (e & 1) {
+      factor *= base;
+    }
+    base *= base;
+  }
+  return bias * factor;
+}
