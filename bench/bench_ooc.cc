@@ -1,0 +1,382 @@
+// Out-of-core engine benchmark (PR 10): throughput under a shrinking
+// memory budget, and the streamed-recovery RSS headline.
+//
+// Section 1 — budget sweep. One DeepWalk corpus workload over the tiered
+// store at budgets {unconstrained, 1/2, 1/4, 1/8 of the graph's edge
+// bytes}. Every budgeted run's output is checksummed against the
+// unconstrained reference: the OOC contract is bit-identity at ANY budget,
+// so a checksum mismatch fails the benchmark (exit 1), it is not a data
+// point. The interesting numbers are the throughput retention and the
+// block reload traffic as the budget shrinks.
+//
+// Section 2 — recovery comparison. The same durability directory (written
+// by the in-memory service's AttachWal/Checkpoint) is recovered twice, each
+// in a FRESH child process so getrusage(ru_maxrss) measures that recovery
+// alone:
+//   full      RecoverWalkService — materializes the snapshot edge list and
+//             rebuilds the radix store in RAM (peak O(E));
+//   streamed  RecoverOocWalkService — streams the snapshot record-by-record
+//             into the on-disk CSR container and mounts it under a budget
+//             (peak O(index + budget)).
+// The children are separate execs (not forks) because a forked child
+// inherits the parent's resident-set high-water mark, which would mask the
+// streamed path's savings.
+//
+// Flags: --threads N (walk pool size), --json OUT.json. Environment knobs:
+// BINGO_BENCH_SCALE / ROUNDS / BATCH (bench/common.h), BINGO_BENCH_OOC_BLOCK
+// (CSR block bytes, default 256 KiB — small enough that the sweep's
+// fractional budgets hold several blocks even at laptop scale).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/util/resource.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/walk/ooc.h"
+#include "src/walk/ooc_service.h"
+#include "src/walk/ooc_store.h"
+#include "src/walk/service.h"
+
+namespace bingo {
+namespace {
+
+struct SweepRow {
+  uint64_t budget_bytes;  // 0 = unconstrained
+  double fraction;        // of edge bytes (1.0 for unconstrained)
+  double msteps_per_sec;
+  uint64_t block_loads;
+  uint64_t walker_parks;
+  std::size_t peak_resident_bytes;
+  bool bit_identical;
+};
+
+struct RecoveryRow {
+  bool ok = false;
+  double ms = 0.0;
+  uint64_t peak_rss_bytes = 0;
+};
+
+// Output fingerprint of a walk: FNV-1a over paths, offsets, visit counts,
+// and the step total. Two bit-identical results agree; anything else is a
+// determinism bug, not noise.
+uint64_t Fingerprint(const walk::WalkResult& result) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(result.total_steps);
+  mix(result.finished_walkers);
+  for (const graph::VertexId v : result.paths) mix(v);
+  for (const uint64_t o : result.path_offsets) mix(o);
+  for (const uint32_t c : result.visit_counts) mix(c);
+  return h;
+}
+
+// Peak RSS of THIS exec image. getrusage's ru_maxrss folds the forked
+// parent's high-water mark into signal accounting across execve, so a
+// child that uses LESS memory than its parent reads back the parent's
+// peak; /proc/self/status VmHWM is per-mm and a fresh exec resets it.
+uint64_t ExecPeakRssBytes() {
+  std::FILE* in = std::fopen("/proc/self/status", "r");
+  if (in == nullptr) {
+    return util::PeakRssBytes();
+  }
+  char line[256];
+  uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), in) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %" SCNu64, &kib) == 1) {
+      break;
+    }
+  }
+  std::fclose(in);
+  return kib != 0 ? kib * 1024 : static_cast<uint64_t>(util::PeakRssBytes());
+}
+
+// Child mode: recover `dir` via the requested path, then report this
+// process's own wall time and RSS high-water to `out_path` as
+// "ok ms peak_rss_bytes". Runs in a fresh exec so VmHWM covers exactly
+// one recovery.
+int RunRecoverChild(const std::string& mode, const std::string& dir,
+                    uint64_t budget_bytes, const std::string& out_path) {
+  util::ThreadPool pool;
+  util::Timer timer;
+  bool ok = false;
+  if (mode == "full") {
+    walk::RecoveryReport report;
+    auto service = walk::RecoverWalkService(dir, {}, 0, &pool, &pool, {},
+                                            &report);
+    ok = service != nullptr && report.ok &&
+         service->CheckInvariants().empty();
+  } else {
+    walk::OocServiceOptions options;
+    options.store.memory_budget_bytes = budget_bytes;
+    walk::RecoveryReport report;
+    std::string error;
+    auto service = walk::RecoverOocWalkService(dir, {}, options, &pool, &pool,
+                                               &report, &error);
+    ok = service != nullptr && report.ok &&
+         service->CheckInvariants().empty();
+    if (!ok && !error.empty()) {
+      std::fprintf(stderr, "streamed recovery failed: %s\n", error.c_str());
+    }
+  }
+  const double ms = timer.Seconds() * 1e3;
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    return 1;
+  }
+  std::fprintf(out, "%d %.3f %" PRIu64 "\n", ok ? 1 : 0, ms,
+               ExecPeakRssBytes());
+  std::fclose(out);
+  return ok ? 0 : 1;
+}
+
+// Execs this binary in child mode and parses its report file.
+RecoveryRow SpawnRecovery(const std::string& mode, const std::string& dir,
+                          uint64_t budget_bytes, const std::string& out_path) {
+  RecoveryRow row;
+  const std::string budget = std::to_string(budget_bytes);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return row;
+  }
+  if (pid == 0) {
+    execl("/proc/self/exe", "bench_ooc", "--recover-child", mode.c_str(),
+          dir.c_str(), budget.c_str(), out_path.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return row;
+  }
+  std::FILE* in = std::fopen(out_path.c_str(), "r");
+  if (in == nullptr) {
+    return row;
+  }
+  int ok = 0;
+  double ms = 0.0;
+  uint64_t rss = 0;
+  if (std::fscanf(in, "%d %lf %" SCNu64, &ok, &ms, &rss) == 3) {
+    row.ok = ok != 0;
+    row.ms = ms;
+    row.peak_rss_bytes = rss;
+  }
+  std::fclose(in);
+  std::remove(out_path.c_str());
+  return row;
+}
+
+}  // namespace
+}  // namespace bingo
+
+int main(int argc, char** argv) {
+  using namespace bingo;
+  bench::TuneAllocator();
+
+  if (argc == 6 && std::strcmp(argv[1], "--recover-child") == 0) {
+    return RunRecoverChild(argv[2], argv[3],
+                           std::strtoull(argv[4], nullptr, 10), argv[5]);
+  }
+
+  std::string json_path;
+  util::PoolOptions pool_options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      pool_options.num_threads =
+          static_cast<std::size_t>(std::max(0, std::atoi(argv[++i])));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ooc [--threads N] [--json OUT.json]\n");
+      return 2;
+    }
+  }
+
+  const std::string work_dir =
+      (std::filesystem::temp_directory_path() / "bingo_bench_ooc").string();
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  // One mid-sized stand-in; the sweep's shape (retention vs budget) is what
+  // matters, not the absolute scale.
+  const bench::Dataset dataset = bench::StandardDatasets()[1];  // GO
+  const auto workload =
+      bench::PrepareWorkload(dataset, graph::UpdateKind::kMixed, {}, 42,
+                             bench::BenchBatch(), bench::BenchRounds());
+  const uint64_t edge_bytes =
+      workload.initial_edges.size() * sizeof(graph::Edge);
+  const uint64_t block_bytes = static_cast<uint64_t>(
+      bench::EnvInt("BINGO_BENCH_OOC_BLOCK", 256 * 1024));
+
+  util::ThreadPool pool(pool_options);
+  const std::string csr_path = work_dir + "/base.csr";
+  std::string error;
+  if (!graph::WriteCsrFile(csr_path, workload.num_vertices,
+                           workload.initial_edges, block_bytes, &error)) {
+    std::fprintf(stderr, "csr write failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "bench_ooc: %s stand-in, %u vertices, %zu edges (%.1f MiB of edge "
+      "payload), %" PRIu64 " KiB csr blocks, %zu walk threads\n\n",
+      dataset.abbr, workload.num_vertices, workload.initial_edges.size(),
+      bench::ToMiB(edge_bytes), block_bytes / 1024, pool.NumThreads());
+
+  // ---- Section 1: budget sweep -------------------------------------------
+  walk::WalkConfig cfg;
+  cfg.walk_length = 40;
+  cfg.record_paths = true;
+
+  const std::vector<double> fractions = {1.0, 0.5, 0.25, 0.125};
+  std::vector<SweepRow> sweep;
+  uint64_t reference = 0;
+  bool all_identical = true;
+  std::printf("%-14s %10s %12s %12s %12s %14s %6s\n", "budget", "frac",
+              "Msteps/s", "blk loads", "parks", "resident MiB", "ident");
+  for (const double frac : fractions) {
+    const uint64_t budget =
+        frac >= 1.0 ? 0 : static_cast<uint64_t>(edge_bytes * frac);
+    walk::TieredStoreOptions options;
+    options.memory_budget_bytes = budget;
+    auto store = walk::TieredStore::Open(csr_path, {}, options, &pool, &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "tiered open failed: %s\n", error.c_str());
+      return 1;
+    }
+    walk::RunOocDeepWalk(*store, cfg, &pool);  // warm the cache + scratch
+    double best = 1e30;
+    walk::OocWalkResult result;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer timer;
+      result = walk::RunOocDeepWalk(*store, cfg, &pool);
+      best = std::min(best, timer.Seconds());
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "ooc walk failed: %s\n", result.error.c_str());
+        return 1;
+      }
+    }
+    const uint64_t fp = Fingerprint(result);
+    if (budget == 0) {
+      reference = fp;
+    }
+    const bool identical = fp == reference;
+    all_identical = all_identical && identical;
+    sweep.push_back({budget, frac, result.total_steps / best / 1e6,
+                     result.block_loads, result.walker_parks,
+                     result.peak_resident_bytes, identical});
+    char budget_text[32];
+    if (budget == 0) {
+      std::snprintf(budget_text, sizeof(budget_text), "unconstrained");
+    } else {
+      std::snprintf(budget_text, sizeof(budget_text), "%.1f MiB",
+                    bench::ToMiB(budget));
+    }
+    std::printf("%-14s %10.3f %12.2f %12" PRIu64 " %12" PRIu64 " %14.2f %6s\n",
+                budget_text, frac, sweep.back().msteps_per_sec,
+                sweep.back().block_loads, sweep.back().walker_parks,
+                bench::ToMiB(sweep.back().peak_resident_bytes),
+                identical ? "yes" : "NO");
+  }
+  bench::PrintRule(86);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: budgeted output diverged from the unconstrained "
+                 "reference (bit-identity contract broken)\n");
+    return 1;
+  }
+
+  // ---- Section 2: recovery RSS comparison --------------------------------
+  // Write the durability directory once (base snapshot + a journaled
+  // suffix), then recover it in fresh child processes.
+  {
+    auto service = walk::MakeWalkService(workload.initial_edges,
+                                         workload.num_vertices, {}, &pool,
+                                         &pool);
+    if (!service->AttachWal(work_dir).ok) {
+      std::fprintf(stderr, "attach-wal failed\n");
+      return 1;
+    }
+    for (const auto& batch : workload.batches) {
+      service->ApplyBatch(batch);
+    }
+    if (!service->Checkpoint().ok) {
+      std::fprintf(stderr, "checkpoint failed\n");
+      return 1;
+    }
+  }
+  const uint64_t recovery_budget = std::max<uint64_t>(edge_bytes / 4, 1);
+  const RecoveryRow full =
+      SpawnRecovery("full", work_dir, 0, work_dir + "/full.report");
+  const RecoveryRow streamed = SpawnRecovery(
+      "streamed", work_dir, recovery_budget, work_dir + "/streamed.report");
+  std::printf("%-14s %12s %16s\n", "recovery", "ms", "peak rss MiB");
+  std::printf("%-14s %12.1f %16.1f  %s\n", "full", full.ms,
+              bench::ToMiB(full.peak_rss_bytes), full.ok ? "" : "FAILED");
+  std::printf("%-14s %12.1f %16.1f  %s(budget %.1f MiB)\n", "streamed",
+              streamed.ms, bench::ToMiB(streamed.peak_rss_bytes),
+              streamed.ok ? "" : "FAILED ", bench::ToMiB(recovery_budget));
+  bench::PrintRule(86);
+  if (!full.ok || !streamed.ok) {
+    std::fprintf(stderr, "FAIL: a recovery path did not come back clean\n");
+    return 1;
+  }
+  std::printf(
+      "\nstreamed recovery peak rss is %.2fx the full materialization's\n",
+      static_cast<double>(streamed.peak_rss_bytes) /
+          std::max<uint64_t>(full.peak_rss_bytes, 1));
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\"bench\":\"ooc\",\"dataset\":\"" << dataset.abbr
+         << "\",\"vertices\":" << workload.num_vertices
+         << ",\"edges\":" << workload.initial_edges.size()
+         << ",\"edge_bytes\":" << edge_bytes
+         << ",\"csr_block_bytes\":" << block_bytes
+         << ",\"threads\":" << pool.NumThreads() << ",\"budget_sweep\":[";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      json << (i > 0 ? "," : "") << "{\"budget_bytes\":" << sweep[i].budget_bytes
+           << ",\"fraction\":" << sweep[i].fraction
+           << ",\"msteps_per_sec\":" << sweep[i].msteps_per_sec
+           << ",\"block_loads\":" << sweep[i].block_loads
+           << ",\"walker_parks\":" << sweep[i].walker_parks
+           << ",\"peak_resident_bytes\":" << sweep[i].peak_resident_bytes
+           << ",\"bit_identical\":" << (sweep[i].bit_identical ? "true" : "false")
+           << "}";
+    }
+    json << "],\"recovery\":{\"full\":{\"ms\":" << full.ms
+         << ",\"peak_rss_bytes\":" << full.peak_rss_bytes
+         << "},\"streamed\":{\"ms\":" << streamed.ms
+         << ",\"peak_rss_bytes\":" << streamed.peak_rss_bytes
+         << ",\"budget_bytes\":" << recovery_budget
+         << "}},\"peak_rss_bytes\":" << util::PeakRssBytes() << "}\n";
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string text = json.str();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  std::filesystem::remove_all(work_dir);
+  return 0;
+}

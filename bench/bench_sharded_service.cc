@@ -41,6 +41,7 @@
 
 #include "bench/common.h"
 #include "src/core/bingo_store.h"
+#include "src/util/resource.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/update_stream.h"
 #include "src/util/thread_pool.h"
@@ -433,7 +434,8 @@ int main(int argc, char** argv) {
          << ",\"ckpt_ms_per_op\":" << persistence.ckpt_ms_per_op
          << ",\"recovery_ms\":" << persistence.recovery_ms
          << ",\"recovered_ok\":" << (persistence.recovered_ok ? "true" : "false")
-         << "},\"local_mean_latency_speedup\":" << speedup << "}\n";
+         << "},\"local_mean_latency_speedup\":" << speedup
+         << ",\"peak_rss_bytes\":" << util::PeakRssBytes() << "}\n";
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "failed to open %s\n", json_path.c_str());

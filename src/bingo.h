@@ -17,16 +17,19 @@
 #define BINGO_SRC_BINGO_H_
 
 #include "src/core/bingo_store.h"
+#include "src/core/block_cache.h"
 #include "src/core/lambda.h"
 #include "src/core/radix_base.h"
 #include "src/core/snapshot.h"
 #include "src/core/vertex_sampler.h"
 #include "src/graph/bias.h"
+#include "src/graph/csr_mmap.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
 #include "src/graph/update_stream.h"
 #include "src/util/numa.h"
+#include "src/util/resource.h"
 #include "src/util/rng.h"
 #include "src/util/scratch.h"
 #include "src/util/thread_pool.h"
@@ -39,6 +42,9 @@
 #include "src/walk/incremental.h"
 #include "src/walk/index_service.h"
 #include "src/walk/fused.h"
+#include "src/walk/ooc.h"
+#include "src/walk/ooc_service.h"
+#include "src/walk/ooc_store.h"
 #include "src/walk/partitioned.h"
 #include "src/walk/query_batcher.h"
 #include "src/walk/service.h"

@@ -1,0 +1,173 @@
+#include "src/core/block_cache.h"
+
+#include <algorithm>
+
+namespace bingo::core {
+
+BlockCache::BlockCache(const graph::CsrMmap* csr, BlockCacheOptions options)
+    : csr_(csr),
+      options_(options),
+      num_blocks_(csr->NumBlocks()),
+      resident_(num_blocks_),
+      parked_(num_blocks_) {
+  util::MutexLock lock(mutex_);
+  states_.assign(num_blocks_, BlockState::kInactive);
+  handles_.assign(num_blocks_, graph::CsrMapHandle{});
+  crc_checked_.assign(num_blocks_, 0);
+}
+
+BlockCache::~BlockCache() {
+  util::MutexLock lock(mutex_);
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    if (states_[b] != BlockState::kInactive) {
+      graph::CsrMmap::Unmap(handles_[b]);
+    }
+  }
+}
+
+int64_t BlockCache::PickEvictionLocked() const {
+  int64_t victim = -1;
+  uint64_t victim_parked = 0;
+  bool victim_used = false;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    if (states_[b] != BlockState::kActive && states_[b] != BlockState::kUsed) {
+      continue;  // INACTIVE has nothing to evict; USING is pinned
+    }
+    const uint64_t parked = parked_[b].load(std::memory_order_relaxed);
+    const bool used = states_[b] == BlockState::kUsed;
+    // Rank: fewest parked walkers first; USED before ACTIVE; lowest id.
+    if (victim < 0 || parked < victim_parked ||
+        (parked == victim_parked && used && !victim_used)) {
+      victim = b;
+      victim_parked = parked;
+      victim_used = used;
+    }
+  }
+  return victim;
+}
+
+void BlockCache::EvictLocked(uint32_t b) {
+  resident_[b].store(nullptr, std::memory_order_release);
+  stats_.resident_bytes -= handles_[b].length;
+  graph::CsrMmap::Unmap(handles_[b]);
+  handles_[b] = graph::CsrMapHandle{};
+  states_[b] = BlockState::kInactive;
+  ++stats_.evictions;
+}
+
+bool BlockCache::Load(uint32_t b, std::string* error) {
+  util::MutexLock lock(mutex_);
+  if (states_[b] != BlockState::kInactive) {
+    ++stats_.hits;
+    if (states_[b] == BlockState::kUsed) {
+      states_[b] = BlockState::kActive;  // new scheduling round
+    }
+    return true;
+  }
+  // Estimate before mapping (actual mapped length adds sub-page slop).
+  const std::size_t incoming = csr_->BlockPayloadBytes(b);
+  if (Budgeted()) {
+    bool overshot = false;
+    while (stats_.resident_bytes + incoming > options_.budget_bytes) {
+      const int64_t victim = PickEvictionLocked();
+      if (victim < 0) {
+        overshot = true;  // everything resident is pinned: admit anyway
+        break;
+      }
+      EvictLocked(static_cast<uint32_t>(victim));
+    }
+    if (overshot ||
+        (stats_.resident_bytes == 0 && incoming > options_.budget_bytes)) {
+      ++stats_.budget_overshoots;
+    }
+  }
+  graph::CsrMapHandle handle;
+  const graph::Edge* edges = nullptr;
+  const bool verify = options_.verify_crc && crc_checked_[b] == 0;
+  if (!csr_->MapBlock(b, verify, &handle, &edges, error)) {
+    ++stats_.crc_failures;
+    return false;
+  }
+  crc_checked_[b] = 1;
+  handles_[b] = handle;
+  states_[b] = BlockState::kActive;
+  stats_.resident_bytes += handle.length;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  ++stats_.loads;
+  resident_[b].store(edges, std::memory_order_release);
+  return true;
+}
+
+void BlockCache::BeginUse(uint32_t b) {
+  util::MutexLock lock(mutex_);
+  if (states_[b] == BlockState::kActive || states_[b] == BlockState::kUsed) {
+    states_[b] = BlockState::kUsing;
+  }
+}
+
+void BlockCache::EndUse(uint32_t b) {
+  util::MutexLock lock(mutex_);
+  if (states_[b] == BlockState::kUsing) {
+    states_[b] = BlockState::kUsed;
+  }
+}
+
+int64_t BlockCache::PickNext() const {
+  int64_t best = -1;
+  uint64_t best_parked = 0;
+  bool best_resident = false;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    const uint64_t parked = parked_[b].load(std::memory_order_relaxed);
+    if (parked == 0) {
+      continue;
+    }
+    const bool resident =
+        resident_[b].load(std::memory_order_relaxed) != nullptr;
+    if (best < 0 || parked > best_parked ||
+        (parked == best_parked && resident && !best_resident)) {
+      best = b;
+      best_parked = parked;
+      best_resident = resident;
+    }
+  }
+  return best;
+}
+
+BlockState BlockCache::State(uint32_t b) const {
+  util::MutexLock lock(mutex_);
+  return states_[b];
+}
+
+BlockCacheStats BlockCache::Stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::string BlockCache::CheckAccounting() const {
+  util::MutexLock lock(mutex_);
+  std::size_t mapped = 0;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    const bool has_state = states_[b] != BlockState::kInactive;
+    const bool has_handle = handles_[b].addr != nullptr;
+    const bool has_ptr =
+        resident_[b].load(std::memory_order_relaxed) != nullptr;
+    if (has_ptr && !has_state) {
+      return "block cache: resident pointer without a mapped state";
+    }
+    if (has_handle && !has_state) {
+      return "block cache: live mapping in INACTIVE state";
+    }
+    if (has_state && csr_->BlockPayloadBytes(b) > 0 &&
+        (!has_handle || !has_ptr)) {
+      return "block cache: resident block lost its mapping or pointer";
+    }
+    mapped += handles_[b].length;
+  }
+  if (mapped != stats_.resident_bytes) {
+    return "block cache: resident byte accounting diverged from mappings";
+  }
+  return "";
+}
+
+}  // namespace bingo::core

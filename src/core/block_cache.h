@@ -1,0 +1,129 @@
+// Walk-aware block cache over an on-disk CSR container: the residency
+// manager of the out-of-core walk path.
+//
+// Each CSR block carries an explicit state (the randgraph engine's cache
+// discipline):
+//
+//   INACTIVE  not resident; the default
+//   ACTIVE    resident, not currently driving a walk pass
+//   USING     resident and pinned by an in-flight walk pass (never evicted)
+//   USED      resident, already consumed by a pass this scheduling round —
+//             first in line for eviction at equal parked-walker rank
+//
+// Load() maps a block through CsrMmap::MapBlock and, when a resident-byte
+// budget is set, first evicts unpinned blocks — lowest parked-walker count
+// first (USED preferred over ACTIVE at equal rank, then lowest id) — until
+// the newcomer fits. PickNext() is the scheduler's rank query: the block
+// with the most parked walkers, preferring already-resident blocks among
+// ties so a hot resident block drains before paying another map.
+//
+// Concurrency contract: Resident() is a lock-free acquire-load probe, safe
+// from any thread at any time. In *unconstrained* mode (budget 0) Load()
+// only ever adds mappings, so transparent demand-faulting from concurrent
+// walker threads is safe. In *budgeted* mode eviction invalidates resident
+// pointers, so Load()/BeginUse()/EndUse() must only be called from the
+// scheduling thread between walk passes (walk/ooc.h's driver enforces the
+// single-scheduler rule); walker threads fall back to pread for
+// non-resident blocks and never trigger a map.
+
+#ifndef BINGO_SRC_CORE_BLOCK_CACHE_H_
+#define BINGO_SRC_CORE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr_mmap.h"
+#include "src/util/sync.h"
+
+namespace bingo::core {
+
+enum class BlockState : uint8_t { kInactive = 0, kActive, kUsing, kUsed };
+
+struct BlockCacheOptions {
+  // Resident edge-byte budget. 0 = unconstrained: demand-map every block,
+  // never evict.
+  std::size_t budget_bytes = 0;
+  // Verify each block's stored CRC the first time it is mapped.
+  bool verify_crc = true;
+};
+
+struct BlockCacheStats {
+  uint64_t loads = 0;       // blocks mapped from disk
+  uint64_t hits = 0;        // Load() calls satisfied by residency
+  uint64_t evictions = 0;
+  uint64_t crc_failures = 0;
+  // Loads admitted past the budget because every resident block was pinned
+  // (or the block alone exceeds the budget). Bounded overshoot, counted.
+  uint64_t budget_overshoots = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t peak_resident_bytes = 0;
+};
+
+class BlockCache {
+ public:
+  BlockCache(const graph::CsrMmap* csr, BlockCacheOptions options);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  uint32_t NumBlocks() const { return num_blocks_; }
+  bool Budgeted() const { return options_.budget_bytes > 0; }
+
+  // Lock-free residency probe: the block's first edge record, or nullptr
+  // when not resident (or resident but empty).
+  const graph::Edge* Resident(uint32_t b) const {
+    return resident_[b].load(std::memory_order_acquire);
+  }
+
+  // Ensures block b is resident (evicting in budgeted mode, see above).
+  // Returns false only on map/CRC failure; an empty block loads trivially.
+  bool Load(uint32_t b, std::string* error = nullptr) BINGO_EXCLUDES(mutex_);
+
+  // Pass pinning: ACTIVE -> USING on entry, USING -> USED on exit.
+  void BeginUse(uint32_t b) BINGO_EXCLUDES(mutex_);
+  void EndUse(uint32_t b) BINGO_EXCLUDES(mutex_);
+
+  // Scheduler rank input: how many walkers currently wait on block b.
+  void SetParked(uint32_t b, uint64_t walkers) {
+    parked_[b].store(walkers, std::memory_order_relaxed);
+  }
+  uint64_t Parked(uint32_t b) const {
+    return parked_[b].load(std::memory_order_relaxed);
+  }
+
+  // The block with the most parked walkers (resident preferred among ties,
+  // then lowest id); -1 when no block has parked walkers.
+  int64_t PickNext() const;
+
+  BlockState State(uint32_t b) const BINGO_EXCLUDES(mutex_);
+  BlockCacheStats Stats() const BINGO_EXCLUDES(mutex_);
+
+  // Internal-consistency audit for CheckInvariants: resident byte
+  // accounting must match the live mappings. Empty string = consistent.
+  std::string CheckAccounting() const BINGO_EXCLUDES(mutex_);
+
+ private:
+  void EvictLocked(uint32_t b) BINGO_REQUIRES(mutex_);
+  // Lowest-ranked evictable block (ACTIVE or USED), or -1.
+  int64_t PickEvictionLocked() const BINGO_REQUIRES(mutex_);
+
+  const graph::CsrMmap* csr_;
+  BlockCacheOptions options_;
+  uint32_t num_blocks_ = 0;
+
+  std::vector<std::atomic<const graph::Edge*>> resident_;
+  std::vector<std::atomic<uint64_t>> parked_;
+
+  mutable util::Mutex mutex_;
+  std::vector<BlockState> states_ BINGO_GUARDED_BY(mutex_);
+  std::vector<graph::CsrMapHandle> handles_ BINGO_GUARDED_BY(mutex_);
+  std::vector<uint8_t> crc_checked_ BINGO_GUARDED_BY(mutex_);
+  BlockCacheStats stats_ BINGO_GUARDED_BY(mutex_);
+};
+
+}  // namespace bingo::core
+
+#endif  // BINGO_SRC_CORE_BLOCK_CACHE_H_

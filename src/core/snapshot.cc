@@ -253,6 +253,105 @@ bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
   return true;
 }
 
+bool StreamSnapshotEdges(
+    const std::string& path, SnapshotInfo* info,
+    const std::function<bool(const graph::WeightedEdge&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  if (file_size < kSnapshotHeaderBytesV2) {
+    return false;
+  }
+  in.seekg(0, std::ios::beg);
+  std::string header(static_cast<std::size_t>(std::min<uint64_t>(
+                         file_size, kSnapshotHeaderBytesV3)),
+                     '\0');
+  in.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!in) {
+    return false;
+  }
+  SnapshotInfo parsed;
+  std::size_t offset = 0;
+  uint64_t magic = 0;
+  uint32_t reserved = 0;
+  uint64_t num_vertices = 0;
+  uint32_t header_crc = 0;
+  if (!ReadPod(header, offset, magic) || magic != kSnapshotMagic ||
+      !ReadPod(header, offset, parsed.version) ||
+      !ReadPod(header, offset, reserved) ||
+      !ReadPod(header, offset, parsed.config_fingerprint) ||
+      !ReadPod(header, offset, num_vertices) ||
+      !ReadPod(header, offset, parsed.num_edges) ||
+      !ReadPod(header, offset, parsed.wal_seq)) {
+    return false;  // legacy v1 files (no magic) are not streamable
+  }
+  if (parsed.version >= 3 && !ReadPod(header, offset, parsed.logical_epoch)) {
+    return false;
+  }
+  const std::size_t crc_span = offset;
+  if (!ReadPod(header, offset, header_crc) || parsed.version < 2 ||
+      parsed.version > kSnapshotVersion ||
+      header_crc != util::Crc32c(header.data(), crc_span) ||
+      num_vertices > graph::kInvalidVertex) {
+    return false;
+  }
+  parsed.num_vertices = static_cast<graph::VertexId>(num_vertices);
+
+  const std::size_t payload_offset = parsed.version >= 3
+                                         ? kSnapshotHeaderBytesV3
+                                         : kSnapshotHeaderBytesV2;
+  const std::size_t record_bytes =
+      parsed.version >= 3 ? kEdgeRecordBytesV3 : sizeof(PackedEdgeV2);
+  if (file_size < payload_offset) {
+    return false;
+  }
+  if (parsed.num_edges > (file_size - payload_offset) / record_bytes) {
+    return false;
+  }
+  if (info != nullptr) {
+    *info = parsed;  // callers get counts up front for pre-sizing
+  }
+
+  // Stream whole records in ~1 MiB chunks with a running CRC; the stored
+  // payload CRC is checked after the final chunk.
+  in.seekg(static_cast<std::streamoff>(payload_offset));
+  const std::size_t records_per_chunk =
+      std::max<std::size_t>(1, (1u << 20) / record_bytes);
+  std::string chunk;
+  uint32_t payload_crc = 0;
+  uint64_t remaining = parsed.num_edges;
+  while (remaining > 0) {
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<uint64_t>(remaining, records_per_chunk));
+    chunk.resize(take * record_bytes);
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    if (!in) {
+      return false;
+    }
+    payload_crc = util::Crc32c(chunk.data(), chunk.size(), payload_crc);
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      graph::WeightedEdge e{};
+      ReadPod(chunk, pos, e.src);
+      ReadPod(chunk, pos, e.dst);
+      if (parsed.version >= 3) {
+        ReadPod(chunk, pos, e.timestamp);
+      }
+      ReadPod(chunk, pos, e.bias);
+      if (!fn(e)) {
+        return false;
+      }
+    }
+    remaining -= take;
+  }
+  uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  return static_cast<bool>(in) && stored_crc == payload_crc;
+}
+
 std::unique_ptr<BingoStore> LoadSnapshot(const std::string& path,
                                          BingoConfig config,
                                          graph::VertexId num_vertices,

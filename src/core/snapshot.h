@@ -32,6 +32,7 @@
 #define BINGO_SRC_CORE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -77,6 +78,18 @@ bool SaveSnapshot(const BingoStore& store, const std::string& path,
 // fingerprint 0, and the implied vertex count.
 bool LoadSnapshotEdges(const std::string& path, graph::WeightedEdgeList& edges,
                        SnapshotInfo* info = nullptr);
+
+// Streams the edge section of a v2/v3 snapshot record by record — O(1)
+// memory instead of materializing the whole edge list — in the canonical
+// vertex-major order the file stores. `fn` returning false aborts the
+// stream (and the call returns false). The payload CRC is verified after
+// the last record, so on a false return the caller must discard whatever
+// `fn` accumulated: the delivered records are tentative until the call
+// returns true. Legacy v1 files are not streamable; callers fall back to
+// LoadSnapshotEdges.
+bool StreamSnapshotEdges(
+    const std::string& path, SnapshotInfo* info,
+    const std::function<bool(const graph::WeightedEdge&)>& fn);
 
 // Rebuilds a store from a snapshot. Returns nullptr on I/O failure, on a
 // corrupt file, or when the snapshot's config fingerprint does not match

@@ -1,0 +1,184 @@
+// On-disk immutable CSR container (format v1) and its mmap-backed reader:
+// the static tier of the out-of-core walk path.
+//
+// A CSR file holds a graph's base edges in the canonical vertex-major order
+// (the same order snapshots persist), pre-composed biases included, split
+// into fixed-target-size *blocks* of consecutive vertices. The block is the
+// unit of residency: the block cache (core/block_cache.h) maps and evicts
+// whole blocks, and the out-of-core driver (walk/ooc.h) schedules walkers
+// block by block. The index — per-vertex edge offsets, per-vertex bias
+// totals, the block table, and per-block CRCs — is small (O(V + blocks))
+// and loads into RAM at Open; only edge payload bytes stay on disk.
+//
+// Layout (little-endian, native field encoding like every other container
+// in this repo):
+//
+//   header   64 bytes: magic u64, version u32, reserved u32, num_vertices
+//            u64, num_edges u64, block_bytes_target u64, num_blocks u64,
+//            index_bytes u64, index_crc u32, header_crc u32 (CRC of the
+//            preceding 60 bytes)
+//   index    edge_offsets u64 x (V+1); bias_totals f64 x V;
+//            block_first_vertex u32 x (num_blocks+1); block_crc u32 x
+//            num_blocks; zero padding to a 16-byte multiple (so every
+//            16-byte edge record sits 8-aligned in the file and in maps)
+//   edges    raw graph::Edge records (16 bytes each, static_asserted), one
+//            run per vertex, vertex-major
+//
+// Edge records are NOT page-aligned per block; MapBlock aligns the file
+// offset down to a page internally. Open validates the header CRC, the
+// index CRC, the block table's shape, and that the file size equals
+// 64 + index_bytes + 16*num_edges exactly — a truncated or corrupt file
+// fails with a clean error before any byte of it is mapped, never with a
+// SIGBUS at walk time. Per-block CRCs are checked lazily on first map (the
+// cache's verify_crc knob).
+//
+// Writing is single-pass and atomic: CsrFileWriter streams appended edges
+// to a side temp file while accumulating degrees and bias totals, then
+// Finish() computes the block table, re-reads the side file once for block
+// CRCs, and assembles header+index+edges through AtomicFileWriter (temp +
+// fsync + rename), so a crash mid-build never leaves a half-written
+// container under the final name.
+
+#ifndef BINGO_SRC_GRAPH_CSR_MMAP_H_
+#define BINGO_SRC_GRAPH_CSR_MMAP_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace bingo::graph {
+
+// Default block payload target: 4 MiB of edge records (~256k edges).
+inline constexpr uint64_t kDefaultCsrBlockBytes = 4ull << 20;
+
+// Streams a CSR container to `path`. Edges must arrive vertex-major
+// (non-decreasing src); biases are stored as given (pre-composed — the
+// out-of-core tier runs with the identity bias pipeline).
+class CsrFileWriter {
+ public:
+  CsrFileWriter(std::string path, VertexId num_vertices,
+                uint64_t block_bytes_target = kDefaultCsrBlockBytes);
+  ~CsrFileWriter();
+
+  CsrFileWriter(const CsrFileWriter&) = delete;
+  CsrFileWriter& operator=(const CsrFileWriter&) = delete;
+
+  bool ok() const { return ok_; }
+
+  // Appends one out-edge of `src`. Fails (and latches !ok()) if src is out
+  // of range or decreases.
+  bool Append(VertexId src, const Edge& edge);
+
+  // Assembles the final container atomically and removes the side file.
+  // After Finish (success or not) the writer is spent.
+  bool Finish(std::string* error = nullptr);
+
+ private:
+  void Fail(std::string* error, const std::string& message);
+
+  std::string path_;
+  std::string side_path_;
+  std::FILE* side_ = nullptr;
+  bool ok_ = false;
+  bool finished_ = false;
+  VertexId num_vertices_ = 0;
+  VertexId last_src_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t block_bytes_target_ = kDefaultCsrBlockBytes;
+  std::vector<uint64_t> degrees_;
+  std::vector<double> totals_;
+};
+
+// Convenience: stable-sorts a copy of `edges` into vertex-major order
+// (preserving per-vertex input order, i.e. timestamp order when the input
+// is canonical) and writes the container.
+bool WriteCsrFile(const std::string& path, VertexId num_vertices,
+                  const WeightedEdgeList& edges,
+                  uint64_t block_bytes_target = kDefaultCsrBlockBytes,
+                  std::string* error = nullptr);
+
+// One mapped block; pass back to CsrMmap::Unmap. Value-semantic POD so the
+// cache can store it by value.
+struct CsrMapHandle {
+  void* addr = nullptr;       // page-aligned mapping start
+  std::size_t length = 0;     // mapped length (payload + alignment slop)
+};
+
+// Read-only view of a CSR container. Open() fully validates the file shape
+// before returning; after that, MapBlock/ReadEdges never touch bytes
+// outside the validated edge section. Thread safety: all accessors and
+// ReadEdges (pread) are safe concurrently; MapBlock/Unmap are safe
+// concurrently with each other and with reads of *other* mappings.
+class CsrMmap {
+ public:
+  CsrMmap() = default;
+  ~CsrMmap();
+
+  CsrMmap(const CsrMmap&) = delete;
+  CsrMmap& operator=(const CsrMmap&) = delete;
+  CsrMmap(CsrMmap&& other) noexcept;
+  CsrMmap& operator=(CsrMmap&& other) noexcept;
+
+  static bool Open(const std::string& path, CsrMmap* out, std::string* error);
+
+  VertexId NumVertices() const { return num_vertices_; }
+  uint64_t NumEdges() const { return num_edges_; }
+  uint32_t NumBlocks() const { return static_cast<uint32_t>(num_blocks_); }
+  uint64_t BlockBytesTarget() const { return block_bytes_target_; }
+  const std::string& Path() const { return path_; }
+
+  // RAM footprint of the in-memory index (offsets + totals + block table).
+  uint64_t IndexBytes() const;
+
+  uint64_t EdgeOffset(VertexId v) const { return offsets_[v]; }
+  uint64_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  // Sum of the composed biases of v's out-edges, accumulated in canonical
+  // edge order at write time — bit-identical to a runtime forward sum, so
+  // ITS draws against it are exact.
+  double TotalBias(VertexId v) const { return totals_[v]; }
+
+  uint32_t BlockOfVertex(VertexId v) const;
+  VertexId BlockFirstVertex(uint32_t b) const { return block_first_[b]; }
+  uint64_t BlockFirstEdge(uint32_t b) const {
+    return offsets_[block_first_[b]];
+  }
+  uint64_t BlockEdgeCount(uint32_t b) const {
+    return offsets_[block_first_[b + 1]] - offsets_[block_first_[b]];
+  }
+  std::size_t BlockPayloadBytes(uint32_t b) const {
+    return static_cast<std::size_t>(BlockEdgeCount(b)) * sizeof(Edge);
+  }
+
+  // Maps block b read-only. On success *edges points at the block's first
+  // edge record (nullptr for an empty block) and *handle must be returned
+  // to Unmap. verify_crc additionally checks the block's stored CRC.
+  bool MapBlock(uint32_t b, bool verify_crc, CsrMapHandle* handle,
+                const Edge** edges, std::string* error) const;
+  static void Unmap(const CsrMapHandle& handle);
+
+  // Transient copy of edge records [first_edge, first_edge + count) via
+  // pread: no mapping, safe from any thread at any time.
+  bool ReadEdges(uint64_t first_edge, uint64_t count, Edge* out) const;
+
+ private:
+  void Close();
+
+  std::string path_;
+  int fd_ = -1;
+  VertexId num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t num_blocks_ = 0;
+  uint64_t block_bytes_target_ = 0;
+  uint64_t edge_section_offset_ = 0;
+  std::vector<uint64_t> offsets_;      // V+1
+  std::vector<double> totals_;         // V
+  std::vector<VertexId> block_first_;  // num_blocks+1
+  std::vector<uint32_t> block_crc_;    // num_blocks
+};
+
+}  // namespace bingo::graph
+
+#endif  // BINGO_SRC_GRAPH_CSR_MMAP_H_

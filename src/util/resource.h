@@ -1,0 +1,27 @@
+// Process resource introspection for the benchmark harnesses: peak RSS so
+// memory-footprint wins land in the BENCH_*.json trajectory alongside
+// throughput and recovery_ms.
+
+#ifndef BINGO_SRC_UTIL_RESOURCE_H_
+#define BINGO_SRC_UTIL_RESOURCE_H_
+
+#include <sys/resource.h>
+
+#include <cstdint>
+
+namespace bingo::util {
+
+// High-water resident set size of the calling process, in bytes (Linux
+// reports ru_maxrss in KiB). Process-wide and monotone: to attribute a
+// peak to one scenario, fork and read the child's rusage (bench_ooc does).
+inline uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace bingo::util
+
+#endif  // BINGO_SRC_UTIL_RESOURCE_H_

@@ -79,6 +79,18 @@ inline constexpr std::size_t kMinBatchRun = 4;
 // Lookahead distance for the scalar prefetch path.
 inline constexpr std::size_t kPrefetchAhead = 8;
 
+// Stores may advertise their own break-even run length via a static
+// kMinBatchRun member — the out-of-core tiered store fetches the edge run
+// once per lane batch, so even a run of 2 amortizes (walk/ooc_store.h).
+template <typename Store>
+constexpr std::size_t MinBatchRunFor() {
+  if constexpr (requires { Store::kMinBatchRun; }) {
+    return Store::kMinBatchRun;
+  } else {
+    return kMinBatchRun;
+  }
+}
+
 // Advances walkers [lo, hi) of one query to completion, step-synchronously.
 template <typename Store, typename Stepper>
 void RunFusedChunk(const Store& store, const Stepper& stepper,
@@ -170,7 +182,7 @@ void RunFusedChunk(const Store& store, const Stepper& stepper,
           store.PrefetchVertex(static_cast<graph::VertexId>(order[b] >> 32));
         }
         const std::size_t run = b - a;
-        if (run >= kMinBatchRun) {
+        if (run >= MinBatchRunFor<Store>()) {
           rng_ptrs.clear();
           for (std::size_t t = a; t < b; ++t) {
             rng_ptrs.push_back(&rngs[static_cast<uint32_t>(order[t])]);

@@ -1,0 +1,163 @@
+#include "src/walk/ooc_service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/core/wal.h"
+#include "src/graph/io.h"
+#include "src/graph/types.h"
+
+namespace bingo::walk {
+
+template class WalkServiceT<TieredStore>;
+
+bool BuildCsrFromSnapshot(const std::string& snapshot_path,
+                          const std::string& csr_path, uint64_t block_bytes,
+                          core::SnapshotInfo* info, std::string* error) {
+  core::SnapshotInfo local_info;
+  core::SnapshotInfo* out_info = info != nullptr ? info : &local_info;
+  // v2/v3: one streamed pass, O(1) resident. StreamSnapshotEdges fills the
+  // header before the first record, so the writer (which needs the vertex
+  // count) is constructed lazily inside the callback.
+  std::unique_ptr<graph::CsrFileWriter> writer;
+  const bool streamed = core::StreamSnapshotEdges(
+      snapshot_path, out_info, [&](const graph::WeightedEdge& e) {
+        if (writer == nullptr) {
+          writer = std::make_unique<graph::CsrFileWriter>(
+              csr_path, out_info->num_vertices, block_bytes);
+        }
+        graph::Edge edge;
+        edge.dst = e.dst;
+        edge.timestamp = e.timestamp;
+        edge.bias = e.bias;
+        return writer->ok() && writer->Append(e.src, edge);
+      });
+  if (streamed) {
+    if (writer == nullptr) {  // edge-free snapshot
+      writer = std::make_unique<graph::CsrFileWriter>(
+          csr_path, out_info->num_vertices, block_bytes);
+    }
+    return writer->Finish(error);
+  }
+  writer.reset();  // abandon the tentative side file (CRC or I/O failure)
+
+  // Legacy v1 (or a short v2/v3 read): fall back to a materialized load.
+  graph::WeightedEdgeList edges;
+  if (!core::LoadSnapshotEdges(snapshot_path, edges, out_info)) {
+    if (error != nullptr) {
+      *error = "build-csr: snapshot unreadable or corrupt: " + snapshot_path;
+    }
+    return false;
+  }
+  const graph::VertexId n =
+      std::max(out_info->num_vertices, graph::ImpliedVertexCount(edges));
+  out_info->num_vertices = n;
+  return graph::WriteCsrFile(csr_path, n, edges, block_bytes, error);
+}
+
+std::unique_ptr<OocWalkService> MakeOocWalkService(
+    const std::string& csr_path, core::BingoConfig config,
+    TieredStoreOptions options, util::ThreadPool* build_pool,
+    util::ThreadPool* update_pool, std::string* error) {
+  // The service factory runs twice and cannot report failure, so both
+  // replicas are opened here first.
+  std::vector<std::unique_ptr<TieredStore>> replicas;
+  for (int i = 0; i < 2; ++i) {
+    auto store = TieredStore::Open(csr_path, config, options, build_pool,
+                                   error);
+    if (store == nullptr) {
+      return nullptr;
+    }
+    replicas.push_back(std::move(store));
+  }
+  return std::make_unique<OocWalkService>(
+      [&replicas]() {
+        auto store = std::move(replicas.back());
+        replicas.pop_back();
+        return store;
+      },
+      update_pool);
+}
+
+std::unique_ptr<OocWalkService> RecoverOocWalkService(
+    const std::string& dir, core::BingoConfig config, OocServiceOptions options,
+    util::ThreadPool* build_pool, util::ThreadPool* update_pool,
+    RecoveryReport* report, std::string* error) {
+  RecoveryReport local;
+  const auto fail = [&]() -> std::unique_ptr<OocWalkService> {
+    if (report != nullptr) {
+      *report = local;
+    }
+    return nullptr;
+  };
+
+  core::SnapshotInfo info;
+  if (!BuildCsrFromSnapshot(dir + "/base.snapshot", dir + "/base.csr",
+                            options.csr_block_bytes, &info, error)) {
+    return fail();
+  }
+  if (info.version >= 2 &&
+      info.config_fingerprint != core::ConfigFingerprint(config)) {
+    if (error != nullptr) {
+      *error = "recover: base snapshot fingerprint does not match config";
+    }
+    return fail();
+  }
+  // Resume the decay clock where the snapshot left it (with the identity
+  // pipeline the tier requires, this is bookkeeping only).
+  config.logical_epoch = static_cast<uint32_t>(info.logical_epoch);
+  local.base_edges = info.num_edges;
+  local.base_wal_seq = info.wal_seq;
+  local.num_vertices = info.num_vertices;
+
+  auto service = MakeOocWalkService(dir + "/base.csr", config, options.store,
+                                    build_pool, update_pool, error);
+  if (service == nullptr) {
+    return fail();
+  }
+
+  // Replay the journaled suffix; each batch promotes the base vertices it
+  // touches, exactly as live updates would. Journaling is not armed yet.
+  const std::string wal_path = dir + "/wal.log";
+  const core::WalReplayResult replay = core::ReplayWal(
+      wal_path, info.wal_seq,
+      [&](uint64_t /*seq*/, const graph::UpdateList& batch) {
+        service->ApplyBatch(batch);
+      });
+  // The same decision tree as the in-memory RecoverWalkService: a missing
+  // or pre-header-torn WAL, or one fully covered by the base, is superseded
+  // by a fresh segment; a complete-but-invalid header is corruption.
+  const core::WalOptions wal_options{options.wal.fsync_on_commit};
+  std::unique_ptr<core::WalWriter> wal;
+  if (!replay.opened || (replay.header_torn && !replay.header_ok)) {
+    wal = core::WalWriter::Create(wal_path, info.wal_seq, wal_options);
+  } else if (!replay.header_ok) {
+    if (error != nullptr) {
+      *error = "recover: wal header is corrupt: " + wal_path;
+    }
+    return fail();
+  } else if (replay.last_seq < info.wal_seq) {
+    wal = core::WalWriter::Create(wal_path, info.wal_seq, wal_options);
+  } else {
+    wal = core::WalWriter::OpenForAppend(wal_path, replay, wal_options);
+  }
+  if (wal == nullptr) {
+    if (error != nullptr) {
+      *error = "recover: could not re-arm the wal: " + wal_path;
+    }
+    return fail();
+  }
+  local.wal_records_replayed = replay.records_replayed;
+  local.wal_updates_replayed = replay.updates_replayed;
+  local.wal_tail_truncated = replay.truncated_tail;
+  service->AdoptWal(std::move(wal), dir, options.wal,
+                    replay.updates_replayed);
+  local.ok = true;
+  if (report != nullptr) {
+    *report = local;
+  }
+  return service;
+}
+
+}  // namespace bingo::walk

@@ -97,6 +97,17 @@ concept ShardRoutedStore =
       { cs.ShardOf(v) } -> std::convertible_to<int>;
     };
 
+// Stores whose shards need residency work before a pass — the out-of-core
+// tiered store (walk/ooc_store.h) maps a shard's CSR block. The superstep
+// driver then goes walk-aware: shards run one at a time, most-loaded queue
+// first, each prepared just before its pass, so a budgeted block cache
+// serves the whole walk with a single resident block.
+template <typename S>
+concept ShardPreparableStore =
+    ShardRoutedStore<S> && requires(const S& cs, int s) {
+      { cs.PrepareShard(s) };
+    };
+
 // The engine's full WalkResult accounting (steps, finishers, paths, visit
 // counts — parity by construction), plus the walker-transfer communication
 // counters.
@@ -210,6 +221,7 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
   for (const auto& q : queues) {
     any_live = any_live || !q.empty();
   }
+  std::vector<int> shard_order;  // walk-aware dispatch order (see below)
   while (any_live) {
     ++result.supersteps;
     const auto run_shard = [&](std::size_t s) {
@@ -247,7 +259,29 @@ PartitionedWalkResult RunPartitionedWalks(const Store& store,
       total_steps.fetch_add(local_steps, std::memory_order_relaxed);
       finished_walkers.fetch_add(local_finished, std::memory_order_relaxed);
     };
-    if (pool != nullptr) {
+    if constexpr (ShardPreparableStore<Store>) {
+      // Walk-aware order: non-empty shards, most parked walkers first
+      // (ties: lowest id), residency prepared just before each pass.
+      // Sequential by design — a budgeted cache then never needs more than
+      // one resident block. Bit-identity is unaffected: walkers carry their
+      // own RNG streams and the merge phases commute.
+      shard_order.clear();
+      for (int s = 0; s < num_shards; ++s) {
+        if (!queues[s].empty()) {
+          shard_order.push_back(s);
+        }
+      }
+      std::sort(shard_order.begin(), shard_order.end(), [&](int a, int b) {
+        if (queues[a].size() != queues[b].size()) {
+          return queues[a].size() > queues[b].size();
+        }
+        return a < b;
+      });
+      for (const int s : shard_order) {
+        store.PrepareShard(s);
+        run_shard(static_cast<std::size_t>(s));
+      }
+    } else if (pool != nullptr) {
       pool->ParallelFor(0, static_cast<std::size_t>(num_shards), run_shard);
     } else {
       for (int s = 0; s < num_shards; ++s) {

@@ -16,11 +16,14 @@
 #include "src/core/bingo_store.h"
 #include "src/graph/bias.h"
 #include "src/graph/csr.h"
+#include "src/graph/csr_mmap.h"
 #include "src/graph/generators.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/apps.h"
 #include "src/walk/fused.h"
 #include "src/walk/incremental.h"
+#include "src/walk/ooc.h"
+#include "src/walk/ooc_store.h"
 #include "src/walk/partitioned.h"
 
 namespace bingo::walk {
@@ -160,6 +163,85 @@ TEST(DeterminismTest, MatrixAcrossThreadsPinningAndDrivers) {
       }
     }
   }
+}
+
+// The out-of-core row of the acceptance matrix: the block-scheduled driver
+// over the tiered store at budgets {unconstrained, 1/2, 1/4 of the edge
+// bytes} x threads {1, 4, 16} pinned and unpinned x apps {DeepWalk,
+// node2vec, PPR} — every cell bit-identical to the serial unconstrained
+// engine walk of the same store. Scheduling order (which block runs when)
+// is budget- and load-dependent; walker variate streams are not.
+TEST(DeterminismTest, OocMatrixAcrossBudgetsThreadsAndPinning) {
+  util::Rng rng(11);
+  auto pairs = graph::GenerateRmat(8, 2400, rng);
+  graph::MakeUndirected(pairs);
+  graph::Canonicalize(pairs);
+  const graph::VertexId n = 256;
+  const graph::Csr csr = graph::Csr::FromPairs(n, pairs);
+  graph::BiasParams bias_params;
+  const auto biases = graph::GenerateBiases(csr, bias_params, rng);
+  const auto edges = graph::ToWeightedEdges(csr, biases);
+
+  const std::string path = ::testing::TempDir() + "/determinism_ooc.csr";
+  std::string error;
+  ASSERT_TRUE(graph::WriteCsrFile(path, n, edges, 4096, &error)) << error;
+  const std::size_t edge_bytes = edges.size() * sizeof(graph::Edge);
+
+  WalkConfig cfg;
+  cfg.walk_length = 16;
+  cfg.record_paths = true;
+  cfg.count_visits = true;
+  cfg.num_walkers = 2048;
+
+  const auto open = [&](std::size_t budget) {
+    TieredStoreOptions options;
+    options.memory_budget_bytes = budget;
+    auto store = TieredStore::Open(path, {}, options, nullptr, &error);
+    EXPECT_NE(store, nullptr) << error;
+    return store;
+  };
+  const auto run = [&](const char* app, const TieredStore& store,
+                       util::ThreadPool* pool) -> WalkResult {
+    if (app == std::string("node2vec")) {
+      return RunOocNode2vec(store, cfg, {}, pool);
+    }
+    if (app == std::string("ppr")) {
+      return RunOocPpr(store, cfg, 1.0 / 20.0, pool);
+    }
+    return RunOocDeepWalk(store, cfg, pool);
+  };
+
+  const auto reference_store = open(0);
+  for (const char* app : {"deepwalk", "node2vec", "ppr"}) {
+    WalkResult reference;
+    if (app == std::string("node2vec")) {
+      reference = RunNode2vec(*reference_store, cfg, {});
+    } else if (app == std::string("ppr")) {
+      reference = RunPpr(*reference_store, cfg, 1.0 / 20.0);
+    } else {
+      reference = RunDeepWalk(*reference_store, cfg);
+    }
+    EXPECT_GT(reference.total_steps, 0u) << app;
+
+    for (const std::size_t budget :
+         {std::size_t{0}, edge_bytes / 2, edge_bytes / 4}) {
+      const auto store = open(budget);
+      for (const std::size_t threads : {1uL, 4uL, 16uL}) {
+        for (const bool pin : {false, true}) {
+          util::PoolOptions options;
+          options.num_threads = threads;
+          options.pin_threads = pin;
+          util::ThreadPool pool(options);
+          SCOPED_TRACE(std::string(app) + " budget=" +
+                       std::to_string(budget) + " threads=" +
+                       std::to_string(threads) + " pin=" +
+                       (pin ? "on" : "off"));
+          ExpectIdentical(reference, run(app, *store, &pool));
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // The temporal row of the acceptance matrix: walks over a decaying store —

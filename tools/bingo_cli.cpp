@@ -73,6 +73,30 @@
 //       line reports offered vs achieved QPS and p50/p90/p99/p999 for the
 //       QPS-vs-tail-latency trajectory.
 //
+//   build-csr   --graph FILE --out FILE.csr [--block-bytes N[K|M|G]]
+//       Write the graph as the immutable block-structured CSR container
+//       (graph/csr_mmap.h) the out-of-core walk tier mmaps from. Edges are
+//       stably sorted vertex-major first, so any edge-list file works.
+//
+//   walk --store ooc --csr FILE.csr [--memory-budget N[K|M|G]]
+//               [--spill-dir DIR --spill-threshold W]
+//       Out-of-core walk: mounts a TieredStore over the CSR container and
+//       runs the block-scheduled driver (walk/ooc.h) under the resident-
+//       byte budget (0 = unconstrained). Walkers park in per-block queues
+//       (spillable to DIR past W walkers) and the block with the most
+//       parked walkers is loaded next. Reports block passes/loads/
+//       evictions, peak resident bytes, and process peak RSS; walk output
+//       is bit-identical across budgets and thread counts.
+//
+//   serve-bench --store ooc --wal DIR [--memory-budget N[K|M|G]] ...
+//       Runs the standard serve-bench stress on an in-memory service with
+//       WAL durability into DIR, checkpoints, tears it down, then recovers
+//       an OUT-OF-CORE service from DIR: the base snapshot is streamed
+//       record by record into DIR/base.csr (never materialized) and two
+//       tiered replicas mount it under the budget. Reports streamed
+//       recovery time, verifies queries + further updates on the recovered
+//       service, and emits recovery_ms/peak_rss_bytes in --json.
+//
 //   checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]
 //               [--compact-fraction F]
 //       Build a sharded service over the graph and write its durable base
@@ -94,6 +118,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -153,7 +178,38 @@ struct Args {
   uint32_t types = 2;            // metapath: vertex type count (v mod T)
   std::string metapath = "0,1";  // metapath: cyclic type pattern
   int advance_every = 0;         // serve-bench: AdvanceTime every K batches
+  // Out-of-core knobs (build-csr, walk --store ooc, serve-bench --store ooc).
+  std::string csr_path;            // walk --store ooc: the CSR container
+  uint64_t memory_budget = 0;      // block-cache budget in bytes (0 = all)
+  uint64_t block_bytes = graph::kDefaultCsrBlockBytes;  // build-csr target
+  std::string spill_dir;           // walk --store ooc: park-queue spill dir
+  uint64_t spill_threshold = 0;    // walkers per queue before spilling (0 = off)
 };
+
+// "64M" / "16384" / "1G" -> bytes. Accepts K/M/G suffixes (binary units).
+bool ParseByteSize(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text) {
+    return false;
+  }
+  uint64_t scale = 1;
+  if (*end == 'K' || *end == 'k') {
+    scale = 1ull << 10;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    scale = 1ull << 20;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    scale = 1ull << 30;
+    ++end;
+  }
+  if (*end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value) * scale;
+  return true;
+}
 
 // The pipeline-bearing store config the walk/serve flags describe.
 core::BingoConfig PipelineConfig(const Args& args) {
@@ -215,7 +271,19 @@ void PrintUsage() {
       "               each step to the next type of the cyclic pattern,\n"
       "               types being vertex id mod --types)\n"
       "  stats       --graph FILE\n"
-      "  serve-bench --graph FILE [--store bingo|sharded] [--shards S]\n"
+      "  build-csr   --graph FILE --out FILE.csr [--block-bytes N[K|M|G]]\n"
+      "              (write the immutable mmap-backed CSR container the\n"
+      "               out-of-core tier walks from)\n"
+      "  walk        --store ooc --csr FILE.csr\n"
+      "              [--memory-budget N[K|M|G]] [--spill-dir DIR\n"
+      "               --spill-threshold W] [--app deepwalk|node2vec|ppr|\n"
+      "              metapath] [walk flags as above]\n"
+      "              (out-of-core block-scheduled walk over the CSR tier:\n"
+      "               resident blocks are capped at the byte budget, walkers\n"
+      "               park per block and the block with most parked walkers\n"
+      "               loads next; 0 = unconstrained. Output is bit-identical\n"
+      "               at every budget/thread count)\n"
+      "  serve-bench --graph FILE [--store bingo|sharded|ooc] [--shards S]\n"
       "              [--batcher] [--threads N] [--batches B]\n"
       "              [--batch-size K] [--walkers W] [--length L] [--seed S]\n"
       "              [--kind mixed|insert|delete] [--pin] [--numa] [--json]\n"
@@ -232,7 +300,11 @@ void PrintUsage() {
       "               corpus reads from the always-fresh walk index;\n"
       "               --advance-every K interleaves an AdvanceTime tick\n"
       "               into the stream every K batches — with --decay D the\n"
-      "               tick re-buckets every stored bias under live queries)\n"
+      "               tick re-buckets every stored bias under live queries;\n"
+      "               --store ooc requires --wal DIR: after the stress +\n"
+      "               checkpoint it recovers an out-of-core service from\n"
+      "               DIR by STREAMING the base into DIR/base.csr and\n"
+      "               reports the streamed recovery time + peak RSS)\n"
       "  checkpoint  --graph FILE --dir DIR [--shards S] [--fsync]\n"
       "              [--compact-fraction F]\n"
       "  restore     --dir DIR [--out FILE.bin]\n"
@@ -371,6 +443,36 @@ bool Parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.advance_every = value;
+    } else if (flag == "--csr") {
+      args.csr_path = next();
+    } else if (flag == "--spill-dir") {
+      args.spill_dir = next();
+    } else if (flag == "--spill-threshold") {
+      const long long value = std::atoll(next());
+      if (!missing_value && value < 0) {
+        std::fprintf(stderr, "--spill-threshold must be >= 0 (0 = off)\n");
+        return false;
+      }
+      args.spill_threshold = static_cast<uint64_t>(value);
+    } else if (flag == "--memory-budget") {
+      const char* text = next();
+      if (!missing_value && !ParseByteSize(text, &args.memory_budget)) {
+        std::fprintf(stderr,
+                     "--memory-budget must be bytes with optional K/M/G "
+                     "suffix (got %s)\n",
+                     text);
+        return false;
+      }
+    } else if (flag == "--block-bytes") {
+      const char* text = next();
+      if (!missing_value &&
+          (!ParseByteSize(text, &args.block_bytes) || args.block_bytes == 0)) {
+        std::fprintf(stderr,
+                     "--block-bytes must be positive bytes with optional "
+                     "K/M/G suffix (got %s)\n",
+                     text);
+        return false;
+      }
     } else if (flag == "--compact-fraction") {
       const double value = std::atof(next());
       if (!missing_value && (value < 0.0 || !(value < 1e18))) {
@@ -595,6 +697,8 @@ int RunSuperstepApp(const Args& args, const walk::PartitionedBingoStore& store,
   return 0;
 }
 
+int WalkOoc(const Args& args);  // defined below, after Stats
+
 int Walk(const Args& args) {
   // Reject bad names before paying for the graph load or store build.
   if (args.app != "deepwalk" && args.app != "node2vec" && args.app != "ppr" &&
@@ -618,6 +722,9 @@ int Walk(const Args& args) {
                    args.metapath.c_str(), args.types);
       return 2;
     }
+  }
+  if (args.store == "ooc") {
+    return WalkOoc(args);  // its own driver + --csr input; validated there
   }
   if (args.store != "bingo" && args.store != "alias" && args.store != "its" &&
       args.store != "reservoir" && args.store != "partitioned") {
@@ -757,6 +864,152 @@ int Stats(const Args& args) {
   return 0;
 }
 
+// Writes --graph as the immutable CSR container the out-of-core tier maps.
+int BuildCsr(const Args& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "build-csr: --out is required\n");
+    return 2;
+  }
+  graph::WeightedEdgeList edges;
+  if (!LoadGraphArg(args, edges)) {
+    return args.graph_path.empty() ? 2 : 1;
+  }
+  const graph::VertexId n = graph::ImpliedVertexCount(edges);
+  // The container is vertex-major; stable sort preserves each vertex's
+  // (timestamp, insertion) order, so any edge-list file round-trips.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const graph::WeightedEdge& a,
+                      const graph::WeightedEdge& b) { return a.src < b.src; });
+  util::Timer write_timer;
+  std::string error;
+  if (!graph::WriteCsrFile(args.out_path, n, edges, args.block_bytes,
+                           &error)) {
+    std::fprintf(stderr, "build-csr failed: %s\n", error.c_str());
+    return 1;
+  }
+  graph::CsrMmap csr;
+  if (!graph::CsrMmap::Open(args.out_path, &csr, &error)) {
+    std::fprintf(stderr, "build-csr verify failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: %u vertices, %llu edges, %u blocks x ~%.1f MiB "
+      "(index %.1f MiB) in %.2fs\n",
+      args.out_path.c_str(), csr.NumVertices(),
+      static_cast<unsigned long long>(csr.NumEdges()), csr.NumBlocks(),
+      csr.BlockBytesTarget() / 1024.0 / 1024.0,
+      csr.IndexBytes() / 1024.0 / 1024.0, write_timer.Seconds());
+  return 0;
+}
+
+// Out-of-core walk: TieredStore over a CSR container, block-scheduled
+// driver, resident bytes capped at --memory-budget.
+int WalkOoc(const Args& args) {
+  if (args.app != "deepwalk" && args.app != "node2vec" && args.app != "ppr" &&
+      args.app != "metapath") {
+    std::fprintf(stderr,
+                 "--store ooc supports --app deepwalk|node2vec|ppr|metapath "
+                 "(got %s)\n",
+                 args.app.c_str());
+    return 2;
+  }
+  if (args.csr_path.empty()) {
+    std::fprintf(stderr,
+                 "walk --store ooc needs --csr FILE.csr (run build-csr "
+                 "first)\n");
+    return 2;
+  }
+  if (args.spill_threshold > 0 && args.spill_dir.empty()) {
+    std::fprintf(stderr, "--spill-threshold needs --spill-dir DIR\n");
+    return 2;
+  }
+  util::ThreadPool walk_pool(ExecutorOptions(args));
+  util::ThreadPool* pool = &walk_pool;
+  PrintExecutorBanner(args, walk_pool);
+
+  walk::TieredStoreOptions store_options;
+  store_options.memory_budget_bytes = args.memory_budget;
+  std::string error;
+  util::Timer open_timer;
+  auto store = walk::TieredStore::Open(args.csr_path, core::BingoConfig{},
+                                       store_options, pool, &error);
+  if (store == nullptr) {
+    std::fprintf(stderr, "failed to mount %s: %s\n", args.csr_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf(
+      "mounted %s: %u vertices, %llu edges, %u csr blocks, budget %s in "
+      "%.2fs\n",
+      args.csr_path.c_str(), store->NumVertices(),
+      static_cast<unsigned long long>(store->NumEdges()),
+      store->Csr().NumBlocks(),
+      args.memory_budget == 0
+          ? "unconstrained"
+          : (std::to_string(args.memory_budget / 1024) + " KiB").c_str(),
+      open_timer.Seconds());
+
+  walk::WalkConfig cfg;
+  cfg.walk_length = args.length;
+  cfg.num_walkers = args.walkers;
+  cfg.seed = args.seed;
+  cfg.record_paths = !args.paths_out.empty();
+  walk::OocWalkOptions ooc_options;
+  ooc_options.spill_threshold_walkers =
+      static_cast<std::size_t>(args.spill_threshold);
+  ooc_options.spill_dir = args.spill_dir;
+
+  util::Timer walk_timer;
+  walk::OocWalkResult result;
+  if (args.app == "node2vec") {
+    walk::Node2vecParams params;
+    params.p = args.p;
+    params.q = args.q;
+    result = walk::RunOocNode2vec(*store, cfg, params, pool, ooc_options);
+  } else if (args.app == "ppr") {
+    result = walk::RunOocPpr(*store, cfg, 1.0 / args.length, pool, ooc_options);
+  } else if (args.app == "metapath") {
+    walk::MetapathParams params;
+    if (!ParseMetapathPattern(args, params)) {
+      std::fprintf(stderr, "invalid --metapath \"%s\" with %u types\n",
+                   args.metapath.c_str(), args.types);
+      return 2;
+    }
+    result = walk::RunOocMetapath(*store, cfg, params, pool, ooc_options);
+  } else {
+    result = walk::RunOocDeepWalk(*store, cfg, pool, ooc_options);
+  }
+  const double seconds = walk_timer.Seconds();
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "ooc walk failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("%s[ooc]: %llu steps in %.2fs (%.2fM steps/s)\n",
+              args.app.c_str(),
+              static_cast<unsigned long long>(result.total_steps), seconds,
+              result.total_steps / seconds / 1e6);
+  std::printf(
+      "blocks:           %llu passes, %llu loads, %llu evictions, peak "
+      "resident %.1f MiB\n",
+      static_cast<unsigned long long>(result.block_passes),
+      static_cast<unsigned long long>(result.block_loads),
+      static_cast<unsigned long long>(result.block_evictions),
+      result.peak_resident_bytes / 1024.0 / 1024.0);
+  std::printf("walkers:          %llu finished, %llu parks, %llu spilled\n",
+              static_cast<unsigned long long>(result.finished_walkers),
+              static_cast<unsigned long long>(result.walker_parks),
+              static_cast<unsigned long long>(result.spilled_walkers));
+  std::printf("peak rss:         %.1f MiB\n",
+              util::PeakRssBytes() / 1024.0 / 1024.0);
+  const std::string invariants = store->CheckInvariants();
+  std::printf("invariants:       %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  if (!args.paths_out.empty()) {
+    WritePaths(args.paths_out, result.path_offsets, result.paths);
+  }
+  return invariants.empty() ? 0 : 1;
+}
+
 // Builds a sharded service and writes its durable base into --dir.
 int Checkpoint(const Args& args) {
   if (args.dir.empty()) {
@@ -859,12 +1112,14 @@ void PrintServeJson(const Args& args, double samples_per_sec,
       "\"throughput_samples_per_sec\":%.1f,\"queries_per_sec\":%.2f,"
       "\"update_p50_ms\":%.4f,\"update_p99_ms\":%.4f,"
       "\"update_mean_ms\":%.4f,\"update_max_ms\":%.4f,\"batches\":%llu,"
-      "\"recovery_ms\":%.2f,\"consistency_violations\":%llu}\n",
+      "\"recovery_ms\":%.2f,\"consistency_violations\":%llu,"
+      "\"peak_rss_bytes\":%llu}\n",
       args.store.c_str(), args.store == "sharded" ? args.shards : 1,
       args.threads, args.pin ? "true" : "false", args.numa ? "true" : "false",
       samples_per_sec, queries_per_sec, p50_ms, p99_ms, mean_ms, max_ms,
       static_cast<unsigned long long>(batches), recovery_ms,
-      static_cast<unsigned long long>(violations));
+      static_cast<unsigned long long>(violations),
+      static_cast<unsigned long long>(util::PeakRssBytes()));
 }
 
 // The sharded serving path: per-shard replica pairs, optional coalescing
@@ -1205,11 +1460,145 @@ int ServeOpenLoop(const Args& args) {
   return RunOpenLoopBench(args, *service, &serve_pool);
 }
 
+// serve-bench --store ooc: run the standard stress on an in-memory
+// WAL-journaled service, seal it with a checkpoint, tear it down, then
+// recover OUT OF CORE from the durability dir — the base snapshot streams
+// record by record into DIR/base.csr (core::StreamSnapshotEdges, never a
+// materialized edge list) and two tiered replicas mount it under the
+// --memory-budget. The recovered service then serves queries and absorbs
+// further updates (promoting the base vertices they touch).
+int ServeBenchOoc(const Args& args, const graph::VertexId n,
+                  const graph::UpdateWorkload& workload,
+                  util::ThreadPool* pool) {
+  if (args.decay < 1.0) {
+    std::fprintf(stderr,
+                 "--store ooc requires the identity bias pipeline (no "
+                 "--decay): base biases are pre-composed into the CSR\n");
+    return 2;
+  }
+  util::Timer build_timer;
+  auto service = walk::MakeWalkService(workload.initial_edges, n,
+                                       core::BingoConfig{}, pool, pool);
+  std::printf(
+      "serve-bench[ooc]: %u vertices, %zu initial edges, 2 replicas built "
+      "in %.2fs\n",
+      n, workload.initial_edges.size(), build_timer.Seconds());
+
+  walk::WalPersistenceOptions persist;
+  persist.fsync_on_commit = args.fsync;
+  persist.compact_fraction = args.compact_fraction;
+  util::Timer attach_timer;
+  const walk::CheckpointResult base = service->AttachWal(args.wal_dir, persist);
+  if (!base.ok) {
+    std::fprintf(stderr, "failed to attach WAL at %s\n", args.wal_dir.c_str());
+    return 1;
+  }
+  std::printf("wal attached:     %s (base %.1f MiB in %.2fs)\n",
+              args.wal_dir.c_str(), base.bytes_written / 1024.0 / 1024.0,
+              attach_timer.Seconds());
+
+  walk::ServiceStressOptions options;
+  options.query_threads = args.threads;
+  options.batch_size = args.batch_size;
+  options.walkers_per_query = args.walkers == 0 ? 1024 : args.walkers;
+  options.walk_length = args.length;
+  options.seed = args.seed;
+  const auto report =
+      walk::RunWalkServiceStress(*service, workload.updates, options);
+  std::printf("\nqueries:          %llu (%.1f/s)\n",
+              static_cast<unsigned long long>(report.queries),
+              report.queries / report.wall_seconds);
+  std::printf("samples served:   %llu (%.2fM samples/s)\n",
+              static_cast<unsigned long long>(report.walk_steps),
+              report.SamplesPerSecond() / 1e6);
+  std::printf("consistency:      %llu violations\n",
+              static_cast<unsigned long long>(report.inconsistent_snapshots));
+
+  // Seal: the WAL-journaled stream becomes the durable state.
+  const walk::CheckpointResult ckpt = service->Checkpoint();
+  std::printf("final checkpoint: %s (%.1f MiB, %s)\n",
+              ckpt.ok ? "ok" : "FAILED",
+              ckpt.bytes_written / 1024.0 / 1024.0,
+              ckpt.compacted ? "compacted" : "incremental");
+  if (!ckpt.ok) {
+    return 1;
+  }
+  service.reset();  // the recovery below must stand alone
+
+  walk::OocServiceOptions ooc_options;
+  ooc_options.store.memory_budget_bytes = args.memory_budget;
+  ooc_options.csr_block_bytes = args.block_bytes;
+  ooc_options.wal = persist;
+  walk::RecoveryReport recovery;
+  std::string error;
+  util::Timer recover_timer;
+  auto ooc = walk::RecoverOocWalkService(args.wal_dir, core::BingoConfig{},
+                                         ooc_options, pool, pool, &recovery,
+                                         &error);
+  const double recovery_ms = recover_timer.Seconds() * 1e3;
+  if (ooc == nullptr) {
+    std::fprintf(stderr, "ooc recovery from %s failed: %s\n",
+                 args.wal_dir.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf(
+      "ooc recovery:     %.2fs streamed (%llu base edges -> base.csr, "
+      "%llu wal records / %llu updates replayed, budget %llu bytes/replica)\n",
+      recovery_ms / 1e3, static_cast<unsigned long long>(recovery.base_edges),
+      static_cast<unsigned long long>(recovery.wal_records_replayed),
+      static_cast<unsigned long long>(recovery.wal_updates_replayed),
+      static_cast<unsigned long long>(args.memory_budget));
+
+  // Verify the recovered service end to end: a walk query and one more
+  // journaled update batch (promoting the base vertices it touches).
+  walk::WalkConfig cfg;
+  cfg.num_walkers = options.walkers_per_query;
+  cfg.walk_length = args.length;
+  cfg.seed = args.seed;
+  const walk::WalkResult walked = ooc->DeepWalk(cfg, pool);
+  graph::UpdateList extra(
+      workload.updates.begin(),
+      workload.updates.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min<std::size_t>(args.batch_size, workload.updates.size())));
+  ooc->ApplyBatch(extra);
+  const auto tiered_stats = ooc->Query([&](const walk::TieredStore& s) {
+    struct {
+      uint64_t promoted;
+      core::BlockCacheStats cache;
+    } out{s.PromotedVertices(), s.CacheStats()};
+    return out;
+  });
+  std::printf(
+      "ooc serving:      %llu walk steps, %llu vertices promoted by "
+      "post-recovery updates, %llu block loads, %.1f MiB resident\n",
+      static_cast<unsigned long long>(walked.total_steps),
+      static_cast<unsigned long long>(tiered_stats.promoted),
+      static_cast<unsigned long long>(tiered_stats.cache.loads),
+      tiered_stats.cache.resident_bytes / 1024.0 / 1024.0);
+  const std::string invariants = ooc->CheckInvariants();
+  std::printf("recovered state:  %s\n",
+              invariants.empty() ? "ok" : invariants.c_str());
+  std::printf("peak rss:         %.1f MiB\n",
+              util::PeakRssBytes() / 1024.0 / 1024.0);
+  if (args.json) {
+    PrintServeJson(args, report.SamplesPerSecond(),
+                   report.queries / report.wall_seconds,
+                   report.UpdateSecondsQuantile(0.50) * 1e3,
+                   report.UpdateSecondsQuantile(0.99) * 1e3,
+                   report.MeanUpdateSeconds() * 1e3,
+                   report.update_seconds_max * 1e3, report.batches,
+                   recovery_ms, report.inconsistent_snapshots);
+  }
+  return report.inconsistent_snapshots == 0 && invariants.empty() ? 0 : 1;
+}
+
 int ServeBench(const Args& args) {
-  if (args.store != "bingo" && args.store != "sharded") {
+  if (args.store != "bingo" && args.store != "sharded" &&
+      args.store != "ooc") {
     std::fprintf(
         stderr,
-        "serve-bench supports --store bingo or --store sharded (got %s)\n",
+        "serve-bench supports --store bingo, sharded, or ooc (got %s)\n",
         args.store.c_str());
     return 2;
   }
@@ -1221,8 +1610,18 @@ int ServeBench(const Args& args) {
     std::fprintf(stderr, "--batcher requires --store sharded\n");
     return 2;
   }
-  if (!args.wal_dir.empty() && args.store != "sharded") {
-    std::fprintf(stderr, "--wal requires --store sharded\n");
+  if (!args.wal_dir.empty() && args.store == "bingo") {
+    std::fprintf(stderr, "--wal requires --store sharded or ooc\n");
+    return 2;
+  }
+  if (args.store == "ooc" && args.wal_dir.empty()) {
+    std::fprintf(stderr,
+                 "--store ooc needs --wal DIR (the durability directory the "
+                 "out-of-core recovery streams from)\n");
+    return 2;
+  }
+  if (args.store == "ooc" && args.open_loop) {
+    std::fprintf(stderr, "--open-loop does not support --store ooc\n");
     return 2;
   }
   if (args.app != "deepwalk") {
@@ -1292,6 +1691,9 @@ int ServeBench(const Args& args) {
   PrintExecutorBanner(args, serve_pool);
   if (args.store == "sharded") {
     return ServeBenchSharded(args, n, workload, &serve_pool);
+  }
+  if (args.store == "ooc") {
+    return ServeBenchOoc(args, n, workload, &serve_pool);
   }
 
   // The pool builds the replicas and then parallelizes each batch's
@@ -1366,6 +1768,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "stats") {
     return Stats(args);
+  }
+  if (args.command == "build-csr") {
+    return BuildCsr(args);
   }
   if (args.command == "serve-bench") {
     return ServeBench(args);

@@ -28,7 +28,13 @@ Rules (see README "Correctness tooling"):
                          banned in src/walk/: steady-state walk code must lease
                          from the pool-backed scratch allocator (zero-alloc
                          contract, PR 5). Containers are fine; raw allocations
-                         are not.
+                         are not. The rule also covers the out-of-core block
+                         path (src/core/block_cache.*, src/graph/csr_mmap.*),
+                         where it additionally bans raw mmap(): every mapped
+                         byte must be accounted against the cache's resident
+                         budget. The one justified allow() is the mmap arena
+                         in CsrMmap::MapBlock — block residency IS the product
+                         there, and Unmap returns the pages on eviction.
 
   wall-clock-time        std::chrono::{system,steady,high_resolution}_clock,
                          time(), and gettimeofday() are banned in src/walk/
@@ -92,6 +98,9 @@ BARE_ALLOC = [
     (re.compile(r'\b(?:std::)?(malloc|calloc|realloc)\s*\('),
      "bare {0}() in steady-state walk code; lease from ScratchMemory "
      "(zero-alloc contract)"),
+    (re.compile(r'\bmmap\s*\('),
+     "raw mmap() outside the accounted block arena; map blocks through "
+     "core::BlockCache so residency counts against the byte budget"),
 ]
 
 WALL_CLOCK = [
@@ -131,7 +140,12 @@ def rules_for(rel):
         applicable.append(('nondeterministic-rng', NONDET_RNG))
     if posix.startswith('src/walk/') or posix.endswith('serial.h'):
         applicable.append(('unordered-iteration', UNORDERED))
-    if posix.startswith('src/walk/'):
+    # The zero-alloc contract extends to the out-of-core block path: the
+    # cache and the CSR container are on the steady-state walk path, and
+    # an unaccounted mmap there is an allocation the budget cannot see.
+    if posix.startswith('src/walk/') or posix in (
+            'src/core/block_cache.h', 'src/core/block_cache.cc',
+            'src/graph/csr_mmap.h', 'src/graph/csr_mmap.cc'):
         applicable.append(('bare-allocation', BARE_ALLOC))
     # query_batcher's admission deadlines are wall-clock by design (they
     # bound queueing latency, never a sampling decision), mirroring the

@@ -1,0 +1,10 @@
+// expect: bare-allocation
+// Known-bad: raw mmap in block-path code — mapped bytes the cache's
+// resident budget cannot see.
+#include <sys/mman.h>
+
+#include <cstddef>
+
+const void* MapWholeFile(int fd, std::size_t length) {
+  return ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+}
